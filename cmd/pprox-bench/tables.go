@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+
+	"pprox/internal/cluster"
+)
+
+func onOff(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "—"
+}
+
+func printTable2() {
+	fmt.Println("\n=== Table 2 — micro-benchmark configurations ===")
+	fmt.Printf("%-4s %-5s %-4s %-10s %-3s %-3s %-3s %-6s %s\n",
+		"name", "enc", "sgx", "item-pseud", "S", "UA", "IA", "maxRPS", "figures")
+	for _, c := range cluster.MicroConfigs() {
+		s := "—"
+		if c.Shuffle > 0 {
+			s = fmt.Sprintf("%d", c.Shuffle)
+		}
+		itemCol := onOff(c.ItemPseudonyms)
+		if c.Encryption && !c.ItemPseudonyms {
+			itemCol = "off (★)"
+		}
+		fmt.Printf("%-4s %-5s %-4s %-10s %-3s %-3d %-3d %-6d %v\n",
+			c.Name, onOff(c.Encryption), onOff(c.SGX), itemCol, s, c.UA, c.IA, c.MaxRPS, c.Figures)
+	}
+}
+
+func printTable3() {
+	fmt.Println("\n=== Table 3 — macro-benchmark configurations ===")
+	fmt.Printf("%-4s %-6s %-3s %-3s %-3s %-12s %-6s %s\n",
+		"name", "proxy", "S", "UA", "IA", "LRS(fe+sup)", "nodes", "maxRPS")
+	printMacro := func(cs []cluster.MacroConfig) {
+		for _, c := range cs {
+			s := "—"
+			if c.Shuffle > 0 {
+				s = fmt.Sprintf("%d", c.Shuffle)
+			}
+			fmt.Printf("%-4s %-6s %-3s %-3d %-3d %2d+%-9d %-6d %d\n",
+				c.Name, onOff(c.Proxy), s, c.UA, c.IA, c.LRSFrontends, c.LRSSupport, c.TotalNodes(), c.MaxRPS)
+		}
+	}
+	fmt.Println("-- baseline: only LRS --")
+	printMacro(cluster.BaselineConfigs())
+	fmt.Println("-- full: proxy service and LRS --")
+	printMacro(cluster.FullConfigs())
+}

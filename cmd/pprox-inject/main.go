@@ -1,0 +1,109 @@
+// Command pprox-inject is the HTTP load injector of the evaluation
+// (§7.1, the loadtest equivalent): it drives post and/or get requests at
+// a fixed open-loop rate through the user-side library and reports the
+// round-trip latency distribution as a candlestick row.
+//
+//	pprox-inject -target http://localhost:8081 -bundle bundle.json -rps 50 -duration 30s -mode get
+//	pprox-inject -target http://localhost:8080 -plain -rps 250 -duration 1m -mode mixed
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"pprox/internal/client"
+	"pprox/internal/proxy"
+	"pprox/internal/workload"
+)
+
+func main() {
+	target := flag.String("target", "", "base URL of the service (UA balancer or LRS)")
+	bundlePath := flag.String("bundle", "", "public bundle from pprox-keygen (omit with -plain)")
+	plain := flag.Bool("plain", false, "send cleartext identifiers (baseline)")
+	rps := flag.Int("rps", 50, "requests per second (open loop)")
+	duration := flag.Duration("duration", 30*time.Second, "injection duration")
+	trim := flag.Duration("trim", 0, "trim this much from both ends of the measurement window")
+	mode := flag.String("mode", "get", "request mix: get, post, or mixed")
+	users := flag.Int("users", 1000, "distinct user population")
+	itemsN := flag.Int("items", 5000, "distinct item population (post mode)")
+	reps := flag.Int("reps", 1, "repetitions to aggregate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*target, *bundlePath, *plain, *rps, *duration, *trim, *mode, *users, *itemsN, *reps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pprox-inject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target, bundlePath string, plain bool, rps int, duration, trim time.Duration, mode string, users, itemsN, reps int, seed int64) error {
+	if target == "" {
+		return fmt.Errorf("-target is required")
+	}
+
+	httpClient := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4096,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	var cl *client.Client
+	if plain {
+		cl = client.NewPlain(httpClient, target)
+	} else {
+		if bundlePath == "" {
+			return fmt.Errorf("-bundle is required unless -plain")
+		}
+		data, err := os.ReadFile(bundlePath)
+		if err != nil {
+			return err
+		}
+		bundle, err := proxy.UnmarshalBundleFile(data)
+		if err != nil {
+			return err
+		}
+		cl = client.New(bundle, httpClient, target)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	pick := func(prefix string, n int) string {
+		return fmt.Sprintf("%s-%05d", prefix, rng.Intn(n))
+	}
+	var fn workload.RequestFunc
+	switch mode {
+	case "get":
+		fn = func(ctx context.Context) error {
+			_, err := cl.Get(ctx, pick("user", users))
+			return err
+		}
+	case "post":
+		fn = func(ctx context.Context) error {
+			return cl.Post(ctx, pick("user", users), pick("item", itemsN), "")
+		}
+	case "mixed":
+		fn = func(ctx context.Context) error {
+			if rng.Intn(2) == 0 {
+				return cl.Post(ctx, pick("user", users), pick("item", itemsN), "")
+			}
+			_, err := cl.Get(ctx, pick("user", users))
+			return err
+		}
+	default:
+		return fmt.Errorf("mode must be get, post, or mixed")
+	}
+
+	inj := &workload.Injector{RPS: rps, Duration: duration, Trim: trim, MaxInFlight: 4096}
+	fmt.Printf("pprox-inject: %d RPS × %v × %d rep(s) against %s (%s)\n", rps, duration, reps, target, mode)
+	res := inj.RunRepetitions(context.Background(), reps, fn)
+
+	fmt.Printf("sent=%d failed=%d shed=%d elapsed=%v\n", res.Sent, res.Failed, res.Shed, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("latency: %s\n", res.Latencies.Candlestick())
+	return nil
+}

@@ -1,0 +1,66 @@
+// Command pprox-keygen generates the key material of a PProx deployment
+// as the RaaS *client application* would (§4.1): a private key pair and a
+// permanent pseudonymization key per proxy layer, plus the public bundle
+// embedded in the user-side library.
+//
+//	pprox-keygen -out ./keys
+//
+// writes keys.json (both layers, secret — provisioned to attested
+// enclaves only) and bundle.json (public keys only — safe to ship as
+// static web code).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pprox/internal/proxy"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "pprox-keygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	ua, err := proxy.NewLayerKeys()
+	if err != nil {
+		return err
+	}
+	ia, err := proxy.NewLayerKeys()
+	if err != nil {
+		return err
+	}
+
+	keys, err := proxy.MarshalKeyFile(ua, ia)
+	if err != nil {
+		return err
+	}
+	keysPath := filepath.Join(out, "keys.json")
+	if err := os.WriteFile(keysPath, keys, 0o600); err != nil {
+		return err
+	}
+
+	bundle, err := proxy.MarshalBundleFile(proxy.Bundle(ua, ia))
+	if err != nil {
+		return err
+	}
+	bundlePath := filepath.Join(out, "bundle.json")
+	if err := os.WriteFile(bundlePath, bundle, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote %s (secret: provision to attested enclaves only)\n", keysPath)
+	fmt.Printf("wrote %s (public: embed in the user-side library)\n", bundlePath)
+	return nil
+}

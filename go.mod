@@ -1,0 +1,3 @@
+module pprox
+
+go 1.22

@@ -1,0 +1,154 @@
+package adversary
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pprox/internal/message"
+)
+
+func at(sec int, label string) Event {
+	return Event{T: time.Unix(int64(sec), 0), Label: label}
+}
+
+func TestCorrelateInOrderPairsByRank(t *testing.T) {
+	in := []Event{at(1, "a"), at(2, "b"), at(3, "c")}
+	out := []Event{at(4, "pa"), at(5, "pb"), at(6, "pc")}
+	guesses := CorrelateInOrder(in, out)
+	if len(guesses) != 3 {
+		t.Fatalf("guesses = %v", guesses)
+	}
+	want := map[string]string{"a": "pa", "b": "pb", "c": "pc"}
+	for _, g := range guesses {
+		if want[g.Source] != g.Target {
+			t.Errorf("guess %v", g)
+		}
+	}
+}
+
+func TestCorrelateInOrderTruncatesToShorterSide(t *testing.T) {
+	in := []Event{at(1, "a"), at(2, "b")}
+	out := []Event{at(3, "pa")}
+	if got := CorrelateInOrder(in, out); len(got) != 1 {
+		t.Errorf("guesses = %v", got)
+	}
+	if got := CorrelateInOrder(nil, out); len(got) != 0 {
+		t.Errorf("guesses = %v", got)
+	}
+}
+
+func TestCorrelateNearestTimeClaimsEachEgressOnce(t *testing.T) {
+	in := []Event{at(1, "a"), at(2, "b")}
+	out := []Event{at(3, "p1"), at(4, "p2")}
+	guesses := CorrelateNearestTime(in, out)
+	if len(guesses) != 2 {
+		t.Fatalf("guesses = %v", guesses)
+	}
+	if guesses[0].Target != "p1" || guesses[1].Target != "p2" {
+		t.Errorf("nearest-time matching wrong: %v", guesses)
+	}
+}
+
+func TestCorrelateNearestTimeIgnoresPastEgress(t *testing.T) {
+	// Egress before the ingress cannot be its consequence.
+	in := []Event{at(10, "a")}
+	out := []Event{at(5, "stale"), at(11, "fresh")}
+	guesses := CorrelateNearestTime(in, out)
+	if len(guesses) != 1 || guesses[0].Target != "fresh" {
+		t.Errorf("guesses = %v", guesses)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	truth := map[string]string{"a": "pa", "b": "pb"}
+	guesses := []Guess{{Source: "a", Target: "pa"}, {Source: "b", Target: "wrong"}}
+	if acc := Accuracy(guesses, truth); acc != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+	if acc := Accuracy(nil, truth); acc != 0 {
+		t.Errorf("accuracy of no guesses = %v", acc)
+	}
+	// Empty-target guesses never count as correct.
+	if acc := Accuracy([]Guess{{Source: "x", Target: ""}}, map[string]string{"x": ""}); acc != 0 {
+		t.Errorf("empty-label guess scored %v", acc)
+	}
+}
+
+func TestRecorderAndTap(t *testing.T) {
+	rec := NewRecorder()
+	var gotBody string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	tap := Tap(rec, "link-1", func(body []byte) string {
+		return "label:" + string(body)
+	}, inner)
+
+	req := httptest.NewRequest(http.MethodPost, "/x", strings.NewReader("payload"))
+	rr := httptest.NewRecorder()
+	tap.ServeHTTP(rr, req)
+
+	// The tap must be transparent: the inner handler still reads the
+	// full body and its response passes through.
+	if gotBody != "payload" {
+		t.Errorf("inner handler saw %q", gotBody)
+	}
+	if rr.Code != http.StatusAccepted {
+		t.Errorf("status = %d", rr.Code)
+	}
+	events := rec.Events("link-1")
+	if len(events) != 1 || events[0].Label != "label:payload" {
+		t.Errorf("events = %v", events)
+	}
+	if rec.Len() != 1 {
+		t.Errorf("Len = %d", rec.Len())
+	}
+	if got := rec.Events("other-link"); len(got) != 0 {
+		t.Errorf("cross-link events leaked: %v", got)
+	}
+}
+
+func TestTapWithNilLabelFunc(t *testing.T) {
+	rec := NewRecorder()
+	tap := Tap(rec, "l", nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	tap.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if events := rec.Events("l"); len(events) != 1 || events[0].Label != "" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestWindowsFromTrace(t *testing.T) {
+	egress := []Event{at(1, "p1"), at(3, "p2"), at(5, "p3"), at(7, "p4")}
+	target := []Event{at(2, "victim"), at(6, "victim")}
+	windows := WindowsFromTrace(egress, target, 2)
+	if len(windows) != 2 {
+		t.Fatalf("windows = %v", windows)
+	}
+	if windows[0][0] != "p2" || windows[0][1] != "p3" {
+		t.Errorf("window 0 = %v", windows[0])
+	}
+	if windows[1][0] != "p4" || len(windows[1]) != 1 {
+		t.Errorf("window 1 = %v (trace ends before filling)", windows[1])
+	}
+}
+
+func TestDeanonymizeDBWithNoLoot(t *testing.T) {
+	f := DeanonymizeDB(Loot{}, []DBEvent{{UserPseudonym: "AAAA", ItemPseudonym: "BBBB"}})
+	if len(f.Users)+len(f.Items)+len(f.LinkedPairs) != 0 {
+		t.Errorf("findings without loot: %+v", f)
+	}
+}
+
+func TestDecryptInterceptedPostWithNoLoot(t *testing.T) {
+	req := message.PostRequest{EncUser: "QUFBQQ==", EncItem: "QkJCQg=="}
+	got := DecryptInterceptedPost(Loot{}, req)
+	if got.User != "" || got.Item != "" {
+		t.Errorf("decrypted without keys: %+v", got)
+	}
+}

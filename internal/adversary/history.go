@@ -1,0 +1,71 @@
+package adversary
+
+// history.go implements the history-based attack the paper's limitations
+// section describes (§6.3): "An adversary targeting a specific IP address
+// could collect over time a series of associated sets of S queries to the
+// LRS. If the corresponding user repeatedly receives the same
+// recommendations, or inserts feedback for the same items, the adversary
+// could identify recurrent pseudonymized items identifiers and associate
+// them with that IP address, and learn the associated pseudonymized user
+// identifier."
+//
+// Each time the target's request enters a shuffle batch, the adversary
+// learns a candidate set: the S pseudonyms that reached the LRS for that
+// batch. The target's stable pseudonym is in every set; decoys churn.
+// Intersecting the sets across windows isolates the target.
+
+// HistoryAttack intersects per-window candidate pseudonym sets and returns
+// the surviving candidates (the adversary's hypothesis set for the
+// target). An empty input yields nil.
+func HistoryAttack(windows [][]string) []string {
+	if len(windows) == 0 {
+		return nil
+	}
+	surviving := make(map[string]bool, len(windows[0]))
+	for _, p := range windows[0] {
+		surviving[p] = true
+	}
+	for _, w := range windows[1:] {
+		inWindow := make(map[string]bool, len(w))
+		for _, p := range w {
+			inWindow[p] = true
+		}
+		for p := range surviving {
+			if !inWindow[p] {
+				delete(surviving, p)
+			}
+		}
+	}
+	out := make([]string, 0, len(surviving))
+	for p := range surviving {
+		out = append(out, p)
+	}
+	return out
+}
+
+// WindowsFromTrace slices an LRS-side observation trace into candidate
+// windows of size s around each occurrence of the target's ingress times:
+// for each targetTime, the s egress labels observed at or after it form
+// one window. This is how the adversary builds HistoryAttack input from
+// the same taps the timing attack uses.
+func WindowsFromTrace(egress []Event, targetIngress []Event, s int) [][]string {
+	windows := make([][]string, 0, len(targetIngress))
+	for _, in := range targetIngress {
+		var w []string
+		for _, out := range egress {
+			if out.T.Before(in.T) {
+				continue
+			}
+			if out.Label != "" {
+				w = append(w, out.Label)
+			}
+			if len(w) == s {
+				break
+			}
+		}
+		if len(w) > 0 {
+			windows = append(windows, w)
+		}
+	}
+	return windows
+}

@@ -1,0 +1,104 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"pprox/internal/message"
+	"pprox/internal/ppcrypto"
+)
+
+// sizechannel_test.go is the DESIGN.md §4 padding ablation: §4.3 requires
+// every encrypted message to have constant size. Without the fixed-size
+// item-list codec, the ciphertext length of a get response leaks the
+// number of recommendations — a side channel an observer can use to
+// distinguish users (e.g. cold-start users receive shorter lists).
+
+// encryptWithoutPadding models the ablated design: serialize exactly the
+// items present and encrypt.
+func encryptWithoutPadding(t *testing.T, key []byte, items []string) []byte {
+	t.Helper()
+	raw, err := message.Marshal(message.LRSGetResponse{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ppcrypto.SymEncrypt(key, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func encryptWithPadding(t *testing.T, key []byte, items []string) []byte {
+	t.Helper()
+	packed, err := message.EncodeItemList(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ppcrypto.SymEncrypt(key, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func lists() [][]string {
+	cold := []string{}
+	light := []string{"item-000001", "item-000002", "item-000003"}
+	heavy := make([]string, message.MaxRecommendations)
+	for i := range heavy {
+		heavy[i] = "item-00000" + string(rune('a'+i%26))
+	}
+	return [][]string{cold, light, heavy}
+}
+
+func TestSizeChannelExistsWithoutPadding(t *testing.T) {
+	key, err := ppcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int]bool{}
+	for _, l := range lists() {
+		sizes[len(encryptWithoutPadding(t, key, l))] = true
+	}
+	if len(sizes) < 2 {
+		t.Error("ablation broken: unpadded responses do not differ in size")
+	}
+}
+
+func TestPaddingClosesSizeChannel(t *testing.T) {
+	key, err := ppcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int]bool{}
+	for _, l := range lists() {
+		sizes[len(encryptWithPadding(t, key, l))] = true
+	}
+	if len(sizes) != 1 {
+		t.Errorf("padded response sizes vary: %v — the §4.3 size channel is open", sizes)
+	}
+}
+
+// TestSizeClassifierAblation quantifies the channel: a trivial classifier
+// (exact ciphertext length) distinguishes cold-start from heavy users with
+// 100% accuracy on the ablated design and chance-level on PProx's.
+func TestSizeClassifierAblation(t *testing.T) {
+	key, err := ppcrypto.NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := []string{}
+	heavy := lists()[2]
+
+	classify := func(enc func(*testing.T, []byte, []string) []byte) (distinguished bool) {
+		coldLen := len(enc(t, key, cold))
+		heavyLen := len(enc(t, key, heavy))
+		return coldLen != heavyLen
+	}
+	if !classify(encryptWithoutPadding) {
+		t.Error("ablation broken: classifier cannot use the unpadded channel")
+	}
+	if classify(encryptWithPadding) {
+		t.Error("padded design distinguishable by size")
+	}
+}

@@ -1,0 +1,134 @@
+// Package autoscale implements the elastic scaling policy the paper calls
+// for (§5): "The two proxy layers need, therefore, to elastically scale up
+// and down based on observed request load, dynamically implementing a
+// compromise between throughput and latency." Scaling up adds capacity;
+// scaling down matters just as much, because over-provisioned layers
+// starve their shuffle buffers and pay timer-bound latency (§8.1.2:
+// "latencies due to request shuffling may become too high … the number of
+// proxy instances should ideally be elastically scaled down").
+package autoscale
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Controller computes the desired number of UA+IA instance pairs from the
+// observed request rate.
+type Controller struct {
+	// PairCapacityRPS is the load one instance pair sustains before
+	// saturating — 250 RPS in the paper's evaluation (Fig. 8).
+	PairCapacityRPS float64
+	// TargetUtilization positions steady-state load below the knee
+	// (e.g. 0.8 → scale up at 200 RPS per pair).
+	TargetUtilization float64
+	// Min and Max bound the pair count.
+	Min, Max int
+	// Hysteresis avoids flapping: scale down only when the desired
+	// count is below current by more than this fraction of a pair's
+	// capacity.
+	Hysteresis float64
+}
+
+// DefaultController returns the paper-calibrated policy.
+func DefaultController() *Controller {
+	return &Controller{
+		PairCapacityRPS:   250,
+		TargetUtilization: 0.8,
+		Min:               1,
+		Max:               16,
+		Hysteresis:        0.25,
+	}
+}
+
+// Desired returns the instance-pair count for the observed rate, given the
+// current count.
+func (c *Controller) Desired(observedRPS float64, current int) int {
+	if current < c.Min {
+		current = c.Min
+	}
+	if current > c.Max {
+		current = c.Max
+	}
+	perPair := c.PairCapacityRPS * c.TargetUtilization
+	raw := int(math.Ceil(observedRPS / perPair))
+	if raw < c.Min {
+		raw = c.Min
+	}
+	if raw > c.Max {
+		raw = c.Max
+	}
+	if raw >= current {
+		return raw // scale up immediately: saturation hurts now
+	}
+	// Scale down only past the hysteresis band.
+	margin := float64(current)*perPair - c.Hysteresis*c.PairCapacityRPS
+	if observedRPS < margin && raw < current {
+		return raw
+	}
+	return current
+}
+
+// RateEstimator measures the request arrival rate with an exponentially
+// weighted moving average over fixed ticks, the signal a deployment's
+// balancer feeds the controller.
+type RateEstimator struct {
+	mu       sync.Mutex
+	halfLife time.Duration
+	rate     float64 // RPS
+	count    int
+	last     time.Time
+	started  bool
+}
+
+// NewRateEstimator creates an estimator with the given smoothing
+// half-life.
+func NewRateEstimator(halfLife time.Duration) *RateEstimator {
+	if halfLife <= 0 {
+		halfLife = 10 * time.Second
+	}
+	return &RateEstimator{halfLife: halfLife}
+}
+
+// Observe records one arrival at time now.
+func (r *RateEstimator) Observe(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		r.started = true
+		r.last = now
+	}
+	r.count++
+	r.fold(now)
+}
+
+// Rate returns the smoothed arrival rate in RPS as of now.
+func (r *RateEstimator) Rate(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		return 0
+	}
+	r.fold(now)
+	return r.rate
+}
+
+// fold merges pending counts into the EWMA once at least a tick of wall
+// time has passed.
+func (r *RateEstimator) fold(now time.Time) {
+	const tick = time.Second
+	elapsed := now.Sub(r.last)
+	if elapsed < tick {
+		return
+	}
+	instRate := float64(r.count) / elapsed.Seconds()
+	alpha := 1 - math.Exp(-float64(elapsed)/float64(r.halfLife)*math.Ln2)
+	if r.rate == 0 {
+		r.rate = instRate
+	} else {
+		r.rate += alpha * (instRate - r.rate)
+	}
+	r.count = 0
+	r.last = now
+}

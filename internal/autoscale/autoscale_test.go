@@ -1,0 +1,105 @@
+package autoscale
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDesiredScalesUpWithLoad(t *testing.T) {
+	c := DefaultController()
+	cases := []struct {
+		rps     float64
+		current int
+		want    int
+	}{
+		{50, 1, 1},
+		{250, 1, 2},    // 250 > 200 (one pair at 0.8 target) → 2 pairs
+		{500, 1, 3},    // 500/200 → 3 pairs
+		{1000, 1, 5},   // 1000/200 → 5 pairs
+		{10000, 1, 16}, // clamped at Max
+		{0, 1, 1},      // clamped at Min
+	}
+	for _, tc := range cases {
+		if got := c.Desired(tc.rps, tc.current); got != tc.want {
+			t.Errorf("Desired(%.0f, %d) = %d, want %d", tc.rps, tc.current, got, tc.want)
+		}
+	}
+}
+
+func TestDesiredScaleDownHysteresis(t *testing.T) {
+	c := DefaultController()
+	// 4 pairs handle 800 RPS at target. Load drops slightly below the
+	// scale-down margin (800 − 62.5): must hold at 4.
+	if got := c.Desired(760, 4); got != 4 {
+		t.Errorf("Desired(760, 4) = %d, want 4 (hysteresis)", got)
+	}
+	// Load drops far below: scale down.
+	if got := c.Desired(150, 4); got != 1 {
+		t.Errorf("Desired(150, 4) = %d, want 1", got)
+	}
+}
+
+func TestDesiredNeverOutOfBoundsProperty(t *testing.T) {
+	c := DefaultController()
+	f := func(rpsRaw uint16, curRaw uint8) bool {
+		got := c.Desired(float64(rpsRaw), int(curRaw))
+		return got >= c.Min && got <= c.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDesiredMonotoneInLoadProperty(t *testing.T) {
+	c := DefaultController()
+	f := func(aRaw, bRaw uint16, curRaw uint8) bool {
+		a, b := float64(aRaw), float64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		cur := int(curRaw%8) + 1
+		return c.Desired(a, cur) <= c.Desired(b, cur)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateEstimatorTracksSteadyRate(t *testing.T) {
+	r := NewRateEstimator(2 * time.Second)
+	now := time.Unix(1000, 0)
+	// 100 RPS for 30 seconds.
+	for i := 0; i < 3000; i++ {
+		now = now.Add(10 * time.Millisecond)
+		r.Observe(now)
+	}
+	rate := r.Rate(now)
+	if rate < 80 || rate > 120 {
+		t.Errorf("estimated rate %.1f, want ≈ 100", rate)
+	}
+}
+
+func TestRateEstimatorAdaptsToChange(t *testing.T) {
+	r := NewRateEstimator(2 * time.Second)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2000; i++ { // 100 RPS for 20 s
+		now = now.Add(10 * time.Millisecond)
+		r.Observe(now)
+	}
+	for i := 0; i < 4000; i++ { // 400 RPS for 10 s
+		now = now.Add(2500 * time.Microsecond)
+		r.Observe(now)
+	}
+	rate := r.Rate(now)
+	if rate < 250 {
+		t.Errorf("estimator stuck at %.1f after load quadrupled", rate)
+	}
+}
+
+func TestRateEstimatorEmpty(t *testing.T) {
+	r := NewRateEstimator(time.Second)
+	if got := r.Rate(time.Now()); got != 0 {
+		t.Errorf("rate with no observations = %v", got)
+	}
+}

@@ -1,0 +1,248 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pprox/internal/message"
+	"pprox/internal/ppcrypto"
+	"pprox/internal/proxy"
+)
+
+// Shared key material: RSA generation is slow and the tests only need any
+// valid pair per layer.
+var (
+	bundleOnce sync.Once
+	sharedUA   *proxy.LayerKeys
+	sharedIA   *proxy.LayerKeys
+	bundleErr  error
+)
+
+func testBundle(t *testing.T) (proxy.PublicBundle, *proxy.LayerKeys, *proxy.LayerKeys) {
+	t.Helper()
+	bundleOnce.Do(func() {
+		if sharedUA, bundleErr = proxy.NewLayerKeys(); bundleErr != nil {
+			return
+		}
+		sharedIA, bundleErr = proxy.NewLayerKeys()
+	})
+	if bundleErr != nil {
+		t.Fatal(bundleErr)
+	}
+	return proxy.Bundle(sharedUA, sharedIA), sharedUA, sharedIA
+}
+
+func TestPostEncryptsBothIdentifiers(t *testing.T) {
+	bundle, ua, ia := testBundle(t)
+	var got message.PostRequest
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != message.EventsPath {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		if err := message.Unmarshal(readAll(t, r), &got); err != nil {
+			t.Errorf("unmarshal: %v", err)
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	c := New(bundle, srv.Client(), srv.URL)
+	if err := c.Post(context.Background(), "alice", "casablanca", "5"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Neither identifier travels in the clear.
+	if strings.Contains(got.EncUser, "alice") || strings.Contains(got.EncItem, "casablanca") {
+		t.Error("cleartext identifier on the wire")
+	}
+	if got.Payload != "5" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+	// Each field decrypts only with its layer's private key.
+	assertDecryptsTo(t, ua, got.EncUser, "alice")
+	assertDecryptsTo(t, ia, got.EncItem, "casablanca")
+	if err := tryDecrypt(ia, got.EncUser); err == nil {
+		t.Error("IA key decrypted the user field")
+	}
+}
+
+func assertDecryptsTo(t *testing.T, keys *proxy.LayerKeys, field, want string) {
+	t.Helper()
+	ct, err := message.Decode64(field)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	block, err := ppcrypto.DecryptOAEP(keys.Pair.Private, ct)
+	if err != nil {
+		t.Fatalf("decrypt: %v", err)
+	}
+	id, err := ppcrypto.UnpadID(block)
+	if err != nil {
+		t.Fatalf("unpad: %v", err)
+	}
+	if id != want {
+		t.Errorf("decrypted %q, want %q", id, want)
+	}
+}
+
+func tryDecrypt(keys *proxy.LayerKeys, field string) error {
+	ct, err := message.Decode64(field)
+	if err != nil {
+		return err
+	}
+	_, err = ppcrypto.DecryptOAEP(keys.Pair.Private, ct)
+	return err
+}
+
+func TestGetGeneratesFreshTempKeys(t *testing.T) {
+	bundle, _, _ := testBundle(t)
+	var keys []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req message.GetRequest
+		if err := message.Unmarshal(readAll(t, r), &req); err != nil {
+			t.Errorf("unmarshal: %v", err)
+		}
+		keys = append(keys, req.EncTempKey)
+		http.Error(w, "no model", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := New(bundle, srv.Client(), srv.URL)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(context.Background(), "u"); !errors.Is(err, ErrServiceStatus) {
+			t.Fatalf("err = %v, want ErrServiceStatus", err)
+		}
+	}
+	if len(keys) != 2 || keys[0] == keys[1] {
+		t.Error("temporary key reused across get requests")
+	}
+}
+
+func TestGetDecryptsAndDiscardsPadding(t *testing.T) {
+	bundle, _, ia := testBundle(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req message.GetRequest
+		if err := message.Unmarshal(readAll(t, r), &req); err != nil {
+			t.Errorf("unmarshal: %v", err)
+		}
+		// Act as UA+IA+LRS in one: recover k_u and answer with an
+		// encrypted, padded 3-item list.
+		ct, err := message.Decode64(req.EncTempKey)
+		if err != nil {
+			t.Errorf("decode temp key: %v", err)
+			return
+		}
+		ku, err := ppcrypto.DecryptOAEP(ia.Pair.Private, ct)
+		if err != nil {
+			t.Errorf("decrypt temp key: %v", err)
+			return
+		}
+		packed, err := message.EncodeItemList([]string{"i1", "i2", "i3"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		enc, err := ppcrypto.SymEncrypt(ku, packed)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		body, _ := message.Marshal(message.GetResponse{EncItems: message.Encode64(enc)})
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	c := New(bundle, srv.Client(), srv.URL)
+	items, err := c.Get(context.Background(), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || items[0] != "i1" || items[2] != "i3" {
+		t.Errorf("items = %v, want the 3 real items with padding discarded", items)
+	}
+}
+
+func TestGetRejectsTamperedResponse(t *testing.T) {
+	bundle, _, _ := testBundle(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := message.Marshal(message.GetResponse{EncItems: message.Encode64([]byte("garbage-ciphertext-far-too-short-to-be-a-list"))})
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	c := New(bundle, srv.Client(), srv.URL)
+	if _, err := c.Get(context.Background(), "u"); !errors.Is(err, ErrBadResponse) {
+		t.Fatalf("err = %v, want ErrBadResponse", err)
+	}
+}
+
+func TestPostErrorStatus(t *testing.T) {
+	bundle, _, _ := testBundle(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := New(bundle, srv.Client(), srv.URL)
+	if err := c.Post(context.Background(), "u", "i", ""); !errors.Is(err, ErrServiceStatus) {
+		t.Fatalf("err = %v, want ErrServiceStatus", err)
+	}
+}
+
+func TestPlainClientRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case message.EventsPath:
+			var req message.LRSPost
+			if err := message.Unmarshal(readAll(t, r), &req); err != nil || req.User != "u" || req.Item != "i" {
+				t.Errorf("plain post = %+v err=%v", req, err)
+			}
+			w.Write([]byte(`{"status":"ok"}`))
+		case message.QueriesPath:
+			body, _ := message.Marshal(message.LRSGetResponse{Items: []string{"a", "b"}})
+			w.Write(body)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := NewPlain(srv.Client(), srv.URL)
+	if err := c.Post(context.Background(), "u", "i", ""); err != nil {
+		t.Fatal(err)
+	}
+	items, err := c.Get(context.Background(), "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0] != "a" {
+		t.Errorf("items = %v", items)
+	}
+}
+
+func TestIdentifierTooLongSurfacesError(t *testing.T) {
+	bundle, _, _ := testBundle(t)
+	c := New(bundle, nil, "http://unused")
+	long := strings.Repeat("x", 100)
+	if err := c.Post(context.Background(), long, "i", ""); err == nil {
+		t.Error("oversized user identifier accepted")
+	}
+	if _, err := c.Get(context.Background(), long); err == nil {
+		t.Error("oversized user identifier accepted on get")
+	}
+}
+
+func readAll(t *testing.T, r *http.Request) []byte {
+	t.Helper()
+	defer r.Body.Close()
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return body
+}

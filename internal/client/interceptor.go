@@ -1,0 +1,110 @@
+package client
+
+import (
+	"io"
+	"net/http"
+
+	"pprox/internal/message"
+)
+
+// Interceptor makes PProx fully transparent to an unmodified application:
+// it serves the LRS REST API locally (the same contract the application
+// already speaks), encrypts each call with the user-side library, and
+// forwards it through the proxy service — "This library intercepts,
+// encrypts and forwards clients' API calls to the proxy service" (§2.1).
+// The paper ships this as static JavaScript inside the web front end; the
+// Go equivalent runs as an in-process handler or a sidecar
+// (cmd/pprox-sidecar).
+type Interceptor struct {
+	client *Client
+}
+
+// NewInterceptor wraps a configured user-side library client.
+func NewInterceptor(c *Client) *Interceptor { return &Interceptor{client: c} }
+
+// ServeHTTP accepts cleartext LRS API calls and answers them through the
+// encrypted PProx path, returning exactly what the LRS would have
+// returned (§2.1 ➄: "The response is finally provided to the application
+// … as if it was returned by the LRS itself").
+func (ic *Interceptor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == message.EventsPath:
+		ic.postEvent(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == message.QueriesPath:
+		ic.postQuery(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == message.HealthPath:
+		io.WriteString(w, "ok")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (ic *Interceptor) postEvent(w http.ResponseWriter, r *http.Request) {
+	var req message.LRSPost
+	if !ic.readJSON(w, r, &req) {
+		return
+	}
+	if req.User == "" || req.Item == "" {
+		http.Error(w, "user and item are required", http.StatusBadRequest)
+		return
+	}
+	if err := ic.client.PostEvent(r.Context(), req.User, req.Item, req.Payload, req.Event); err != nil {
+		httpStatusFromErr(w, err)
+		return
+	}
+	ic.writeJSON(w, message.OK{Status: "ok"})
+}
+
+func (ic *Interceptor) postQuery(w http.ResponseWriter, r *http.Request) {
+	var req message.LRSGet
+	if !ic.readJSON(w, r, &req) {
+		return
+	}
+	if req.User == "" {
+		http.Error(w, "user is required", http.StatusBadRequest)
+		return
+	}
+	items, err := ic.client.Get(r.Context(), req.User)
+	if err != nil {
+		httpStatusFromErr(w, err)
+		return
+	}
+	if req.N > 0 && len(items) > req.N {
+		items = items[:req.N]
+	}
+	ic.writeJSON(w, message.LRSGetResponse{Items: items})
+}
+
+func (ic *Interceptor) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := message.Unmarshal(body, v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (ic *Interceptor) writeJSON(w http.ResponseWriter, v any) {
+	data, err := message.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// httpStatusFromErr translates library errors to REST statuses without
+// leaking upstream detail.
+func httpStatusFromErr(w http.ResponseWriter, err error) {
+	switch {
+	case err == nil:
+		return
+	default:
+		http.Error(w, "recommendation service unavailable", http.StatusBadGateway)
+	}
+}

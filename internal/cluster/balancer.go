@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pprox/internal/transport"
+)
+
+// Balancer is a connection-level round-robin load balancer over the
+// in-memory network, standing in for the kube-proxy service VIPs the paper
+// uses ("We implement horizontal scaling of PProx proxy layers and of all
+// Harness modules using Kubernetes integrated load balancing mechanisms
+// (kube-proxy module)", §7.2).
+//
+// It is a transport.Dialer: dialing a registered service name opens a
+// connection to the service's next backend in round-robin order;
+// unregistered names pass through to the underlying network.
+type Balancer struct {
+	under transport.Dialer
+
+	mu       sync.Mutex
+	services map[string]*service
+}
+
+type service struct {
+	backends []string
+	next     atomic.Uint64
+}
+
+// NewBalancer wraps a dialer (usually the memnet Network).
+func NewBalancer(under transport.Dialer) *Balancer {
+	return &Balancer{under: under, services: make(map[string]*service)}
+}
+
+// Register maps a service name to its backend addresses.
+func (b *Balancer) Register(name string, backends ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.services[name] = &service{backends: append([]string(nil), backends...)}
+}
+
+// DialContext implements transport.Dialer with round-robin backend
+// selection per connection. A backend that refuses the connection is
+// skipped and the next one tried (kube-proxy's failure handling for dead
+// endpoints); the last error surfaces only when every backend fails.
+func (b *Balancer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	name := addr
+	if host, _, err := net.SplitHostPort(addr); err == nil {
+		name = host
+	}
+	b.mu.Lock()
+	svc, ok := b.services[name]
+	b.mu.Unlock()
+	if !ok {
+		return b.under.DialContext(ctx, network, addr)
+	}
+	if len(svc.backends) == 0 {
+		return nil, fmt.Errorf("cluster: service %q has no backends", name)
+	}
+	var lastErr error
+	for attempt := 0; attempt < len(svc.backends); attempt++ {
+		backend := svc.backends[int(svc.next.Add(1)-1)%len(svc.backends)]
+		conn, err := b.under.DialContext(ctx, network, backend)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("cluster: service %q: all backends failed: %w", name, lastErr)
+}
+
+var _ transport.Dialer = (*Balancer)(nil)

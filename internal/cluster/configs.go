@@ -1,0 +1,111 @@
+// Package cluster reproduces the paper's experimental deployments: the
+// micro- and macro-benchmark configuration tables (Tables 2 and 3) and an
+// in-process equivalent of the 27-node Kubernetes testbed — multiple proxy
+// instances per layer, kube-proxy-style round-robin balancing, and a
+// shared LRS — wired over the in-memory network.
+package cluster
+
+import "fmt"
+
+// MicroConfig is one row of Table 2: a PProx-against-stub configuration.
+type MicroConfig struct {
+	// Name is the paper's configuration identifier (m1–m9).
+	Name string
+	// Encryption enables the PProx cryptographic path; off in m1.
+	Encryption bool
+	// SGX runs the crypto inside enclaves; off in m1–m2.
+	SGX bool
+	// ItemPseudonyms pseudonymizes item identifiers; off in m4 (the ★
+	// in Table 2).
+	ItemPseudonyms bool
+	// Shuffle is S; 0 disables shuffling.
+	Shuffle int
+	// UA and IA are the instance counts per layer.
+	UA, IA int
+	// MaxRPS is the highest request rate the paper reports for this
+	// configuration before saturation.
+	MaxRPS int
+	// Figures lists the paper figures using this configuration.
+	Figures []string
+}
+
+// MicroConfigs returns Table 2 (m1–m9).
+func MicroConfigs() []MicroConfig {
+	return []MicroConfig{
+		{Name: "m1", Encryption: false, SGX: false, ItemPseudonyms: false, Shuffle: 0, UA: 1, IA: 1, MaxRPS: 250, Figures: []string{"6"}},
+		{Name: "m2", Encryption: true, SGX: false, ItemPseudonyms: true, Shuffle: 0, UA: 1, IA: 1, MaxRPS: 250, Figures: []string{"6"}},
+		{Name: "m3", Encryption: true, SGX: true, ItemPseudonyms: true, Shuffle: 0, UA: 1, IA: 1, MaxRPS: 250, Figures: []string{"6", "7"}},
+		{Name: "m4", Encryption: true, SGX: true, ItemPseudonyms: false, Shuffle: 0, UA: 1, IA: 1, MaxRPS: 250, Figures: []string{"6"}},
+		{Name: "m5", Encryption: true, SGX: true, ItemPseudonyms: true, Shuffle: 5, UA: 1, IA: 1, MaxRPS: 250, Figures: []string{"7"}},
+		{Name: "m6", Encryption: true, SGX: true, ItemPseudonyms: true, Shuffle: 10, UA: 1, IA: 1, MaxRPS: 250, Figures: []string{"7", "8"}},
+		{Name: "m7", Encryption: true, SGX: true, ItemPseudonyms: true, Shuffle: 10, UA: 2, IA: 2, MaxRPS: 500, Figures: []string{"8"}},
+		{Name: "m8", Encryption: true, SGX: true, ItemPseudonyms: true, Shuffle: 10, UA: 3, IA: 3, MaxRPS: 750, Figures: []string{"8"}},
+		{Name: "m9", Encryption: true, SGX: true, ItemPseudonyms: true, Shuffle: 10, UA: 4, IA: 4, MaxRPS: 1000, Figures: []string{"8"}},
+	}
+}
+
+// MacroConfig is one row of Table 3: a Harness deployment with or without
+// PProx in front.
+type MacroConfig struct {
+	// Name is the paper's configuration identifier (b1–b4, f1–f4).
+	Name string
+	// Proxy deploys PProx in front of the LRS (f-configurations).
+	Proxy bool
+	// Shuffle is S for the proxy layers.
+	Shuffle int
+	// UA and IA are proxy instance counts (0 for baselines).
+	UA, IA int
+	// LRSFrontends is the number of Harness front-end nodes (the main
+	// load carriers).
+	LRSFrontends int
+	// LRSSupport is the number of support nodes (three for
+	// Elasticsearch, one shared by MongoDB and Spark in the paper).
+	LRSSupport int
+	// MaxRPS is the highest rate before saturation.
+	MaxRPS int
+}
+
+// TotalNodes returns the configuration's node count as Table 3 reports it.
+func (c MacroConfig) TotalNodes() int {
+	return c.UA + c.IA + c.LRSFrontends + c.LRSSupport
+}
+
+// String renders the row compactly.
+func (c MacroConfig) String() string {
+	return fmt.Sprintf("%s: proxy=%v S=%d UA=%d IA=%d LRS=%d+%d maxRPS=%d",
+		c.Name, c.Proxy, c.Shuffle, c.UA, c.IA, c.LRSFrontends, c.LRSSupport, c.MaxRPS)
+}
+
+// BaselineConfigs returns the b1–b4 rows of Table 3 (Harness alone).
+func BaselineConfigs() []MacroConfig {
+	return []MacroConfig{
+		{Name: "b1", LRSFrontends: 3, LRSSupport: 4, MaxRPS: 250},
+		{Name: "b2", LRSFrontends: 6, LRSSupport: 4, MaxRPS: 500},
+		{Name: "b3", LRSFrontends: 9, LRSSupport: 4, MaxRPS: 750},
+		{Name: "b4", LRSFrontends: 12, LRSSupport: 4, MaxRPS: 1000},
+	}
+}
+
+// FullConfigs returns the f1–f4 rows of Table 3 (PProx + Harness, S=10).
+func FullConfigs() []MacroConfig {
+	return []MacroConfig{
+		{Name: "f1", Proxy: true, Shuffle: 10, UA: 1, IA: 1, LRSFrontends: 3, LRSSupport: 4, MaxRPS: 250},
+		{Name: "f2", Proxy: true, Shuffle: 10, UA: 2, IA: 2, LRSFrontends: 6, LRSSupport: 4, MaxRPS: 500},
+		{Name: "f3", Proxy: true, Shuffle: 10, UA: 3, IA: 3, LRSFrontends: 9, LRSSupport: 4, MaxRPS: 750},
+		{Name: "f4", Proxy: true, Shuffle: 10, UA: 4, IA: 4, LRSFrontends: 12, LRSSupport: 4, MaxRPS: 1000},
+	}
+}
+
+// RPSPointsUpTo returns the request-rate sweep the paper uses for a
+// configuration: 50 RPS plus multiples of 250 up to the configuration's
+// maximum (e.g. Figures 8–10 plot 50, 250, 500, 750, 1000).
+func RPSPointsUpTo(maxRPS int) []int {
+	points := []int{50}
+	for rps := 250; rps <= maxRPS; rps += 250 {
+		points = append(points, rps)
+	}
+	return points
+}
+
+// MicroRPSPoints returns the 50–250 sweep of Figures 6–7.
+func MicroRPSPoints() []int { return []int{50, 100, 150, 200, 250} }

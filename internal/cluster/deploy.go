@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pprox/internal/client"
+	"pprox/internal/enclave"
+	"pprox/internal/lrs/engine"
+	"pprox/internal/message"
+	"pprox/internal/proxy"
+	"pprox/internal/stub"
+	"pprox/internal/transport"
+)
+
+// Spec describes an in-process deployment of the paper's testbed.
+type Spec struct {
+	// ProxyEnabled deploys the two PProx layers; otherwise clients talk
+	// straight to the LRS (baseline b-configurations).
+	ProxyEnabled bool
+	// UA and IA are instance counts per proxy layer.
+	UA, IA int
+	// Encryption selects the full cryptographic path; when false the
+	// proxies run in pass-through mode and clients send cleartext (m1).
+	Encryption bool
+	// ItemPseudonyms pseudonymizes item identifiers (off in m4).
+	ItemPseudonyms bool
+	// Shuffle is S (0 = off) and ShuffleTimeout the flush timer.
+	Shuffle        int
+	ShuffleTimeout time.Duration
+	// Workers sizes each proxy instance's data-processing pool.
+	Workers int
+	// UseStub serves the nginx-style static stub instead of the real
+	// engine (micro-benchmarks); StubDelay models its service time.
+	UseStub   bool
+	StubDelay time.Duration
+	// LRSFrontends is the number of REST front-end servers sharing the
+	// engine (≥ 1).
+	LRSFrontends int
+	// EngineConfig overrides the engine defaults when set.
+	EngineConfig *engine.Config
+	// LRSMiddleware, when set, wraps the LRS handler — e.g. with an
+	// adversary network tap for the security experiments.
+	LRSMiddleware func(http.Handler) http.Handler
+}
+
+// SpecFromMicro translates a Table 2 row into a deployable spec. The SGX
+// column of Table 2 does not change the functional path — with or without
+// enclaves the same bytes flow — so it is a cost-model flag consumed by
+// the sim package, not by Deploy.
+func SpecFromMicro(c MicroConfig) Spec {
+	return Spec{
+		ProxyEnabled:   true,
+		UA:             c.UA,
+		IA:             c.IA,
+		Encryption:     c.Encryption,
+		ItemPseudonyms: c.ItemPseudonyms,
+		Shuffle:        c.Shuffle,
+		UseStub:        true,
+		LRSFrontends:   1,
+	}
+}
+
+// SpecFromMacro translates a Table 3 row into a deployable spec.
+func SpecFromMacro(c MacroConfig) Spec {
+	return Spec{
+		ProxyEnabled:   c.Proxy,
+		UA:             c.UA,
+		IA:             c.IA,
+		Encryption:     c.Proxy,
+		ItemPseudonyms: c.Proxy,
+		Shuffle:        c.Shuffle,
+		LRSFrontends:   c.LRSFrontends,
+	}
+}
+
+// Deployment is a running in-process testbed.
+type Deployment struct {
+	Net      *transport.Network
+	Balancer *Balancer
+	// Entry is the base URL clients talk to: the UA layer's service
+	// address, or the LRS service for baseline deployments.
+	Entry string
+	// Engine is the shared LRS engine (nil when the stub serves).
+	Engine *engine.Engine
+	// Stub is the static LRS stand-in (nil when the engine serves).
+	Stub *stub.Server
+	// UAKeys and IAKeys are the layer key material (nil without
+	// encryption).
+	UAKeys, IAKeys *proxy.LayerKeys
+	// UALayers and IALayers are the proxy instances.
+	UALayers, IALayers []*proxy.Layer
+
+	spec      Spec
+	shutdowns []func() error
+}
+
+// Deploy brings the spec up on a fresh in-memory network.
+func Deploy(spec Spec) (d *Deployment, err error) {
+	if spec.LRSFrontends <= 0 {
+		spec.LRSFrontends = 1
+	}
+	if spec.ProxyEnabled && (spec.UA <= 0 || spec.IA <= 0) {
+		return nil, errors.New("cluster: proxy deployment needs at least one instance per layer")
+	}
+
+	d = &Deployment{Net: transport.NewNetwork(), spec: spec}
+	d.Balancer = NewBalancer(d.Net)
+	defer func() {
+		if err != nil {
+			d.Close()
+		}
+	}()
+
+	// Key material and enclaves (encryption mode only).
+	var as *enclave.AttestationService
+	var platform *enclave.Platform
+	if spec.ProxyEnabled && spec.Encryption {
+		if as, err = enclave.NewAttestationService(); err != nil {
+			return nil, err
+		}
+		platform = enclave.NewPlatform(as)
+		if d.UAKeys, err = proxy.NewLayerKeys(); err != nil {
+			return nil, err
+		}
+		if d.IAKeys, err = proxy.NewLayerKeys(); err != nil {
+			return nil, err
+		}
+	}
+
+	// LRS backends.
+	if err := d.deployLRS(spec); err != nil {
+		return nil, err
+	}
+
+	if !spec.ProxyEnabled {
+		d.Entry = "http://lrs"
+		return d, nil
+	}
+
+	// Proxy layers: IA first (talks to the LRS), then UA.
+	interClient := transport.HTTPClient(d.Balancer, 30*time.Second)
+	iaOpts := proxy.IAOptions{DisableItemPseudonymization: !spec.ItemPseudonyms}
+	iaBackends := make([]string, spec.IA)
+	for i := 0; i < spec.IA; i++ {
+		addr := fmt.Sprintf("ia-%d", i)
+		iaBackends[i] = addr
+		layer, err := d.newLayer(proxy.RoleIA, spec, platform, as, iaOpts, "http://lrs", interClient)
+		if err != nil {
+			return nil, err
+		}
+		d.IALayers = append(d.IALayers, layer)
+		if err := d.serve(addr, layer); err != nil {
+			return nil, err
+		}
+	}
+	d.Balancer.Register("ia", iaBackends...)
+
+	uaBackends := make([]string, spec.UA)
+	for i := 0; i < spec.UA; i++ {
+		addr := fmt.Sprintf("ua-%d", i)
+		uaBackends[i] = addr
+		layer, err := d.newLayer(proxy.RoleUA, spec, platform, as, iaOpts, "http://ia", interClient)
+		if err != nil {
+			return nil, err
+		}
+		d.UALayers = append(d.UALayers, layer)
+		if err := d.serve(addr, layer); err != nil {
+			return nil, err
+		}
+	}
+	d.Balancer.Register("ua", uaBackends...)
+
+	d.Entry = "http://ua"
+	return d, nil
+}
+
+func (d *Deployment) deployLRS(spec Spec) error {
+	var handler http.Handler
+	if spec.UseStub {
+		names := make([]string, message.MaxRecommendations)
+		for i := range names {
+			names[i] = fmt.Sprintf("stub-item-%04d", i)
+		}
+		items := names
+		if spec.ProxyEnabled && spec.Encryption && spec.ItemPseudonyms {
+			var err error
+			if items, err = d.IAKeys.PseudonymizeItems(names); err != nil {
+				return err
+			}
+		}
+		s, err := stub.NewWithItems(items)
+		if err != nil {
+			return err
+		}
+		s.Delay = spec.StubDelay
+		d.Stub = s
+		handler = s
+	} else {
+		cfg := engine.DefaultConfig()
+		if spec.EngineConfig != nil {
+			cfg = *spec.EngineConfig
+		}
+		d.Engine = engine.New(cfg)
+		handler = engine.NewHandler(d.Engine)
+	}
+
+	if spec.LRSMiddleware != nil {
+		handler = spec.LRSMiddleware(handler)
+	}
+	backends := make([]string, spec.LRSFrontends)
+	for i := range backends {
+		addr := fmt.Sprintf("lrs-%d", i)
+		backends[i] = addr
+		if err := d.serve(addr, handler); err != nil {
+			return err
+		}
+	}
+	d.Balancer.Register("lrs", backends...)
+	return nil
+}
+
+// newLayer builds one provisioned proxy instance. Every instance of a
+// layer is provisioned with the same secrets after attestation (§5,
+// horizontal scaling).
+func (d *Deployment) newLayer(role proxy.Role, spec Spec, platform *enclave.Platform, as *enclave.AttestationService, iaOpts proxy.IAOptions, next string, httpClient *http.Client) (*proxy.Layer, error) {
+	cfg := proxy.Config{
+		Role:           role,
+		Next:           next,
+		HTTPClient:     httpClient,
+		ShuffleSize:    spec.Shuffle,
+		ShuffleTimeout: spec.ShuffleTimeout,
+		Workers:        spec.Workers,
+		PassThrough:    !spec.Encryption,
+	}
+	if spec.Encryption {
+		if role == proxy.RoleUA {
+			e := proxy.NewUAEnclave(platform)
+			if err := d.UAKeys.Provision(as, e, proxy.UAIdentity); err != nil {
+				return nil, err
+			}
+			cfg.Enclave = e
+		} else {
+			e := proxy.NewIAEnclave(platform, iaOpts)
+			if err := d.IAKeys.Provision(as, e, proxy.IAIdentityFor(iaOpts)); err != nil {
+				return nil, err
+			}
+			cfg.Enclave = e
+		}
+	}
+	return proxy.New(cfg)
+}
+
+func (d *Deployment) serve(addr string, h http.Handler) error {
+	l, err := d.Net.Listen(addr)
+	if err != nil {
+		return err
+	}
+	d.shutdowns = append(d.shutdowns, transport.Serve(l, h))
+	return nil
+}
+
+// HTTPClient returns a client whose connections are balanced across the
+// deployment's services, suitable for the workload injector.
+func (d *Deployment) HTTPClient(timeout time.Duration) *http.Client {
+	return transport.HTTPClient(d.Balancer, timeout)
+}
+
+// Client returns a user-side library instance pointed at the deployment's
+// entry, encrypted or plain to match the spec.
+func (d *Deployment) Client(timeout time.Duration) *client.Client {
+	httpClient := d.HTTPClient(timeout)
+	if d.spec.ProxyEnabled && d.spec.Encryption {
+		return client.New(proxy.Bundle(d.UAKeys, d.IAKeys), httpClient, d.Entry)
+	}
+	return client.NewPlain(httpClient, d.Entry)
+}
+
+// Close shuts every server down and closes the network.
+func (d *Deployment) Close() error {
+	var firstErr error
+	for i := len(d.shutdowns) - 1; i >= 0; i-- {
+		if err := d.shutdowns[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, l := range d.UALayers {
+		l.Close()
+	}
+	for _, l := range d.IALayers {
+		l.Close()
+	}
+	if err := d.Net.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,462 @@
+// Package enclave simulates the Intel SGX trusted-execution substrate that
+// PProx runs its proxy layers in. The paper's implementation uses the Intel
+// SGX SDK; this package reproduces, in process, the properties the PProx
+// protocol actually depends on:
+//
+//   - measurement-based remote attestation before key provisioning (§2.2),
+//   - an isolation boundary: code outside the enclave (the "server" part of
+//     the proxy, §5) handles only opaque bytes and can never read the
+//     provisioned secrets,
+//   - Enclave Page Cache (EPC) accounting for in-enclave state such as the
+//     key-value store holding pending response metadata (§5),
+//   - the possibility, central to the adversary model (§2.3), that an
+//     attacker mounts a side-channel attack against one enclave and leaks
+//     its secrets — modelled by Compromise — together with a breach
+//     detector in the spirit of Déjà Vu / Varys (§2.3, footnote 1).
+//
+// Substitution note (DESIGN.md §1): real SGX is unavailable in this
+// environment; the simulation preserves the attested-provisioning and
+// single-enclave-compromise behaviours that the security analysis (§6)
+// exercises.
+package enclave
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// PageSize is the SGX EPC page granularity.
+const PageSize = 4096
+
+// DefaultEPCPages models the ~93 MB of usable EPC on the paper's SGX v1
+// NUC machines.
+const DefaultEPCPages = 23808
+
+// Errors reported by the enclave runtime.
+var (
+	// ErrNotProvisioned reports an ECALL that needs secrets before any
+	// were provisioned.
+	ErrNotProvisioned = errors.New("enclave: secrets not provisioned")
+
+	// ErrEPCExhausted reports an allocation beyond the enclave page cache.
+	ErrEPCExhausted = errors.New("enclave: EPC exhausted")
+
+	// ErrQuoteInvalid reports a remote-attestation quote that does not
+	// verify against the platform's attestation service.
+	ErrQuoteInvalid = errors.New("enclave: attestation quote invalid")
+
+	// ErrUnknownEcall reports a call to an unregistered entry point.
+	ErrUnknownEcall = errors.New("enclave: unknown ECALL")
+)
+
+// CodeIdentity names the code loaded into an enclave. Its measurement is
+// what remote attestation proves.
+type CodeIdentity struct {
+	Name    string
+	Version string
+}
+
+// Measurement is the SGX MRENCLAVE equivalent: a digest of the enclave's
+// code identity.
+type Measurement [sha256.Size]byte
+
+// Measure computes the measurement of a code identity.
+func Measure(ci CodeIdentity) Measurement {
+	return sha256.Sum256([]byte(ci.Name + "\x00" + ci.Version))
+}
+
+// Secrets is the read-only view of provisioned key material that ECALL
+// handlers receive. It is only ever constructed inside the enclave.
+type Secrets interface {
+	// Get returns the named secret, or false if it was not provisioned.
+	Get(name string) ([]byte, bool)
+}
+
+type secretsView map[string][]byte
+
+func (s secretsView) Get(name string) ([]byte, bool) {
+	v, ok := s[name]
+	return v, ok
+}
+
+// Handler is an ECALL entry point: it runs inside the enclave with access
+// to the provisioned secrets and to the in-EPC key-value store, processing
+// opaque bytes prepared by the untrusted server.
+type Handler func(s Secrets, kv *KV, in []byte) ([]byte, error)
+
+// Enclave is one simulated SGX enclave instance.
+type Enclave struct {
+	id       string
+	identity CodeIdentity
+	meas     Measurement
+	platform *Platform
+
+	mu          sync.Mutex
+	kemPriv     *ecdh.PrivateKey
+	secrets     secretsView
+	provisioned bool
+	compromised bool
+	handlers    map[string]Handler
+	kv          *KV
+
+	epcPages     int
+	epcUsedPages int
+
+	ecalls uint64
+}
+
+// ID returns the unique enclave instance identifier.
+func (e *Enclave) ID() string { return e.id }
+
+// Identity returns the code identity the enclave was launched with.
+func (e *Enclave) Identity() CodeIdentity { return e.identity }
+
+// Measurement returns the enclave's measurement.
+func (e *Enclave) Measurement() Measurement { return e.meas }
+
+// Platform returns the platform the enclave runs on.
+func (e *Enclave) Platform() *Platform { return e.platform }
+
+// Register installs an ECALL entry point. Registration happens at enclave
+// construction, before any attestation, and is part of the measured code.
+func (e *Enclave) Register(name string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[name] = h
+}
+
+// Quote produces a remote-attestation quote over the given nonce, signed by
+// the platform's attestation service (the stand-in for Intel's quoting
+// enclave + IAS).
+func (e *Enclave) Quote(nonce []byte) Quote {
+	return e.platform.attestation.quote(e.meas, nonce)
+}
+
+// Provision installs the layer's key material after the provisioner has
+// verified a quote. Keys are copied so the caller cannot retain aliases
+// into enclave memory.
+func (e *Enclave) Provision(secrets map[string][]byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pages := 0
+	cp := make(secretsView, len(secrets))
+	for k, v := range secrets {
+		cp[k] = append([]byte(nil), v...)
+		pages += pagesFor(len(v))
+	}
+	if err := e.allocLocked(pages); err != nil {
+		return fmt.Errorf("provision secrets: %w", err)
+	}
+	e.secrets = cp
+	e.provisioned = true
+	return nil
+}
+
+// Provisioned reports whether secrets have been installed.
+func (e *Enclave) Provisioned() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.provisioned
+}
+
+// Ecall transfers control into the enclave: the named handler runs with
+// access to the secrets and the in-EPC KV store. The input and output
+// buffers are the only data crossing the boundary.
+func (e *Enclave) Ecall(name string, in []byte) ([]byte, error) {
+	e.mu.Lock()
+	h, ok := e.handlers[name]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEcall, name)
+	}
+	if !e.provisioned {
+		e.mu.Unlock()
+		return nil, ErrNotProvisioned
+	}
+	secrets := e.secrets
+	kv := e.kv
+	e.ecalls++
+	e.mu.Unlock()
+
+	return h(secrets, kv, in)
+}
+
+// EcallCount returns the number of ECALLs served, used by the breach
+// detector's performance monitoring.
+func (e *Enclave) EcallCount() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ecalls
+}
+
+// KV returns the enclave's in-EPC key-value store, holding "the information
+// necessary for handling requests responses on their way back from the
+// LRS" (§5). It is accessible to ECALL handlers.
+func (e *Enclave) KV() *KV { return e.kv }
+
+// EPCUsage returns used and total EPC pages.
+func (e *Enclave) EPCUsage() (used, total int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epcUsedPages, e.epcPages
+}
+
+func (e *Enclave) allocLocked(pages int) error {
+	if e.epcUsedPages+pages > e.epcPages {
+		return fmt.Errorf("%w: need %d pages, %d of %d in use",
+			ErrEPCExhausted, pages, e.epcUsedPages, e.epcPages)
+	}
+	e.epcUsedPages += pages
+	return nil
+}
+
+func (e *Enclave) alloc(pages int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.allocLocked(pages)
+}
+
+func (e *Enclave) free(pages int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epcUsedPages -= pages
+	if e.epcUsedPages < 0 {
+		e.epcUsedPages = 0
+	}
+}
+
+func pagesFor(bytes int) int {
+	if bytes == 0 {
+		return 0
+	}
+	return (bytes + PageSize - 1) / PageSize
+}
+
+// Compromise models a successful side-channel attack (§2.3): the adversary
+// extracts every secret provisioned to this enclave. The enclave keeps
+// functioning — the paper's adversary "does not interfere with the
+// functionality of the system" — but the platform's breach detector is
+// informed and will fire after its detection latency. The returned map is
+// the adversary's loot.
+func (e *Enclave) Compromise() map[string][]byte {
+	e.mu.Lock()
+	loot := make(map[string][]byte, len(e.secrets))
+	for k, v := range e.secrets {
+		loot[k] = append([]byte(nil), v...)
+	}
+	e.compromised = true
+	e.mu.Unlock()
+	e.platform.notifyCompromise(e)
+	return loot
+}
+
+// Compromised reports whether this enclave's secrets have leaked.
+func (e *Enclave) Compromised() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compromised
+}
+
+// Platform simulates one SGX-capable machine together with its attestation
+// service. Enclaves launched on platforms sharing an AttestationService can
+// be verified by the same provisioner, as with Intel's IAS.
+type Platform struct {
+	attestation *AttestationService
+
+	mu       sync.Mutex
+	enclaves []*Enclave
+	detector *BreachDetector
+	nextID   int
+}
+
+// NewPlatform creates a platform backed by the given attestation service.
+func NewPlatform(as *AttestationService) *Platform {
+	return &Platform{attestation: as}
+}
+
+// SetBreachDetector installs the side-channel breach detector notified on
+// Compromise.
+func (p *Platform) SetBreachDetector(d *BreachDetector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.detector = d
+}
+
+// Launch creates an enclave running the given code identity with the
+// default EPC size.
+func (p *Platform) Launch(ci CodeIdentity) *Enclave {
+	return p.LaunchWithEPC(ci, DefaultEPCPages)
+}
+
+// LaunchWithEPC creates an enclave with an explicit EPC budget.
+func (p *Platform) LaunchWithEPC(ci CodeIdentity, epcPages int) *Enclave {
+	p.mu.Lock()
+	p.nextID++
+	id := fmt.Sprintf("%s-%s#%d", ci.Name, ci.Version, p.nextID)
+	p.mu.Unlock()
+
+	e := &Enclave{
+		id:       id,
+		identity: ci,
+		meas:     Measure(ci),
+		platform: p,
+		handlers: make(map[string]Handler),
+		epcPages: epcPages,
+	}
+	e.kv = newKV(e)
+
+	p.mu.Lock()
+	p.enclaves = append(p.enclaves, e)
+	p.mu.Unlock()
+	return e
+}
+
+// Enclaves returns the enclaves launched on this platform.
+func (p *Platform) Enclaves() []*Enclave {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Enclave(nil), p.enclaves...)
+}
+
+func (p *Platform) notifyCompromise(e *Enclave) {
+	p.mu.Lock()
+	d := p.detector
+	p.mu.Unlock()
+	if d != nil {
+		d.observe(e)
+	}
+}
+
+// AttestationService is the stand-in for Intel's quoting infrastructure: it
+// signs quotes produced by genuine enclaves and verifies them for remote
+// provisioners. The HMAC key models the Intel-rooted trust anchor ("we
+// trust Intel for the certification of genuine SGX-enabled CPUs", §2.2).
+type AttestationService struct {
+	key []byte
+}
+
+// NewAttestationService creates an attestation trust anchor.
+func NewAttestationService() (*AttestationService, error) {
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		return nil, fmt.Errorf("attestation key: %w", err)
+	}
+	return &AttestationService{key: key}, nil
+}
+
+// Quote binds an enclave measurement to a verifier-chosen nonce.
+type Quote struct {
+	Measurement Measurement
+	Nonce       []byte
+	MAC         []byte
+}
+
+func (as *AttestationService) quote(m Measurement, nonce []byte) Quote {
+	mac := hmac.New(sha256.New, as.key)
+	mac.Write(m[:])
+	mac.Write(nonce)
+	return Quote{Measurement: m, Nonce: append([]byte(nil), nonce...), MAC: mac.Sum(nil)}
+}
+
+// Verify checks a quote's authenticity and that it matches the expected
+// measurement and nonce. This is what the RaaS client application does
+// before provisioning layer keys (§4.1).
+func (as *AttestationService) Verify(q Quote, want Measurement, nonce []byte) error {
+	mac := hmac.New(sha256.New, as.key)
+	mac.Write(q.Measurement[:])
+	mac.Write(q.Nonce)
+	if !hmac.Equal(mac.Sum(nil), q.MAC) {
+		return fmt.Errorf("%w: bad signature", ErrQuoteInvalid)
+	}
+	if q.Measurement != want {
+		return fmt.Errorf("%w: measurement mismatch", ErrQuoteInvalid)
+	}
+	if !hmac.Equal(q.Nonce, nonce) {
+		return fmt.Errorf("%w: nonce mismatch (replay?)", ErrQuoteInvalid)
+	}
+	return nil
+}
+
+// AttestAndProvision performs the full provisioning handshake: challenge
+// the enclave with a fresh nonce, verify the quote against the expected
+// measurement, then install the secrets. It returns ErrQuoteInvalid if the
+// enclave is not running the expected code.
+func AttestAndProvision(as *AttestationService, e *Enclave, want Measurement, secrets map[string][]byte) error {
+	nonce := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return fmt.Errorf("attestation nonce: %w", err)
+	}
+	q := e.Quote(nonce)
+	if err := as.Verify(q, want, nonce); err != nil {
+		return err
+	}
+	return e.Provision(secrets)
+}
+
+// BreachDetector models side-channel attack detection in the spirit of
+// Déjà Vu and Varys (§2.3): reported attacks complete in tens of minutes
+// while degrading enclave performance, so a monitor can notice and trigger
+// countermeasures. The detection latency is configurable; on detection the
+// countermeasure callback runs once per breached enclave.
+type BreachDetector struct {
+	latency time.Duration
+	onEvent func(*Enclave)
+
+	mu       sync.Mutex
+	detected map[string]time.Time
+	timers   []*time.Timer
+}
+
+// NewBreachDetector creates a detector firing countermeasures after the
+// given detection latency.
+func NewBreachDetector(latency time.Duration, countermeasure func(*Enclave)) *BreachDetector {
+	return &BreachDetector{
+		latency:  latency,
+		onEvent:  countermeasure,
+		detected: make(map[string]time.Time),
+	}
+}
+
+func (d *BreachDetector) observe(e *Enclave) {
+	d.mu.Lock()
+	if _, dup := d.detected[e.ID()]; dup {
+		d.mu.Unlock()
+		return
+	}
+	d.detected[e.ID()] = time.Now()
+	t := time.AfterFunc(d.latency, func() {
+		if d.onEvent != nil {
+			d.onEvent(e)
+		}
+	})
+	d.timers = append(d.timers, t)
+	d.mu.Unlock()
+}
+
+// Detections returns the enclave IDs with observed breaches.
+func (d *BreachDetector) Detections() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, 0, len(d.detected))
+	for id := range d.detected {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Stop cancels pending countermeasure timers (for tests and shutdown).
+func (d *BreachDetector) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.timers {
+		t.Stop()
+	}
+	d.timers = nil
+}

@@ -1,0 +1,189 @@
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// secure_provision.go implements the full remote-attestation provisioning
+// channel. Real SGX provisioning never hands secrets to an attested
+// enclave in the clear: the enclave generates an ephemeral key-exchange
+// key *inside*, the quote binds that public key (it rides in the quote's
+// user data), the remote verifier checks quote and binding, and the
+// secrets travel encrypted under the derived session key. A machine in
+// the middle relaying the handshake cannot substitute its own public key
+// without breaking the quote MAC, and cannot read the provisioned secrets
+// off the wire.
+//
+// AttestAndProvision (enclave.go) remains as the in-process short cut
+// used by tests that do not exercise the channel; deployments use
+// SecureProvision.
+
+// ErrChannelBinding reports a provisioning handshake whose quote does not
+// bind the offered key-exchange key.
+var ErrChannelBinding = errors.New("enclave: provisioning channel binding failed")
+
+// ProvisioningOffer is the enclave's half of the handshake: a quote over
+// (nonce ‖ ephemeral public key).
+type ProvisioningOffer struct {
+	Quote  Quote
+	KEMPub []byte // ECDH X25519 public key generated inside the enclave
+}
+
+// BeginSecureProvision runs inside the enclave runtime: it draws an
+// ephemeral X25519 key, stores the private half in enclave memory, and
+// emits a quote binding the public half to the verifier's nonce.
+func (e *Enclave) BeginSecureProvision(nonce []byte) (*ProvisioningOffer, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: ephemeral key: %w", err)
+	}
+	e.mu.Lock()
+	e.kemPriv = priv
+	e.mu.Unlock()
+
+	pub := priv.PublicKey().Bytes()
+	q := e.platform.attestation.quote(e.meas, quoteUserData(nonce, pub))
+	return &ProvisioningOffer{Quote: q, KEMPub: pub}, nil
+}
+
+// quoteUserData binds the nonce and the enclave's key-exchange key into
+// the quoted report data.
+func quoteUserData(nonce, kemPub []byte) []byte {
+	h := sha256.New()
+	h.Write(nonce)
+	h.Write(kemPub)
+	return h.Sum(nil)
+}
+
+// SealedSecrets is the encrypted provisioning payload.
+type SealedSecrets struct {
+	ProvisionerPub []byte // provisioner's ephemeral X25519 public key
+	Nonce          []byte // AES-GCM nonce
+	Ciphertext     []byte // AES-GCM over the JSON-encoded secret map
+}
+
+// SealSecretsFor runs at the provisioner (the RaaS client application):
+// after verifying the offer against the expected measurement and its own
+// nonce, it derives a session key and seals the secrets.
+func SealSecretsFor(as *AttestationService, offer *ProvisioningOffer, want Measurement, nonce []byte, secrets map[string][]byte) (*SealedSecrets, error) {
+	if err := as.Verify(offer.Quote, want, quoteUserData(nonce, offer.KEMPub)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrChannelBinding, err)
+	}
+	remote, err := ecdh.X25519().NewPublicKey(offer.KEMPub)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: offered key: %w", err)
+	}
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: provisioner key: %w", err)
+	}
+	shared, err := priv.ECDH(remote)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: ECDH: %w", err)
+	}
+	aead, err := sessionAEAD(shared, nonce)
+	if err != nil {
+		return nil, err
+	}
+
+	plaintext, err := json.Marshal(secretsToWire(secrets))
+	if err != nil {
+		return nil, fmt.Errorf("enclave: encode secrets: %w", err)
+	}
+	gcmNonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, gcmNonce); err != nil {
+		return nil, fmt.Errorf("enclave: GCM nonce: %w", err)
+	}
+	ct := aead.Seal(nil, gcmNonce, plaintext, offer.KEMPub)
+	return &SealedSecrets{
+		ProvisionerPub: priv.PublicKey().Bytes(),
+		Nonce:          gcmNonce,
+		Ciphertext:     ct,
+	}, nil
+}
+
+// CompleteSecureProvision runs inside the enclave: it derives the same
+// session key from its parked ephemeral private key, opens the sealed
+// payload, and installs the secrets.
+func (e *Enclave) CompleteSecureProvision(verifierNonce []byte, sealed *SealedSecrets) error {
+	e.mu.Lock()
+	priv := e.kemPriv
+	e.kemPriv = nil // single use
+	e.mu.Unlock()
+	if priv == nil {
+		return fmt.Errorf("%w: no provisioning in progress", ErrChannelBinding)
+	}
+	remote, err := ecdh.X25519().NewPublicKey(sealed.ProvisionerPub)
+	if err != nil {
+		return fmt.Errorf("enclave: provisioner key: %w", err)
+	}
+	shared, err := priv.ECDH(remote)
+	if err != nil {
+		return fmt.Errorf("enclave: ECDH: %w", err)
+	}
+	aead, err := sessionAEAD(shared, verifierNonce)
+	if err != nil {
+		return err
+	}
+	plaintext, err := aead.Open(nil, sealed.Nonce, sealed.Ciphertext, priv.PublicKey().Bytes())
+	if err != nil {
+		return fmt.Errorf("%w: payload rejected", ErrChannelBinding)
+	}
+	var wire map[string][]byte
+	if err := json.Unmarshal(plaintext, &wire); err != nil {
+		return fmt.Errorf("enclave: decode secrets: %w", err)
+	}
+	return e.Provision(wire)
+}
+
+// sessionAEAD derives the provisioning session key: HMAC-SHA-256 of the
+// ECDH shared secret keyed by the handshake nonce, feeding AES-256-GCM.
+func sessionAEAD(shared, nonce []byte) (cipher.AEAD, error) {
+	mac := hmac.New(sha256.New, nonce)
+	mac.Write(shared)
+	key := mac.Sum(nil)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: session cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: session AEAD: %w", err)
+	}
+	return aead, nil
+}
+
+func secretsToWire(secrets map[string][]byte) map[string][]byte {
+	cp := make(map[string][]byte, len(secrets))
+	for k, v := range secrets {
+		cp[k] = v
+	}
+	return cp
+}
+
+// SecureAttestAndProvision drives the whole handshake end to end:
+// challenge, offer, verification, sealing, installation.
+func SecureAttestAndProvision(as *AttestationService, e *Enclave, want Measurement, secrets map[string][]byte) error {
+	nonce := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return fmt.Errorf("enclave: nonce: %w", err)
+	}
+	offer, err := e.BeginSecureProvision(nonce)
+	if err != nil {
+		return err
+	}
+	sealed, err := SealSecretsFor(as, offer, want, nonce, secrets)
+	if err != nil {
+		return err
+	}
+	return e.CompleteSecureProvision(nonce, sealed)
+}

@@ -1,0 +1,126 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSecureProvisionEndToEnd(t *testing.T) {
+	p, as := newTestPlatform(t)
+	e := p.Launch(uaIdentity)
+	e.Register("read", func(s Secrets, kv *KV, in []byte) ([]byte, error) {
+		v, _ := s.Get("k")
+		return v, nil
+	})
+
+	secrets := map[string][]byte{"k": []byte("layer-key-bytes")}
+	if err := SecureAttestAndProvision(as, e, Measure(uaIdentity), secrets); err != nil {
+		t.Fatalf("SecureAttestAndProvision: %v", err)
+	}
+	out, err := e.Ecall("read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte("layer-key-bytes")) {
+		t.Error("provisioned secret not visible inside the enclave")
+	}
+}
+
+func TestSecureProvisionPayloadIsEncrypted(t *testing.T) {
+	p, as := newTestPlatform(t)
+	e := p.Launch(uaIdentity)
+	nonce := []byte("nonce-0123456789")
+	offer, err := e.BeginSecureProvision(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("super-secret-permanent-key-bytes")
+	sealed, err := SealSecretsFor(as, offer, Measure(uaIdentity), nonce, map[string][]byte{"k": secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire payload must not contain the secret (or its base64) in
+	// the clear.
+	if bytes.Contains(sealed.Ciphertext, secret) {
+		t.Error("secret bytes visible on the provisioning wire")
+	}
+}
+
+func TestSecureProvisionRejectsWrongMeasurement(t *testing.T) {
+	p, as := newTestPlatform(t)
+	imposter := p.Launch(CodeIdentity{Name: "imposter", Version: "1.0"})
+	err := SecureAttestAndProvision(as, imposter, Measure(uaIdentity), map[string][]byte{"k": []byte("v")})
+	if !errors.Is(err, ErrChannelBinding) {
+		t.Fatalf("err = %v, want ErrChannelBinding", err)
+	}
+	if imposter.Provisioned() {
+		t.Error("imposter received secrets")
+	}
+}
+
+func TestSecureProvisionRejectsKeySubstitution(t *testing.T) {
+	// A machine in the middle intercepts the offer and substitutes its
+	// own key-exchange key, hoping to decrypt the sealed secrets. The
+	// quote does not cover the substituted key, so sealing must fail.
+	p, as := newTestPlatform(t)
+	e := p.Launch(uaIdentity)
+	nonce := []byte("nonce-0123456789")
+	offer, err := e.BeginSecureProvision(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evil := p.Launch(uaIdentity) // attacker-controlled enclave-shaped process
+	evilOffer, err := evil.BeginSecureProvision(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := &ProvisioningOffer{Quote: offer.Quote, KEMPub: evilOffer.KEMPub}
+	if _, err := SealSecretsFor(as, tampered, Measure(uaIdentity), nonce, map[string][]byte{"k": []byte("v")}); !errors.Is(err, ErrChannelBinding) {
+		t.Fatalf("key substitution accepted: err = %v", err)
+	}
+}
+
+func TestSecureProvisionRejectsReplayedSealedPayload(t *testing.T) {
+	p, as := newTestPlatform(t)
+	e := p.Launch(uaIdentity)
+	nonce := []byte("nonce-0123456789")
+	offer, err := e.BeginSecureProvision(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := SealSecretsFor(as, offer, Measure(uaIdentity), nonce, map[string][]byte{"k": []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompleteSecureProvision(nonce, sealed); err != nil {
+		t.Fatal(err)
+	}
+	// The ephemeral key is single-use: replaying the sealed payload
+	// fails.
+	if err := e.CompleteSecureProvision(nonce, sealed); !errors.Is(err, ErrChannelBinding) {
+		t.Fatalf("replay accepted: err = %v", err)
+	}
+}
+
+func TestSecureProvisionRejectsTamperedCiphertext(t *testing.T) {
+	p, as := newTestPlatform(t)
+	e := p.Launch(uaIdentity)
+	nonce := []byte("nonce-0123456789")
+	offer, err := e.BeginSecureProvision(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := SealSecretsFor(as, offer, Measure(uaIdentity), nonce, map[string][]byte{"k": []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed.Ciphertext[0] ^= 0xFF
+	if err := e.CompleteSecureProvision(nonce, sealed); !errors.Is(err, ErrChannelBinding) {
+		t.Fatalf("tampered payload accepted: err = %v", err)
+	}
+	if e.Provisioned() {
+		t.Error("enclave provisioned from tampered payload")
+	}
+}

@@ -1,0 +1,406 @@
+package eventloop
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pprox/internal/client"
+	"pprox/internal/enclave"
+	"pprox/internal/proxy"
+	"pprox/internal/stub"
+	"pprox/internal/transport"
+)
+
+func TestQueueFIFOSingleThreaded(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty queue popped a value")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("drained queue popped a value")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int]()
+	const producers = 4
+	const perProducer = 2500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+
+	var consumed sync.Map
+	var count atomic.Int64
+	var cwg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Pop()
+				if ok {
+					if _, dup := consumed.LoadOrStore(v, true); dup {
+						t.Errorf("value %d consumed twice", v)
+					}
+					count.Add(1)
+					continue
+				}
+				select {
+				case <-stop:
+					// Final drain after producers are done.
+					for {
+						v, ok := q.Pop()
+						if !ok {
+							return
+						}
+						if _, dup := consumed.LoadOrStore(v, true); dup {
+							t.Errorf("value %d consumed twice", v)
+						}
+						count.Add(1)
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	cwg.Wait()
+	if got := count.Load(); got != producers*perProducer {
+		t.Errorf("consumed %d of %d", got, producers*perProducer)
+	}
+}
+
+func TestQueuePerProducerOrderPreserved(t *testing.T) {
+	// MPMC FIFO: a single producer's values come out in push order even
+	// under concurrent consumption.
+	q := NewQueue[int]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			q.Push(i)
+		}
+	}()
+	last := -1
+	for {
+		v, ok := q.Pop()
+		if ok {
+			if v <= last {
+				t.Fatalf("order violated: %d after %d", v, last)
+			}
+			last = v
+			if v == 4999 {
+				break
+			}
+			continue
+		}
+		select {
+		case <-done:
+			if last == 4999 {
+				return
+			}
+		default:
+		}
+	}
+	<-done
+}
+
+// startServer runs an eventloop server on the in-memory network.
+func startServer(t *testing.T, s *Server) (*transport.Network, func()) {
+	t.Helper()
+	n := transport.NewNetwork()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	cleanup := func() {
+		s.Close(l)
+		select {
+		case <-serveDone:
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+		n.Close()
+	}
+	return n, cleanup
+}
+
+func TestServerHTTPRoundTrip(t *testing.T) {
+	s := &Server{
+		Workers: 2,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			body, _ := io.ReadAll(r.Body)
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, "echo:%s:%s", r.URL.Path, body)
+		}),
+	}
+	n, cleanup := startServer(t, s)
+	defer cleanup()
+
+	client := transport.HTTPClient(n, 5*time.Second)
+	resp, err := client.Post("http://svc/x", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "echo:/x:hello" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestServerKeepAliveReusesConnection(t *testing.T) {
+	var remotes sync.Map
+	s := &Server{
+		Workers: 2,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			remotes.Store(r.RemoteAddr, true)
+			io.WriteString(w, "ok")
+		}),
+	}
+	n, cleanup := startServer(t, s)
+	defer cleanup()
+
+	client := transport.HTTPClient(n, 5*time.Second)
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get("http://svc/")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	served := waitServed(t, s, 5)
+	if served != 5 {
+		t.Errorf("served = %d, want 5", served)
+	}
+	if _, errCount, _ := s.Stats(); errCount != 0 {
+		t.Errorf("errors = %d", errCount)
+	}
+}
+
+// waitServed polls the served counter: the synchronous in-memory pipes
+// hand the response to the client marginally before the server-side
+// goroutine bumps its counter.
+func waitServed(t *testing.T, s *Server, want uint64) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		served, _, _ := s.Stats()
+		if served >= want || time.Now().After(deadline) {
+			return served
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerBoundsConcurrency(t *testing.T) {
+	// The fixed pool must never run more handlers at once than Workers.
+	var inFlight, peak atomic.Int64
+	s := &Server{
+		Workers: 2,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+			inFlight.Add(-1)
+			io.WriteString(w, "ok")
+		}),
+	}
+	n, cleanup := startServer(t, s)
+	defer cleanup()
+
+	client := transport.HTTPClient(n, 10*time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get("http://svc/")
+			if err != nil {
+				t.Errorf("request: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrent handlers = %d, pool size 2", p)
+	}
+	if served := waitServed(t, s, 12); served != 12 {
+		t.Errorf("served = %d", served)
+	}
+	_, _, maxWait := s.Stats()
+	// Fairness bound: 12 requests × 10 ms over 2 workers → the worst
+	// queueing wait is about (12/2)·10 ms; anything wildly larger means
+	// starvation.
+	if maxWait > 2*time.Second {
+		t.Errorf("max queue wait %v — starvation", maxWait)
+	}
+}
+
+func TestServerMalformedRequest(t *testing.T) {
+	s := &Server{
+		Workers: 1,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}),
+	}
+	n, cleanup := startServer(t, s)
+	defer cleanup()
+
+	conn, err := n.DialContext(t.Context(), "mem", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("NOT HTTP AT ALL\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, errs, _ := s.Stats(); errs > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("malformed request not counted as error")
+}
+
+func TestServerRequiresHandler(t *testing.T) {
+	s := &Server{}
+	n := transport.NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(l); err == nil {
+		t.Error("Serve accepted a nil handler")
+	}
+}
+
+// TestServerFrontsProxyLayer runs a full PProx stack with the UA layer
+// served by the §5 architecture: the eventloop server is a drop-in for
+// net/http on the hot path.
+func TestServerFrontsProxyLayer(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+
+	as, err := enclave.NewAttestationService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := enclave.NewPlatform(as)
+	uaEncl := proxy.NewUAEnclave(platform)
+	iaEncl := proxy.NewIAEnclave(platform, proxy.IAOptions{})
+	uaKeys, err := proxy.NewLayerKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iaKeys, err := proxy.NewLayerKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uaKeys.Provision(as, uaEncl, proxy.UAIdentity); err != nil {
+		t.Fatal(err)
+	}
+	if err := iaKeys.Provision(as, iaEncl, proxy.IAIdentity); err != nil {
+		t.Fatal(err)
+	}
+
+	names := []string{"item-a", "item-b"}
+	pseudo, err := iaKeys.PseudonymizeItems(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stub.NewWithItems(pseudo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrsL, err := n.Listen("lrs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.Serve(lrsL, st)()
+
+	httpClient := transport.HTTPClient(n, 10*time.Second)
+	ia, err := proxy.New(proxy.Config{Role: proxy.RoleIA, Enclave: iaEncl, Next: "http://lrs", HTTPClient: httpClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iaL, err := n.Listen("ia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer transport.Serve(iaL, ia)()
+
+	ua, err := proxy.New(proxy.Config{Role: proxy.RoleUA, Enclave: uaEncl, Next: "http://ia", HTTPClient: httpClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uaL, err := n.Listen("ua")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Handler: ua, Workers: 2}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(uaL) }()
+	defer func() {
+		srv.Close(uaL)
+		<-serveDone
+	}()
+
+	cl := client.New(proxy.Bundle(uaKeys, iaKeys), httpClient, "http://ua")
+	ctx := t.Context()
+	if err := cl.Post(ctx, "alice", "item-a", ""); err != nil {
+		t.Fatalf("post through eventloop-served UA: %v", err)
+	}
+	items, err := cl.Get(ctx, "alice")
+	if err != nil {
+		t.Fatalf("get through eventloop-served UA: %v", err)
+	}
+	if len(items) != 2 || items[0] != "item-a" {
+		t.Errorf("items = %v", items)
+	}
+}

@@ -1,0 +1,98 @@
+package eventloop
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// responseWriter buffers one HTTP/1.1 response and writes it in a single
+// system call, the way the paper's proxy "forges a new packet to forward"
+// (§5). Buffering whole responses is sound here because PProx messages
+// are small and constant-size.
+type responseWriter struct {
+	rwc        net.Conn
+	req        *http.Request
+	header     http.Header
+	body       bytes.Buffer
+	status     int
+	wroteHdr   bool
+	closeAfter bool
+}
+
+var _ http.ResponseWriter = (*responseWriter)(nil)
+
+func newResponseWriter(rwc net.Conn, req *http.Request) *responseWriter {
+	rw := &responseWriter{rwc: rwc, req: req, header: make(http.Header)}
+	rw.closeAfter = req.Close || req.ProtoMajor < 1 ||
+		(req.ProtoMajor == 1 && req.ProtoMinor == 0 && !hasToken(req.Header.Get("Connection"), "keep-alive")) ||
+		hasToken(req.Header.Get("Connection"), "close")
+	return rw
+}
+
+func hasToken(header, token string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// Header implements http.ResponseWriter.
+func (rw *responseWriter) Header() http.Header { return rw.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (rw *responseWriter) WriteHeader(status int) {
+	if rw.wroteHdr {
+		return
+	}
+	rw.status = status
+	rw.wroteHdr = true
+}
+
+// Write implements http.ResponseWriter.
+func (rw *responseWriter) Write(p []byte) (int, error) {
+	if !rw.wroteHdr {
+		rw.WriteHeader(http.StatusOK)
+	}
+	return rw.body.Write(p)
+}
+
+// finish serializes and sends the buffered response.
+func (rw *responseWriter) finish() error {
+	if !rw.wroteHdr {
+		rw.WriteHeader(http.StatusOK)
+	}
+	// Drain any unread request body so the next pipelined request parses
+	// cleanly on keep-alive connections.
+	if rw.req.Body != nil {
+		_, _ = discardAll(rw.req.Body)
+		rw.req.Body.Close()
+	}
+
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "HTTP/1.1 %d %s\r\n", rw.status, http.StatusText(rw.status))
+	rw.header.Set("Content-Length", strconv.Itoa(rw.body.Len()))
+	if rw.header.Get("Content-Type") == "" && rw.body.Len() > 0 {
+		rw.header.Set("Content-Type", "application/json")
+	}
+	if rw.closeAfter {
+		rw.header.Set("Connection", "close")
+	}
+	if err := rw.header.Write(&out); err != nil {
+		return err
+	}
+	out.WriteString("\r\n")
+	out.Write(rw.body.Bytes())
+	_, err := rw.rwc.Write(out.Bytes())
+	return err
+}
+
+func discardAll(r io.Reader) (int64, error) {
+	return io.Copy(io.Discard, r)
+}

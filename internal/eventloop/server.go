@@ -1,0 +1,211 @@
+package eventloop
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the §5 proxy server shape: ONE acceptor goroutine (the
+// paper's epoll thread — Go's netpoller plays the epoll role beneath it)
+// pushes ready connections into the lock-free queue; a FIXED pool of
+// data-processing workers consumes the queue in arrival order, each
+// serving exactly one HTTP exchange before re-queueing a keep-alive
+// connection — so no request can be starved behind another connection's
+// pipeline, the fairness property §5 demands.
+type Server struct {
+	// Handler processes requests, exactly as with net/http.
+	Handler http.Handler
+	// Workers sizes the data-processing pool (paper: one per core on
+	// 2-core nodes; default 2).
+	Workers int
+	// ReadTimeout bounds each exchange's header+body read (default 30s).
+	ReadTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// without a next request before being closed (default 60s).
+	IdleTimeout time.Duration
+
+	queue    *Queue[*conn]
+	work     chan struct{} // semaphore tokens pairing with queue entries
+	done     chan struct{}
+	stopped  atomic.Bool
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	served  atomic.Uint64
+	errors  atomic.Uint64
+	maxWait atomic.Int64 // ns; observed queueing fairness metric
+}
+
+type conn struct {
+	rwc      net.Conn
+	br       *bufio.Reader
+	enqueued time.Time
+}
+
+// Serve accepts on l until Close; it returns after the acceptor exits.
+func (s *Server) Serve(l net.Listener) error {
+	if s.Handler == nil {
+		return errors.New("eventloop: nil handler")
+	}
+	if s.Workers <= 0 {
+		s.Workers = 2
+	}
+	if s.ReadTimeout <= 0 {
+		s.ReadTimeout = 30 * time.Second
+	}
+	if s.IdleTimeout <= 0 {
+		s.IdleTimeout = 60 * time.Second
+	}
+	s.queue = NewQueue[*conn]()
+	s.work = make(chan struct{}, 1<<20)
+	s.done = make(chan struct{})
+
+	// Data-processing pool.
+	for i := 0; i < s.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+
+	// The single acceptor loop. Connections are not queued until they
+	// are READABLE — the epoll semantics of §5: the queue holds ready
+	// work, never idle sockets, so workers never block on a quiet
+	// connection.
+	for {
+		rwc, err := l.Accept()
+		if err != nil {
+			if s.stopped.Load() {
+				err = nil
+			}
+			s.shutdownWorkers()
+			return err
+		}
+		s.watch(&conn{rwc: rwc, br: bufio.NewReader(rwc)})
+	}
+}
+
+// watch parks the connection until its next request's first byte arrives
+// (the Go netpoller blocks inside Peek, exactly where epoll would wait),
+// then queues it for the worker pool. Idle connections expire.
+func (s *Server) watch(c *conn) {
+	go func() {
+		_ = c.rwc.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		if _, err := c.br.Peek(1); err != nil {
+			c.rwc.Close()
+			return
+		}
+		if s.stopped.Load() {
+			c.rwc.Close()
+			return
+		}
+		s.enqueue(c)
+	}()
+}
+
+func (s *Server) enqueue(c *conn) {
+	c.enqueued = time.Now()
+	s.queue.Push(c)
+	select {
+	case s.work <- struct{}{}:
+	default:
+		// Token channel full (absurd backlog): drop the connection
+		// rather than deadlock; the entry stays consumable if tokens
+		// free up, so just count it.
+		s.errors.Add(1)
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.work:
+		}
+		c, ok := s.queue.Pop()
+		if !ok {
+			continue
+		}
+		wait := time.Since(c.enqueued)
+		for {
+			old := s.maxWait.Load()
+			if int64(wait) <= old || s.maxWait.CompareAndSwap(old, int64(wait)) {
+				break
+			}
+		}
+		s.serveOne(c)
+	}
+}
+
+// serveOne handles exactly one HTTP exchange. Keep-alive connections are
+// re-queued behind newly arrived ones — the in-order consumption that
+// bounds every request's queueing delay.
+func (s *Server) serveOne(c *conn) {
+	_ = c.rwc.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+	req, err := http.ReadRequest(c.br)
+	if err != nil {
+		c.rwc.Close()
+		if !errors.Is(err, net.ErrClosed) {
+			s.errors.Add(1)
+		}
+		return
+	}
+	req.RemoteAddr = c.rwc.RemoteAddr().String()
+
+	rw := newResponseWriter(c.rwc, req)
+	s.Handler.ServeHTTP(rw, req)
+	if err := rw.finish(); err != nil {
+		c.rwc.Close()
+		s.errors.Add(1)
+		return
+	}
+	s.served.Add(1)
+
+	if rw.closeAfter {
+		c.rwc.Close()
+		return
+	}
+	if s.stopped.Load() {
+		c.rwc.Close()
+		return
+	}
+	// A pipelined request is already buffered → straight back into the
+	// queue; otherwise wait for readiness off-pool.
+	if c.br.Buffered() > 0 {
+		s.enqueue(c)
+		return
+	}
+	s.watch(c)
+}
+
+// Close stops accepting and terminates the worker pool; in-flight
+// exchanges complete, queued-but-unserved connections are closed.
+func (s *Server) Close(l net.Listener) error {
+	s.stopped.Store(true)
+	err := l.Close()
+	s.shutdownWorkers()
+	for {
+		c, ok := s.queue.Pop()
+		if !ok {
+			break
+		}
+		c.rwc.Close()
+	}
+	return err
+}
+
+func (s *Server) shutdownWorkers() {
+	s.stopOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Stats reports served exchanges, error count, and the worst observed
+// queueing delay — the fairness bound.
+func (s *Server) Stats() (served, errCount uint64, maxQueueWait time.Duration) {
+	return s.served.Load(), s.errors.Load(), time.Duration(s.maxWait.Load())
+}

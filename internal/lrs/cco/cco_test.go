@@ -1,0 +1,267 @@
+package cco
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ev(user, item string) Event { return Event{User: user, Item: item} }
+
+func TestTrainFindsObviousCorrelation(t *testing.T) {
+	// Many users access both "bread" and "butter"; "anvil" is accessed
+	// alone. bread↔butter must correlate, anvil must not.
+	var events []Event
+	for i := 0; i < 20; i++ {
+		u := fmt.Sprintf("u%d", i)
+		events = append(events, ev(u, "bread"), ev(u, "butter"))
+	}
+	for i := 0; i < 10; i++ {
+		events = append(events, ev(fmt.Sprintf("loner%d", i), "anvil"))
+	}
+	m := Train(events, DefaultConfig())
+
+	top := m.TopIndicators("bread", 5)
+	if len(top) == 0 || top[0] != "butter" {
+		t.Errorf("bread indicators = %v, want butter first", top)
+	}
+	if ind := m.TopIndicators("anvil", 5); len(ind) != 0 {
+		t.Errorf("anvil has indicators %v, want none", ind)
+	}
+	if m.Users != 30 {
+		t.Errorf("Users = %d, want 30", m.Users)
+	}
+}
+
+func TestTrainLLRPrefersSignificantPairs(t *testing.T) {
+	// "a" co-occurs with "b" in 10 dedicated users. "a" also co-occurs
+	// once with the globally popular "pop" (which everyone has). The
+	// significant correlation is b, not pop.
+	var events []Event
+	for i := 0; i < 10; i++ {
+		u := fmt.Sprintf("ab%d", i)
+		events = append(events, ev(u, "a"), ev(u, "b"))
+	}
+	for i := 0; i < 50; i++ {
+		u := fmt.Sprintf("p%d", i)
+		events = append(events, ev(u, "pop"))
+	}
+	events = append(events, ev("ab0", "pop")) // one incidental co-occurrence
+	m := Train(events, DefaultConfig())
+	top := m.TopIndicators("a", 1)
+	if len(top) != 1 || top[0] != "b" {
+		t.Errorf("a's top indicator = %v, want [b]", top)
+	}
+}
+
+func TestTrainDeduplicatesRepeatedEvents(t *testing.T) {
+	// The same (user, item) interaction repeated must count once.
+	events := []Event{
+		ev("u1", "x"), ev("u1", "x"), ev("u1", "x"),
+		ev("u1", "y"),
+		ev("u2", "x"), ev("u2", "y"),
+	}
+	m := Train(events, DefaultConfig())
+	if m.Popularity["x"] != 2 {
+		t.Errorf("popularity[x] = %d, want 2 distinct users", m.Popularity["x"])
+	}
+}
+
+func TestTrainDownsamplesLongHistories(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInteractionsPerUser = 3
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, ev("hoarder", fmt.Sprintf("i%d", i)))
+	}
+	// A second user shares only the most recent items; background users
+	// provide the statistical contrast LLR needs (in a universe where
+	// every user holds every item, no co-occurrence is significant).
+	events = append(events, ev("u2", "i8"), ev("u2", "i9"))
+	for i := 0; i < 10; i++ {
+		events = append(events, ev(fmt.Sprintf("bg%d", i), "unrelated"))
+	}
+	m := Train(events, cfg)
+	// Only the last 3 interactions (i7, i8, i9) of hoarder survive, so
+	// i0 cannot correlate with anything.
+	if ind := m.TopIndicators("i0", 5); len(ind) != 0 {
+		t.Errorf("downsampled item i0 has indicators %v", ind)
+	}
+	if ind := m.TopIndicators("i8", 5); len(ind) == 0 {
+		t.Error("recent item i8 lost its correlations")
+	}
+	if m.Popularity["i0"] != 0 {
+		t.Errorf("popularity[i0] = %d, want 0 after downsampling", m.Popularity["i0"])
+	}
+}
+
+func TestTrainCapsCorrelatorsPerItem(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCorrelatorsPerItem = 2
+	var events []Event
+	// hub co-occurs with 10 other items across many users.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 3; j++ {
+			u := fmt.Sprintf("u%d-%d", i, j)
+			events = append(events, ev(u, "hub"), ev(u, fmt.Sprintf("spoke%d", i)))
+		}
+	}
+	m := Train(events, cfg)
+	if got := len(m.Indicators["hub"]); got > 2 {
+		t.Errorf("hub has %d correlators, cap is 2", got)
+	}
+}
+
+func TestTrainMinLLRFilters(t *testing.T) {
+	var events []Event
+	for i := 0; i < 5; i++ {
+		u := fmt.Sprintf("u%d", i)
+		events = append(events, ev(u, "a"), ev(u, "b"))
+	}
+	weak := Train(events, Config{MinLLR: 1e9})
+	if len(weak.Indicators) != 0 {
+		t.Errorf("MinLLR=1e9 kept indicators: %v", weak.Indicators)
+	}
+}
+
+func TestLLRKnownValues(t *testing.T) {
+	// Perfect association: 10 users all have both items, 10 have
+	// neither.
+	strong := LLR(10, 10, 10, 20)
+	if strong <= 0 {
+		t.Errorf("perfect association LLR = %v, want > 0", strong)
+	}
+	// Independence: co-occurrence exactly at chance level.
+	indep := LLR(5, 10, 10, 20)
+	if indep > 1e-9 {
+		t.Errorf("independent LLR = %v, want ≈ 0", indep)
+	}
+	if strong <= indep {
+		t.Error("perfect association does not outscore independence")
+	}
+}
+
+func TestLLRDegenerateInputs(t *testing.T) {
+	cases := [][4]int{
+		{0, 0, 0, 0},
+		{5, 3, 10, 20}, // k11 > countA → negative cell
+		{1, 1, 1, 0},   // zero total
+		{-1, 2, 2, 10},
+	}
+	for _, c := range cases {
+		if got := LLR(c[0], c[1], c[2], c[3]); got != 0 {
+			t.Errorf("LLR(%v) = %v, want 0", c, got)
+		}
+	}
+}
+
+func TestLLRProperties(t *testing.T) {
+	// Non-negativity and symmetry in the two items.
+	f := func(k11raw, aRaw, bRaw, extraRaw uint8) bool {
+		k11 := int(k11raw % 20)
+		countA := k11 + int(aRaw%20)
+		countB := k11 + int(bRaw%20)
+		total := countA + countB - k11 + int(extraRaw%50)
+		v1 := LLR(k11, countA, countB, total)
+		v2 := LLR(k11, countB, countA, total)
+		return v1 >= 0 && !math.IsNaN(v1) && math.Abs(v1-v2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPopularItems(t *testing.T) {
+	events := []Event{
+		ev("u1", "hot"), ev("u2", "hot"), ev("u3", "hot"),
+		ev("u1", "warm"), ev("u2", "warm"),
+		ev("u1", "cold"),
+	}
+	m := Train(events, DefaultConfig())
+	top := m.PopularItems(2)
+	if len(top) != 2 || top[0] != "hot" || top[1] != "warm" {
+		t.Errorf("PopularItems = %v", top)
+	}
+	all := m.PopularItems(99)
+	if len(all) != 3 {
+		t.Errorf("PopularItems(99) = %v", all)
+	}
+}
+
+func TestTopIndicatorsBounds(t *testing.T) {
+	events := []Event{
+		ev("u1", "a"), ev("u1", "b"),
+		ev("u2", "a"), ev("u2", "b"),
+		ev("u3", "c"), // contrast user, so a↔b is statistically significant
+	}
+	m := Train(events, DefaultConfig())
+	if got := m.TopIndicators("a", 99); len(got) != 1 {
+		t.Errorf("TopIndicators(99) = %v", got)
+	}
+	if got := m.TopIndicators("missing", 5); got != nil {
+		t.Errorf("unknown item indicators = %v", got)
+	}
+}
+
+func TestTrainEmptyInput(t *testing.T) {
+	m := Train(nil, DefaultConfig())
+	if len(m.Indicators) != 0 || m.Users != 0 {
+		t.Errorf("empty training produced %+v", m)
+	}
+	if items := m.PopularItems(5); len(items) != 0 {
+		t.Errorf("empty model popular items = %v", items)
+	}
+}
+
+func TestTrainSymmetricCooccurrence(t *testing.T) {
+	// If a correlates with b, b correlates with a (same LLR).
+	events := []Event{ev("u1", "a"), ev("u1", "b"), ev("u2", "a"), ev("u2", "b"), ev("u3", "c")}
+	m := Train(events, DefaultConfig())
+	ab := m.Indicators["a"]
+	ba := m.Indicators["b"]
+	if len(ab) != 1 || len(ba) != 1 {
+		t.Fatalf("indicators: a=%v b=%v", ab, ba)
+	}
+	if ab[0].Item != "b" || ba[0].Item != "a" {
+		t.Errorf("asymmetric correlation: a=%v b=%v", ab, ba)
+	}
+	if math.Abs(ab[0].LLR-ba[0].LLR) > 1e-9 {
+		t.Errorf("asymmetric LLR: %v vs %v", ab[0].LLR, ba[0].LLR)
+	}
+}
+
+func TestTrainScalesToRealisticWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A down-scaled MovieLens-shaped load: confirm the trainer handles
+	// it and produces a model covering popular items.
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1, 999)
+	var events []Event
+	for i := 0; i < 50000; i++ {
+		u := fmt.Sprintf("u%d", rng.Intn(500))
+		it := fmt.Sprintf("i%d", zipf.Uint64())
+		events = append(events, ev(u, it))
+	}
+	cfg := DefaultConfig()
+	cfg.MaxInteractionsPerUser = 100
+	m := Train(events, cfg)
+	if len(m.Indicators) == 0 {
+		t.Fatal("no indicators learned from realistic workload")
+	}
+	// The single most popular item may be near-ubiquitous (LLR correctly
+	// scores a held-by-everyone item as uninformative), but among the
+	// top-20 popular items most must have learned indicators.
+	withIndicators := 0
+	for _, it := range m.PopularItems(20) {
+		if len(m.TopIndicators(it, 10)) > 0 {
+			withIndicators++
+		}
+	}
+	if withIndicators < 10 {
+		t.Errorf("only %d of the top-20 popular items have indicators", withIndicators)
+	}
+}

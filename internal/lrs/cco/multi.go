@@ -1,0 +1,205 @@
+package cco
+
+import (
+	"sort"
+)
+
+// multi.go implements the "cross" in Correlated Cross-Occurrence: beyond
+// co-occurrence of the primary indicator with itself, CCO correlates the
+// primary indicator (e.g. purchases) with *secondary* indicators (views,
+// likes, category accesses …), so that any user action predictive of the
+// primary one contributes to recommendations. This is the Universal
+// Recommender's defining feature ("CCO aggregates indicators … and builds
+// profiles", §7 of the PProx paper); the single-indicator Train in cco.go
+// is its special case.
+
+// TypedEvent is one interaction with an indicator type.
+type TypedEvent struct {
+	User string
+	Item string
+	// Type names the indicator; the empty string is the primary.
+	Type string
+}
+
+// MultiModel holds, for each item, correlated items per indicator type:
+// Fields[item][type] lists the type-indicator items whose occurrence in a
+// user's history predicts interaction with item.
+type MultiModel struct {
+	// Primary is the primary-indicator model (co-occurrence of the
+	// primary with itself), including popularity for cold start.
+	Primary *Model
+	// Cross maps indicator type → item → correlated secondary items.
+	Cross map[string]map[string][]Correlation
+}
+
+// TrainMulti builds a full CCO model: the primary indicator correlates
+// with itself (classic co-occurrence) and with every secondary indicator
+// type present in the events (cross-occurrence). Per-type histories are
+// downsampled independently, as in Mahout.
+func TrainMulti(events []TypedEvent, cfg Config) *MultiModel {
+	if cfg.MaxInteractionsPerUser <= 0 {
+		cfg.MaxInteractionsPerUser = DefaultConfig().MaxInteractionsPerUser
+	}
+	if cfg.MaxCorrelatorsPerItem <= 0 {
+		cfg.MaxCorrelatorsPerItem = DefaultConfig().MaxCorrelatorsPerItem
+	}
+
+	// Split the stream: primary events drive the classic model; each
+	// secondary type gets its own user→items history.
+	var primary []Event
+	secondaryHist := make(map[string]map[string][]string) // type → user → items
+	secondarySeen := make(map[string]map[[2]string]bool)
+	for _, ev := range events {
+		if ev.Type == "" {
+			primary = append(primary, Event{User: ev.User, Item: ev.Item})
+			continue
+		}
+		hist, ok := secondaryHist[ev.Type]
+		if !ok {
+			hist = make(map[string][]string)
+			secondaryHist[ev.Type] = hist
+			secondarySeen[ev.Type] = make(map[[2]string]bool)
+		}
+		key := [2]string{ev.User, ev.Item}
+		if secondarySeen[ev.Type][key] {
+			continue
+		}
+		secondarySeen[ev.Type][key] = true
+		hist[ev.User] = append(hist[ev.User], ev.Item)
+	}
+
+	m := &MultiModel{
+		Primary: Train(primary, cfg),
+		Cross:   make(map[string]map[string][]Correlation, len(secondaryHist)),
+	}
+
+	// Primary histories (deduplicated, downsampled) for cross counting.
+	primaryHist := make(map[string][]string)
+	{
+		seen := make(map[[2]string]bool, len(primary))
+		for _, ev := range primary {
+			key := [2]string{ev.User, ev.Item}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			primaryHist[ev.User] = append(primaryHist[ev.User], ev.Item)
+		}
+		for u, h := range primaryHist {
+			if len(h) > cfg.MaxInteractionsPerUser {
+				primaryHist[u] = h[len(h)-cfg.MaxInteractionsPerUser:]
+			}
+		}
+	}
+
+	// Total population for the LLR margins: any user with a primary or
+	// secondary interaction.
+	for typ, hist := range secondaryHist {
+		for u, h := range hist {
+			if len(h) > cfg.MaxInteractionsPerUser {
+				hist[u] = h[len(h)-cfg.MaxInteractionsPerUser:]
+			}
+		}
+		m.Cross[typ] = crossOccurrence(primaryHist, hist, cfg)
+	}
+	return m
+}
+
+// crossOccurrence scores, for each primary item A and secondary item B,
+// how significantly "users who did B (secondary) also did A (primary)"
+// deviates from chance.
+func crossOccurrence(primaryHist, secondaryHist map[string][]string, cfg Config) map[string][]Correlation {
+	// Universe: users appearing in either history.
+	users := make(map[string]bool, len(primaryHist)+len(secondaryHist))
+	for u := range primaryHist {
+		users[u] = true
+	}
+	for u := range secondaryHist {
+		users[u] = true
+	}
+	total := len(users)
+
+	primaryCount := make(map[string]int)
+	for _, h := range primaryHist {
+		for _, it := range h {
+			primaryCount[it]++
+		}
+	}
+	secondaryCount := make(map[string]int)
+	for _, h := range secondaryHist {
+		for _, it := range h {
+			secondaryCount[it]++
+		}
+	}
+
+	// k11 per (primary item, secondary item): users with both.
+	cooc := make(map[string]map[string]int)
+	for u, ph := range primaryHist {
+		sh := secondaryHist[u]
+		if len(sh) == 0 {
+			continue
+		}
+		for _, a := range ph {
+			row, ok := cooc[a]
+			if !ok {
+				row = make(map[string]int)
+				cooc[a] = row
+			}
+			for _, b := range sh {
+				row[b]++
+			}
+		}
+	}
+
+	out := make(map[string][]Correlation, len(cooc))
+	for a, row := range cooc {
+		cs := make([]Correlation, 0, len(row))
+		for b, k11 := range row {
+			score := LLR(k11, primaryCount[a], secondaryCount[b], total)
+			if score <= cfg.MinLLR {
+				continue
+			}
+			cs = append(cs, Correlation{Item: b, LLR: score})
+		}
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].LLR != cs[j].LLR {
+				return cs[i].LLR > cs[j].LLR
+			}
+			return cs[i].Item < cs[j].Item
+		})
+		if len(cs) > cfg.MaxCorrelatorsPerItem {
+			cs = cs[:cfg.MaxCorrelatorsPerItem]
+		}
+		if len(cs) > 0 {
+			out[a] = cs
+		}
+	}
+	return out
+}
+
+// CrossIndicators returns up to n secondary items of the given type
+// correlated with a primary item, strongest first.
+func (m *MultiModel) CrossIndicators(item, typ string, n int) []string {
+	cs := m.Cross[typ][item]
+	if len(cs) == 0 {
+		return nil
+	}
+	if n > len(cs) {
+		n = len(cs)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = cs[i].Item
+	}
+	return out
+}
+
+// Types lists the secondary indicator types the model learned.
+func (m *MultiModel) Types() []string {
+	types := make([]string, 0, len(m.Cross))
+	for t := range m.Cross {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	return types
+}

@@ -1,0 +1,160 @@
+package cco
+
+import (
+	"fmt"
+	"testing"
+)
+
+func tev(user, item, typ string) TypedEvent { return TypedEvent{User: user, Item: item, Type: typ} }
+
+func TestTrainMultiCrossOccurrence(t *testing.T) {
+	// Users who VIEW trailers of "dune" tend to BUY "dune-book";
+	// unrelated viewers buy nothing relevant.
+	var events []TypedEvent
+	for i := 0; i < 15; i++ {
+		u := fmt.Sprintf("fan-%d", i)
+		events = append(events,
+			tev(u, "dune-trailer", "view"),
+			tev(u, "dune-book", ""), // primary: purchase
+		)
+	}
+	for i := 0; i < 15; i++ {
+		u := fmt.Sprintf("other-%d", i)
+		events = append(events,
+			tev(u, "cat-video", "view"),
+			tev(u, "cookbook", ""),
+		)
+	}
+	m := TrainMulti(events, DefaultConfig())
+
+	cross := m.CrossIndicators("dune-book", "view", 5)
+	if len(cross) == 0 || cross[0] != "dune-trailer" {
+		t.Errorf("cross indicators for dune-book = %v, want dune-trailer first", cross)
+	}
+	for _, c := range cross {
+		if c == "cat-video" {
+			t.Error("uncorrelated view indicator attached to dune-book")
+		}
+	}
+	if types := m.Types(); len(types) != 1 || types[0] != "view" {
+		t.Errorf("Types = %v", types)
+	}
+}
+
+func TestTrainMultiPrimaryStillWorks(t *testing.T) {
+	var events []TypedEvent
+	for i := 0; i < 12; i++ {
+		u := fmt.Sprintf("u%d", i)
+		events = append(events, tev(u, "a", ""), tev(u, "b", ""))
+	}
+	for i := 0; i < 6; i++ {
+		events = append(events, tev(fmt.Sprintf("s%d", i), "c", ""))
+	}
+	m := TrainMulti(events, DefaultConfig())
+	top := m.Primary.TopIndicators("a", 1)
+	if len(top) != 1 || top[0] != "b" {
+		t.Errorf("primary indicators broken under TrainMulti: %v", top)
+	}
+}
+
+func TestTrainMultiIgnoresInsignificantCross(t *testing.T) {
+	// A secondary item viewed by everyone predicts nothing.
+	var events []TypedEvent
+	for i := 0; i < 20; i++ {
+		u := fmt.Sprintf("u%d", i)
+		events = append(events, tev(u, "homepage", "view"))
+		if i < 10 {
+			events = append(events, tev(u, "thing", ""))
+		}
+	}
+	m := TrainMulti(events, DefaultConfig())
+	for _, c := range m.CrossIndicators("thing", "view", 10) {
+		if c == "homepage" {
+			t.Error("ubiquitous secondary indicator correlated with the primary item")
+		}
+	}
+}
+
+func TestTrainMultiRespectsCaps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCorrelatorsPerItem = 2
+	var events []TypedEvent
+	for spoke := 0; spoke < 8; spoke++ {
+		for i := 0; i < 4; i++ {
+			u := fmt.Sprintf("u%d-%d", spoke, i)
+			events = append(events,
+				tev(u, fmt.Sprintf("page-%d", spoke), "view"),
+				tev(u, "hub", ""),
+			)
+		}
+	}
+	// Contrast users so correlations are significant.
+	for i := 0; i < 10; i++ {
+		events = append(events, tev(fmt.Sprintf("bg%d", i), "elsewhere", "view"))
+	}
+	m := TrainMulti(events, cfg)
+	if got := len(m.Cross["view"]["hub"]); got > 2 {
+		t.Errorf("hub has %d cross correlators, cap is 2", got)
+	}
+}
+
+func TestTrainMultiDeduplicatesSecondary(t *testing.T) {
+	var events []TypedEvent
+	for i := 0; i < 8; i++ {
+		u := fmt.Sprintf("u%d", i)
+		events = append(events,
+			tev(u, "promo", "view"), tev(u, "promo", "view"), tev(u, "promo", "view"),
+			tev(u, "gadget", ""),
+		)
+	}
+	for i := 0; i < 8; i++ {
+		events = append(events, tev(fmt.Sprintf("bg%d", i), "other", "view"))
+	}
+	m := TrainMulti(events, DefaultConfig())
+	// With dedup, promo count = 8 users; correlation exists and is
+	// finite; without dedup counts would be inflated 3×. We can only
+	// assert the model is sane: promo correlates with gadget.
+	cross := m.CrossIndicators("gadget", "view", 3)
+	if len(cross) == 0 || cross[0] != "promo" {
+		t.Errorf("cross = %v", cross)
+	}
+}
+
+func TestTrainMultiEmptyAndNoSecondary(t *testing.T) {
+	m := TrainMulti(nil, DefaultConfig())
+	if len(m.Cross) != 0 || m.Primary.Users != 0 {
+		t.Errorf("empty multi-train: %+v", m)
+	}
+	m = TrainMulti([]TypedEvent{tev("u", "i", "")}, DefaultConfig())
+	if len(m.Types()) != 0 {
+		t.Errorf("no secondary events but Types = %v", m.Types())
+	}
+	if got := m.CrossIndicators("i", "view", 5); got != nil {
+		t.Errorf("CrossIndicators on absent type = %v", got)
+	}
+}
+
+func TestTrainMultiDownsamplesSecondaryHistories(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInteractionsPerUser = 2
+	var events []TypedEvent
+	// One user views 10 pages then buys; only the last 2 views count.
+	for i := 0; i < 10; i++ {
+		events = append(events, tev("hoarder", fmt.Sprintf("page-%d", i), "view"))
+	}
+	events = append(events, tev("hoarder", "gadget", ""))
+	// Reinforcing users on the recent pages + background contrast.
+	for i := 0; i < 6; i++ {
+		u := fmt.Sprintf("u%d", i)
+		events = append(events, tev(u, "page-9", "view"), tev(u, "gadget", ""))
+	}
+	for i := 0; i < 6; i++ {
+		events = append(events, tev(fmt.Sprintf("bg%d", i), "elsewhere", "view"))
+	}
+	m := TrainMulti(events, cfg)
+	for _, c := range m.CrossIndicators("gadget", "view", 20) {
+		if c == "page-0" {
+			t.Error("downsampled-away view still correlated")
+		}
+	}
+}

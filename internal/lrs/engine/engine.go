@@ -1,0 +1,364 @@
+// Package engine assembles the legacy recommendation system (LRS): a
+// Universal-Recommender-style engine equivalent to the Harness deployment
+// the PProx paper integrates with (§7). Feedback events are persisted in
+// the document store (the MongoDB substitute) as "inputs pending
+// processing"; a batch training job (the Spark substitute) builds the CCO
+// model; the model is served from the inverted index (the Elasticsearch
+// substitute); and a REST front end exposes the post/get API that PProx
+// proxies.
+//
+// The engine is agnostic to whether identifiers are cleartext or PProx
+// pseudonyms — exactly the property that makes PProx transparent to an
+// unmodified LRS.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"pprox/internal/lrs/cco"
+	"pprox/internal/lrs/search"
+	"pprox/internal/lrs/store"
+	"pprox/internal/message"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// DefaultN is the recommendation list size when a query does not
+	// specify one; capped at message.MaxRecommendations.
+	DefaultN int
+	// MaxQueryHistory bounds how many recent user interactions form the
+	// retrieval query.
+	MaxQueryHistory int
+	// MaxBlacklist bounds how many of the user's own items are excluded
+	// from results (UR blacklists seen items by default).
+	MaxBlacklist int
+	// SecondaryBoost weights cross-indicator query clauses relative to
+	// primary-indicator clauses (UR default: secondary events inform
+	// but do not dominate).
+	SecondaryBoost float64
+	// Trainer bounds the CCO batch job.
+	Trainer cco.Config
+}
+
+// DefaultConfig mirrors a stock Universal Recommender setup.
+func DefaultConfig() Config {
+	return Config{
+		DefaultN:        message.MaxRecommendations,
+		MaxQueryHistory: 20,
+		MaxBlacklist:    100,
+		SecondaryBoost:  0.5,
+		Trainer:         cco.DefaultConfig(),
+	}
+}
+
+// Engine is the LRS: event ingestion, batch training, and query serving.
+type Engine struct {
+	cfg    Config
+	db     *store.Store
+	events *store.Collection
+
+	index atomic.Pointer[search.Index]
+	model atomic.Pointer[cco.MultiModel]
+
+	trainMu sync.Mutex // serializes batch training jobs
+
+	posts   atomic.Uint64
+	queries atomic.Uint64
+	trains  atomic.Uint64
+}
+
+// New creates an engine with an empty model.
+func New(cfg Config) *Engine {
+	return newWithStore(cfg, store.New())
+}
+
+// NewFromSnapshot restores an engine from a store snapshot written by
+// SaveSnapshot — the restart-with-persisted-inputs path a MongoDB-backed
+// Harness deployment has. The model is not persisted; run TrainNow after
+// loading, exactly as Harness rebuilds its model from stored inputs.
+func NewFromSnapshot(cfg Config, r io.Reader) (*Engine, error) {
+	db, err := store.LoadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return newWithStore(cfg, db), nil
+}
+
+func newWithStore(cfg Config, db *store.Store) *Engine {
+	if cfg.DefaultN <= 0 || cfg.DefaultN > message.MaxRecommendations {
+		cfg.DefaultN = message.MaxRecommendations
+	}
+	if cfg.MaxQueryHistory <= 0 {
+		cfg.MaxQueryHistory = DefaultConfig().MaxQueryHistory
+	}
+	if cfg.MaxBlacklist < 0 {
+		cfg.MaxBlacklist = 0
+	}
+	events := db.Collection("events")
+	events.EnsureIndex("user")
+	if cfg.SecondaryBoost <= 0 {
+		cfg.SecondaryBoost = DefaultConfig().SecondaryBoost
+	}
+	e := &Engine{cfg: cfg, db: db, events: events}
+	e.index.Store(search.NewIndex())
+	e.model.Store(&cco.MultiModel{
+		Primary: &cco.Model{
+			Indicators: map[string][]cco.Correlation{},
+			Popularity: map[string]int{},
+		},
+		Cross: map[string]map[string][]cco.Correlation{},
+	})
+	return e
+}
+
+// InsertEvent records primary-indicator feedback: user accessed item,
+// with an optional payload (e.g. a rating) that collaborative filtering
+// on access indicators stores but does not interpret.
+func (e *Engine) InsertEvent(user, item, payload string) {
+	e.InsertTypedEvent(user, item, payload, "")
+}
+
+// InsertTypedEvent records feedback with an explicit indicator type for
+// Correlated Cross-Occurrence; the empty type is the primary indicator.
+func (e *Engine) InsertTypedEvent(user, item, payload, eventType string) {
+	e.posts.Add(1)
+	e.events.Insert(map[string]string{
+		"user":    user,
+		"item":    item,
+		"payload": payload,
+		"type":    eventType,
+	})
+}
+
+// EventCount returns the number of stored feedback events.
+func (e *Engine) EventCount() int { return e.events.Count() }
+
+// TrainNow runs the batch training job: it snapshots the event log, builds
+// a fresh CCO model, and atomically swaps in a new index — the same
+// periodic-rebuild lifecycle as Harness running Apache Spark (§7). Queries
+// keep being served from the previous model during training.
+func (e *Engine) TrainNow() error {
+	e.trainMu.Lock()
+	defer e.trainMu.Unlock()
+
+	events := make([]cco.TypedEvent, 0, e.events.Count())
+	e.events.Scan(func(d store.Document) bool {
+		events = append(events, cco.TypedEvent{
+			User: d.Fields["user"],
+			Item: d.Fields["item"],
+			Type: d.Fields["type"],
+		})
+		return true
+	})
+
+	model := cco.TrainMulti(events, e.cfg.Trainer)
+
+	// One document per item carrying its primary indicators and one
+	// cross-indicator field per secondary type — the Universal
+	// Recommender's Elasticsearch document layout.
+	idx := search.NewIndex()
+	docs := make(map[string]search.Doc)
+	docFor := func(item string) search.Doc {
+		d, ok := docs[item]
+		if !ok {
+			d = search.Doc{ID: item, Fields: map[string][]string{"id": {item}}}
+			docs[item] = d
+		}
+		return d
+	}
+	for item, correlations := range model.Primary.Indicators {
+		terms := make([]string, len(correlations))
+		for i, c := range correlations {
+			terms[i] = c.Item
+		}
+		docFor(item).Fields["indicators"] = terms
+	}
+	for typ, byItem := range model.Cross {
+		field := crossField(typ)
+		for item, correlations := range byItem {
+			terms := make([]string, len(correlations))
+			for i, c := range correlations {
+				terms[i] = c.Item
+			}
+			docFor(item).Fields[field] = terms
+		}
+	}
+	for _, d := range docs {
+		idx.Put(d)
+	}
+
+	e.model.Store(model)
+	e.index.Store(idx)
+	e.trains.Add(1)
+	return nil
+}
+
+// crossField names the index field holding cross-indicators of a type.
+func crossField(typ string) string { return "indicators_" + typ }
+
+// Recommend returns up to n item identifiers for the user, best first.
+// The query model is the Universal Recommender's: the user's recent
+// history items are OR-ed against every item's learned indicators; the
+// user's own items are blacklisted; users without usable history receive
+// the most popular items (cold start).
+func (e *Engine) Recommend(user string, n int) []string {
+	e.queries.Add(1)
+	if n <= 0 || n > e.cfg.DefaultN {
+		n = e.cfg.DefaultN
+	}
+
+	primary, byType := e.userHistory(user)
+	model := e.model.Load()
+	idx := e.index.Load()
+
+	var recs []string
+	if len(primary) > 0 || len(byType) > 0 {
+		q := search.Query{Size: n}
+		for _, item := range tail(primary, e.cfg.MaxQueryHistory) {
+			q.Should = append(q.Should, search.TermQuery{Field: "indicators", Term: item})
+		}
+		for typ, hist := range byType {
+			for _, item := range tail(hist, e.cfg.MaxQueryHistory) {
+				q.Should = append(q.Should, search.TermQuery{
+					Field: crossField(typ),
+					Term:  item,
+					Boost: e.cfg.SecondaryBoost,
+				})
+			}
+		}
+		// Only primary interactions blacklist an item: having *viewed*
+		// something does not make recommending it wrong, having
+		// accessed/bought it does.
+		for _, item := range tail(primary, e.cfg.MaxBlacklist) {
+			q.MustNot = append(q.MustNot, search.TermQuery{Field: "id", Term: item})
+		}
+		for _, hit := range idx.Search(q) {
+			recs = append(recs, hit.ID)
+		}
+	}
+
+	if len(recs) < n {
+		recs = fillWithPopular(recs, primary, model.Primary, n)
+	}
+	return recs
+}
+
+// tail returns the last k elements of s.
+func tail(s []string, k int) []string {
+	if len(s) > k {
+		return s[len(s)-k:]
+	}
+	return s
+}
+
+// fillWithPopular completes a short result list with popular items the
+// user has not seen and that are not already recommended.
+func fillWithPopular(recs, history []string, model *cco.Model, n int) []string {
+	taken := make(map[string]bool, len(recs)+len(history))
+	for _, r := range recs {
+		taken[r] = true
+	}
+	for _, h := range history {
+		taken[h] = true
+	}
+	for _, p := range model.PopularItems(n + len(taken)) {
+		if len(recs) >= n {
+			break
+		}
+		if !taken[p] {
+			recs = append(recs, p)
+			taken[p] = true
+		}
+	}
+	return recs
+}
+
+// userHistory returns the user's distinct primary-indicator items and a
+// per-secondary-type history, each in insertion order.
+func (e *Engine) userHistory(user string) (primary []string, byType map[string][]string) {
+	docs := e.events.FindBy("user", user)
+	seen := make(map[[2]string]bool, len(docs))
+	for _, d := range docs {
+		item := d.Fields["item"]
+		typ := d.Fields["type"]
+		if item == "" || seen[[2]string{typ, item}] {
+			continue
+		}
+		seen[[2]string{typ, item}] = true
+		if typ == "" {
+			primary = append(primary, item)
+			continue
+		}
+		if byType == nil {
+			byType = make(map[string][]string)
+		}
+		byType[typ] = append(byType[typ], item)
+	}
+	return primary, byType
+}
+
+// ForEachEvent visits every stored feedback event. It exists for
+// operational observability and for the evaluation's verification that the
+// database contains only pseudonymous identifiers (§6.1, cases 1c/2c model
+// an adversary reading this very data).
+func (e *Engine) ForEachEvent(fn func(store.Document)) {
+	e.events.Scan(func(d store.Document) bool {
+		fn(d)
+		return true
+	})
+}
+
+// RewriteEvents atomically replaces every stored event with the rewritten
+// field set returned by rw, then leaves the model untouched (callers
+// retrain afterwards). It exists for operator-driven migrations such as
+// the key-rotation breach response (§2.3 footnote 1: "downloading the LRS
+// state for local re-encryption before re-uploading it"). If rw fails for
+// any document, nothing is changed.
+func (e *Engine) RewriteEvents(rw func(fields map[string]string) (map[string]string, error)) error {
+	e.trainMu.Lock()
+	defer e.trainMu.Unlock()
+
+	var rewritten []map[string]string
+	var rwErr error
+	e.events.Scan(func(d store.Document) bool {
+		out, err := rw(d.Fields)
+		if err != nil {
+			rwErr = fmt.Errorf("rewrite event %s: %w", d.ID, err)
+			return false
+		}
+		rewritten = append(rewritten, out)
+		return true
+	})
+	if rwErr != nil {
+		return rwErr
+	}
+	e.events.Clear()
+	for _, fields := range rewritten {
+		e.events.Insert(fields)
+	}
+	return nil
+}
+
+// Stats reports request counters: posts, queries, and completed training
+// runs.
+func (e *Engine) Stats() (posts, queries, trains uint64) {
+	return e.posts.Load(), e.queries.Load(), e.trains.Load()
+}
+
+// SaveSnapshot persists the engine's durable state (the event log; the
+// model is derived and rebuilt by TrainNow).
+func (e *Engine) SaveSnapshot(w io.Writer) error {
+	e.trainMu.Lock()
+	defer e.trainMu.Unlock()
+	return e.db.WriteSnapshot(w)
+}
+
+// ModelInfo summarizes the served model for operational visibility.
+func (e *Engine) ModelInfo() string {
+	m := e.model.Load()
+	return fmt.Sprintf("users=%d items=%d indicators=%d cross-types=%d",
+		m.Primary.Users, len(m.Primary.Popularity), len(m.Primary.Indicators), len(m.Cross))
+}

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pprox/internal/message"
+)
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRESTEventInsertAndQuery(t *testing.T) {
+	e := New(DefaultConfig())
+	h := NewHandler(e)
+
+	for i := 0; i < 12; i++ {
+		u := fmt.Sprintf("u%d", i)
+		for _, item := range []string{"a", "b"} {
+			rec := do(t, h, http.MethodPost, message.EventsPath,
+				fmt.Sprintf(`{"user":%q,"item":%q}`, u, item))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("post event: status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		do(t, h, http.MethodPost, message.EventsPath,
+			fmt.Sprintf(`{"user":"solo%d","item":"c"}`, i))
+	}
+	do(t, h, http.MethodPost, message.EventsPath, `{"user":"probe","item":"a"}`)
+
+	if rec := do(t, h, http.MethodPost, "/train", ""); rec.Code != http.StatusOK {
+		t.Fatalf("train: status %d", rec.Code)
+	}
+
+	rec := do(t, h, http.MethodPost, message.QueriesPath, `{"user":"probe","n":5}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp message.LRSGetResponse
+	if err := message.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) == 0 || resp.Items[0] != "b" {
+		t.Errorf("items = %v, want b first", resp.Items)
+	}
+}
+
+func TestRESTValidation(t *testing.T) {
+	h := NewHandler(New(DefaultConfig()))
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+	}{
+		{"missing user on event", http.MethodPost, message.EventsPath, `{"item":"i"}`, http.StatusBadRequest},
+		{"missing item on event", http.MethodPost, message.EventsPath, `{"user":"u"}`, http.StatusBadRequest},
+		{"bad json on event", http.MethodPost, message.EventsPath, `{`, http.StatusBadRequest},
+		{"missing user on query", http.MethodPost, message.QueriesPath, `{}`, http.StatusBadRequest},
+		{"bad json on query", http.MethodPost, message.QueriesPath, `]`, http.StatusBadRequest},
+		{"unknown path", http.MethodGet, "/nope", "", http.StatusNotFound},
+		{"wrong method on events", http.MethodGet, message.EventsPath, "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, h, tc.method, tc.path, tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Errorf("status = %d, want %d", rec.Code, tc.wantStatus)
+			}
+		})
+	}
+}
+
+func TestRESTHealth(t *testing.T) {
+	h := NewHandler(New(DefaultConfig()))
+	rec := do(t, h, http.MethodGet, message.HealthPath, "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("health = %d", rec.Code)
+	}
+}
+
+func TestRESTQueryWithoutNUsesDefault(t *testing.T) {
+	e := New(DefaultConfig())
+	h := NewHandler(e)
+	do(t, h, http.MethodPost, message.EventsPath, `{"user":"u","item":"i"}`)
+	rec := do(t, h, http.MethodPost, message.QueriesPath, `{"user":"u"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp message.LRSGetResponse
+	if err := message.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) > message.MaxRecommendations {
+		t.Errorf("returned %d items, above maximum", len(resp.Items))
+	}
+}
+
+func TestMultiHandlerRoutesByTenant(t *testing.T) {
+	shop := New(DefaultConfig())
+	forum := New(DefaultConfig())
+	mh := NewMultiHandler(map[string]*Engine{"shop": shop, "forum": forum}, nil)
+
+	rec := do(t, mh, http.MethodPost, message.EventsPath, `{"user":"u","item":"i","tenant":"shop"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("shop event: %d %s", rec.Code, rec.Body)
+	}
+	if shop.EventCount() != 1 || forum.EventCount() != 0 {
+		t.Errorf("events routed wrong: shop=%d forum=%d", shop.EventCount(), forum.EventCount())
+	}
+
+	rec = do(t, mh, http.MethodPost, message.EventsPath, `{"user":"u","item":"i","tenant":"forum"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("forum event: %d", rec.Code)
+	}
+	if forum.EventCount() != 1 {
+		t.Errorf("forum events = %d", forum.EventCount())
+	}
+}
+
+func TestMultiHandlerUnknownTenant(t *testing.T) {
+	mh := NewMultiHandler(map[string]*Engine{"shop": New(DefaultConfig())}, nil)
+	rec := do(t, mh, http.MethodPost, message.EventsPath, `{"user":"u","item":"i","tenant":"nope"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown tenant: %d, want 404", rec.Code)
+	}
+	// Empty tenant with no default engine is also unknown.
+	rec = do(t, mh, http.MethodPost, message.EventsPath, `{"user":"u","item":"i"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("no default engine: %d, want 404", rec.Code)
+	}
+}
+
+func TestMultiHandlerDefaultEngine(t *testing.T) {
+	def := New(DefaultConfig())
+	mh := NewMultiHandler(nil, def)
+	rec := do(t, mh, http.MethodPost, message.EventsPath, `{"user":"u","item":"i"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("default engine: %d", rec.Code)
+	}
+	if def.EventCount() != 1 {
+		t.Errorf("default engine events = %d", def.EventCount())
+	}
+	// Health works without tenant routing.
+	rec = do(t, mh, http.MethodGet, message.HealthPath, "")
+	if rec.Code != http.StatusOK {
+		t.Errorf("health = %d", rec.Code)
+	}
+}
+
+func TestMultiHandlerQueryRouting(t *testing.T) {
+	shop := New(DefaultConfig())
+	mh := NewMultiHandler(map[string]*Engine{"shop": shop}, nil)
+	for i := 0; i < 10; i++ {
+		u := fmt.Sprintf("u%d", i)
+		do(t, mh, http.MethodPost, message.EventsPath, fmt.Sprintf(`{"user":%q,"item":"a","tenant":"shop"}`, u))
+		do(t, mh, http.MethodPost, message.EventsPath, fmt.Sprintf(`{"user":%q,"item":"b","tenant":"shop"}`, u))
+	}
+	for i := 0; i < 4; i++ {
+		do(t, mh, http.MethodPost, message.EventsPath, fmt.Sprintf(`{"user":"s%d","item":"c","tenant":"shop"}`, i))
+	}
+	do(t, mh, http.MethodPost, message.EventsPath, `{"user":"probe","item":"a","tenant":"shop"}`)
+	if rec := do(t, mh, http.MethodPost, "/train", `{"tenant":"shop"}`); rec.Code != http.StatusOK {
+		t.Fatalf("train through router: %d", rec.Code)
+	}
+	rec := do(t, mh, http.MethodPost, message.QueriesPath, `{"user":"probe","tenant":"shop","n":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body)
+	}
+	var resp message.LRSGetResponse
+	if err := message.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 1 || resp.Items[0] != "b" {
+		t.Errorf("routed query items = %v", resp.Items)
+	}
+}

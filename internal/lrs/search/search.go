@@ -1,0 +1,244 @@
+// Package search is the inverted-index retrieval engine backing the
+// Universal Recommender substrate, standing in for the Elasticsearch
+// instance that Harness uses to persist and query the recommendation model
+// (§7 of the PProx paper).
+//
+// The Universal Recommender serves a query by scoring every item document
+// against the user's interaction history: each item document carries an
+// "indicators" field listing the items found correlated with it by CCO
+// training, and the query is a boolean OR of the user's recent history
+// terms. This package implements exactly that query model — multi-term OR
+// queries with per-term boosts, TF-IDF-style scoring, must-not exclusion
+// (the blacklist of already-seen items), and top-k retrieval.
+package search
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Doc is one indexed document: an ID (the item identifier) and multi-valued
+// string fields (e.g. "indicators" → correlated item IDs).
+type Doc struct {
+	ID     string
+	Fields map[string][]string
+}
+
+// TermQuery matches documents containing Term in Field, contributing
+// Boost × idf(Field, Term) × weight to the score.
+type TermQuery struct {
+	Field string
+	Term  string
+	Boost float64
+}
+
+// Query is a boolean query: documents matching at least one Should clause
+// are candidates, scored by the sum of matching clauses; documents matching
+// any MustNot clause are excluded.
+type Query struct {
+	Should  []TermQuery
+	MustNot []TermQuery
+	Size    int
+}
+
+// Hit is one scored result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+type posting struct {
+	docID  string
+	weight float64 // per-document term weight (stored at Put time)
+}
+
+// Index is an in-memory inverted index. It is safe for concurrent use;
+// writes (Put/Delete) take an exclusive lock, queries share a read lock —
+// the same single-writer/concurrent-reader regime an Elasticsearch shard
+// provides between refreshes.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string]map[string][]posting // field → term → postings
+	docs     map[string]Doc
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string]map[string][]posting),
+		docs:     make(map[string]Doc),
+	}
+}
+
+// Put indexes a document, replacing any previous document with the same
+// ID. Term weight within a document is 1/√(field length), the standard
+// length norm, so items with sparse indicator lists are not drowned out.
+func (ix *Index) Put(doc Doc) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docs[doc.ID]; exists {
+		ix.removeLocked(doc.ID)
+	}
+	cp := Doc{ID: doc.ID, Fields: make(map[string][]string, len(doc.Fields))}
+	for f, terms := range doc.Fields {
+		cp.Fields[f] = append([]string(nil), terms...)
+	}
+	ix.docs[doc.ID] = cp
+	for field, terms := range cp.Fields {
+		byTerm, ok := ix.postings[field]
+		if !ok {
+			byTerm = make(map[string][]posting)
+			ix.postings[field] = byTerm
+		}
+		norm := 1.0
+		if len(terms) > 0 {
+			norm = 1 / math.Sqrt(float64(len(terms)))
+		}
+		seen := make(map[string]bool, len(terms))
+		for _, term := range terms {
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			byTerm[term] = append(byTerm[term], posting{docID: doc.ID, weight: norm})
+		}
+	}
+}
+
+// Delete removes a document; it reports whether it existed.
+func (ix *Index) Delete(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[id]; !ok {
+		return false
+	}
+	ix.removeLocked(id)
+	return true
+}
+
+func (ix *Index) removeLocked(id string) {
+	doc := ix.docs[id]
+	delete(ix.docs, id)
+	for field, terms := range doc.Fields {
+		byTerm := ix.postings[field]
+		seen := make(map[string]bool, len(terms))
+		for _, term := range terms {
+			if seen[term] {
+				continue
+			}
+			seen[term] = true
+			ps := byTerm[term]
+			for i := range ps {
+				if ps[i].docID == id {
+					byTerm[term] = append(ps[:i], ps[i+1:]...)
+					break
+				}
+			}
+			if len(byTerm[term]) == 0 {
+				delete(byTerm, term)
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Get returns an indexed document by ID.
+func (ix *Index) Get(id string) (Doc, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, ok := ix.docs[id]
+	if !ok {
+		return Doc{}, false
+	}
+	cp := Doc{ID: d.ID, Fields: make(map[string][]string, len(d.Fields))}
+	for f, ts := range d.Fields {
+		cp.Fields[f] = append([]string(nil), ts...)
+	}
+	return cp, true
+}
+
+// Search runs a boolean OR query and returns the top Size hits by
+// descending score (ties broken by ascending ID for determinism).
+func (ix *Index) Search(q Query) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	if q.Size <= 0 || len(q.Should) == 0 {
+		return nil
+	}
+
+	excluded := make(map[string]bool)
+	for _, mn := range q.MustNot {
+		for _, p := range ix.postings[mn.Field][mn.Term] {
+			excluded[p.docID] = true
+		}
+	}
+
+	n := float64(len(ix.docs))
+	scores := make(map[string]float64)
+	for _, tq := range q.Should {
+		ps := ix.postings[tq.Field][tq.Term]
+		if len(ps) == 0 {
+			continue
+		}
+		boost := tq.Boost
+		if boost == 0 {
+			boost = 1
+		}
+		idf := math.Log1p(n / float64(len(ps)))
+		for _, p := range ps {
+			if excluded[p.docID] {
+				continue
+			}
+			scores[p.docID] += boost * idf * p.weight
+		}
+	}
+
+	return topK(scores, q.Size)
+}
+
+// hitHeap is a min-heap of the current top-k hits.
+type hitHeap []Hit
+
+func (h hitHeap) Len() int { return len(h) }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID // worst tie (largest ID) at the top
+}
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)   { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+func topK(scores map[string]float64, k int) []Hit {
+	h := make(hitHeap, 0, k+1)
+	for id, score := range scores {
+		heap.Push(&h, Hit{ID: id, Score: score})
+		if len(h) > k {
+			heap.Pop(&h)
+		}
+	}
+	out := []Hit(h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,254 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func indicators(items ...string) map[string][]string {
+	return map[string][]string{"indicators": items}
+}
+
+func should(terms ...string) []TermQuery {
+	qs := make([]TermQuery, len(terms))
+	for i, t := range terms {
+		qs[i] = TermQuery{Field: "indicators", Term: t}
+	}
+	return qs
+}
+
+func TestPutGetDelete(t *testing.T) {
+	ix := NewIndex()
+	ix.Put(Doc{ID: "a", Fields: indicators("x", "y")})
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	d, ok := ix.Get("a")
+	if !ok || len(d.Fields["indicators"]) != 2 {
+		t.Fatalf("Get = %+v, %v", d, ok)
+	}
+	if !ix.Delete("a") {
+		t.Fatal("Delete missed existing doc")
+	}
+	if ix.Delete("a") {
+		t.Fatal("second Delete succeeded")
+	}
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d after delete", ix.Len())
+	}
+	if hits := ix.Search(Query{Should: should("x"), Size: 5}); len(hits) != 0 {
+		t.Errorf("deleted doc still matches: %v", hits)
+	}
+}
+
+func TestPutReplacesDocument(t *testing.T) {
+	ix := NewIndex()
+	ix.Put(Doc{ID: "a", Fields: indicators("old")})
+	ix.Put(Doc{ID: "a", Fields: indicators("new")})
+	if hits := ix.Search(Query{Should: should("old"), Size: 5}); len(hits) != 0 {
+		t.Errorf("stale posting survives replacement: %v", hits)
+	}
+	if hits := ix.Search(Query{Should: should("new"), Size: 5}); len(hits) != 1 {
+		t.Errorf("replacement not indexed: %v", hits)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func TestSearchORSemantics(t *testing.T) {
+	ix := NewIndex()
+	ix.Put(Doc{ID: "a", Fields: indicators("x")})
+	ix.Put(Doc{ID: "b", Fields: indicators("y")})
+	ix.Put(Doc{ID: "c", Fields: indicators("z")})
+	hits := ix.Search(Query{Should: should("x", "y"), Size: 10})
+	ids := hitIDs(hits)
+	if len(ids) != 2 || !ids["a"] || !ids["b"] {
+		t.Errorf("OR query hits = %v", hits)
+	}
+}
+
+func TestSearchScoresMultiTermMatchesHigher(t *testing.T) {
+	ix := NewIndex()
+	// "both" matches two history terms, "one" matches a single term.
+	ix.Put(Doc{ID: "both", Fields: indicators("h1", "h2")})
+	ix.Put(Doc{ID: "one", Fields: indicators("h1", "zz")})
+	hits := ix.Search(Query{Should: should("h1", "h2"), Size: 10})
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].ID != "both" {
+		t.Errorf("top hit = %v, want doc matching more history terms", hits[0])
+	}
+	if hits[0].Score <= hits[1].Score {
+		t.Errorf("scores not ordered: %v", hits)
+	}
+}
+
+func TestSearchIDFPrefersRareTerms(t *testing.T) {
+	ix := NewIndex()
+	// "common" appears in many docs, "rare" in one; a doc matching the
+	// rare term should outrank a doc matching only the common term.
+	for i := 0; i < 20; i++ {
+		ix.Put(Doc{ID: fmt.Sprintf("noise-%02d", i), Fields: indicators("common")})
+	}
+	ix.Put(Doc{ID: "special", Fields: indicators("rare")})
+	hits := ix.Search(Query{Should: should("common", "rare"), Size: 3})
+	if hits[0].ID != "special" {
+		t.Errorf("top hit = %v, want the rare-term match", hits[0])
+	}
+}
+
+func TestSearchMustNotExcludes(t *testing.T) {
+	ix := NewIndex()
+	ix.Put(Doc{ID: "a", Fields: map[string][]string{"indicators": {"x"}, "id": {"a"}}})
+	ix.Put(Doc{ID: "b", Fields: map[string][]string{"indicators": {"x"}, "id": {"b"}}})
+	hits := ix.Search(Query{
+		Should:  should("x"),
+		MustNot: []TermQuery{{Field: "id", Term: "a"}},
+		Size:    10,
+	})
+	ids := hitIDs(hits)
+	if ids["a"] || !ids["b"] {
+		t.Errorf("must-not exclusion broken: %v", hits)
+	}
+}
+
+func TestSearchBoost(t *testing.T) {
+	ix := NewIndex()
+	ix.Put(Doc{ID: "a", Fields: indicators("x")})
+	ix.Put(Doc{ID: "b", Fields: indicators("y")})
+	hits := ix.Search(Query{
+		Should: []TermQuery{
+			{Field: "indicators", Term: "x", Boost: 1},
+			{Field: "indicators", Term: "y", Boost: 10},
+		},
+		Size: 10,
+	})
+	if len(hits) != 2 || hits[0].ID != "b" {
+		t.Errorf("boost ignored: %v", hits)
+	}
+}
+
+func TestSearchSizeLimitsAndDeterministicOrder(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 50; i++ {
+		ix.Put(Doc{ID: fmt.Sprintf("d%02d", i), Fields: indicators("x")})
+	}
+	hits := ix.Search(Query{Should: should("x"), Size: 7})
+	if len(hits) != 7 {
+		t.Fatalf("got %d hits, want 7", len(hits))
+	}
+	// Equal scores: ties broken by ascending ID, so the result is the
+	// lexicographically first 7 IDs.
+	for i, h := range hits {
+		want := fmt.Sprintf("d%02d", i)
+		if h.ID != want {
+			t.Errorf("hit[%d] = %s, want %s", i, h.ID, want)
+		}
+	}
+	again := ix.Search(Query{Should: should("x"), Size: 7})
+	for i := range hits {
+		if hits[i] != again[i] {
+			t.Fatal("search is not deterministic")
+		}
+	}
+}
+
+func TestSearchEmptyCases(t *testing.T) {
+	ix := NewIndex()
+	ix.Put(Doc{ID: "a", Fields: indicators("x")})
+	if hits := ix.Search(Query{Should: should("x"), Size: 0}); hits != nil {
+		t.Errorf("Size=0 returned %v", hits)
+	}
+	if hits := ix.Search(Query{Size: 5}); hits != nil {
+		t.Errorf("no Should clauses returned %v", hits)
+	}
+	if hits := ix.Search(Query{Should: should("absent"), Size: 5}); len(hits) != 0 {
+		t.Errorf("absent term returned %v", hits)
+	}
+}
+
+func TestLengthNormPrefersFocusedDocs(t *testing.T) {
+	ix := NewIndex()
+	long := make([]string, 100)
+	for i := range long {
+		long[i] = fmt.Sprintf("t%d", i)
+	}
+	long[0] = "x"
+	ix.Put(Doc{ID: "diluted", Fields: indicators(long...)})
+	ix.Put(Doc{ID: "focused", Fields: indicators("x")})
+	hits := ix.Search(Query{Should: should("x"), Size: 2})
+	if len(hits) != 2 || hits[0].ID != "focused" {
+		t.Errorf("length norm not applied: %v", hits)
+	}
+}
+
+func TestTopKProperty(t *testing.T) {
+	// topK must return the k highest-scoring entries in order.
+	f := func(raw []uint16, kRaw uint8) bool {
+		scores := make(map[string]float64, len(raw))
+		for i, v := range raw {
+			scores[fmt.Sprintf("d%04d", i)] = float64(v)
+		}
+		k := int(kRaw)%10 + 1
+		got := topK(scores, k)
+
+		all := make([]Hit, 0, len(scores))
+		for id, s := range scores {
+			all = append(all, Hit{ID: id, Score: s})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Score != all[j].Score {
+				return all[i].Score > all[j].Score
+			}
+			return all[i].ID < all[j].ID
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	ix := NewIndex()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ix.Put(Doc{ID: fmt.Sprintf("g%d-%d", g, i), Fields: indicators("x")})
+				ix.Search(Query{Should: should("x"), Size: 5})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ix.Len() != 400 {
+		t.Errorf("Len = %d, want 400", ix.Len())
+	}
+}
+
+func hitIDs(hits []Hit) map[string]bool {
+	ids := make(map[string]bool, len(hits))
+	for _, h := range hits {
+		ids[h.ID] = true
+	}
+	return ids
+}

@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// snapshot.go gives the document store durability: the MongoDB instance it
+// substitutes persists engine inputs across restarts (§7), so a Harness
+// operator can stop and resume without losing pending feedback. Snapshots
+// are JSON streams: deterministic, diffable, and independent of the
+// in-memory layout.
+
+// snapshotFile is the serialized form of a whole store.
+type snapshotFile struct {
+	Version     int                  `json:"version"`
+	Collections []collectionSnapshot `json:"collections"`
+}
+
+type collectionSnapshot struct {
+	Name    string             `json:"name"`
+	Indexes []string           `json:"indexes"`
+	NextID  uint64             `json:"next_id"`
+	Docs    []documentSnapshot `json:"docs"`
+}
+
+type documentSnapshot struct {
+	ID     string            `json:"id"`
+	Fields map[string]string `json:"fields"`
+}
+
+const snapshotVersion = 1
+
+// WriteSnapshot serializes the whole store. Collections and documents are
+// emitted in sorted order so identical states produce identical bytes.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	collections := make([]*Collection, 0, len(s.collections))
+	for _, c := range s.collections {
+		collections = append(collections, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(collections, func(i, j int) bool { return collections[i].name < collections[j].name })
+
+	file := snapshotFile{Version: snapshotVersion}
+	for _, c := range collections {
+		file.Collections = append(file.Collections, c.snapshot())
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(file); err != nil {
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	return nil
+}
+
+func (c *Collection) snapshot() collectionSnapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := collectionSnapshot{Name: c.name, NextID: c.nextID}
+	for field := range c.indexes {
+		snap.Indexes = append(snap.Indexes, field)
+	}
+	sort.Strings(snap.Indexes)
+	for _, d := range c.docs {
+		snap.Docs = append(snap.Docs, documentSnapshot{ID: d.ID, Fields: d.clone().Fields})
+	}
+	sort.Slice(snap.Docs, func(i, j int) bool { return snap.Docs[i].ID < snap.Docs[j].ID })
+	return snap
+}
+
+// LoadSnapshot reads a snapshot into a fresh store; it fails without side
+// effects on malformed input.
+func LoadSnapshot(r io.Reader) (*Store, error) {
+	var file snapshotFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if file.Version != snapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d unsupported", file.Version)
+	}
+	s := New()
+	for _, cs := range file.Collections {
+		c := s.Collection(cs.Name)
+		for _, field := range cs.Indexes {
+			c.EnsureIndex(field)
+		}
+		c.mu.Lock()
+		for _, d := range cs.Docs {
+			doc := Document{ID: d.ID, Fields: make(map[string]string, len(d.Fields))}
+			for k, v := range d.Fields {
+				doc.Fields[k] = v
+			}
+			c.docs[d.ID] = doc
+			for field, idx := range c.indexes {
+				if v, ok := doc.Fields[field]; ok {
+					idx[v] = append(idx[v], d.ID)
+				}
+			}
+		}
+		c.nextID = cs.NextID
+		c.mu.Unlock()
+	}
+	return s, nil
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func buildStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	events := s.Collection("events")
+	events.EnsureIndex("user")
+	for i := 0; i < 20; i++ {
+		events.Insert(map[string]string{
+			"user": "u" + strconv.Itoa(i%4),
+			"item": "i" + strconv.Itoa(i),
+		})
+	}
+	items := s.Collection("items")
+	items.Insert(map[string]string{"name": "catalog-entry"})
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := buildStore(t)
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := restored.Collection("events").Count(); got != 20 {
+		t.Errorf("restored events = %d, want 20", got)
+	}
+	if got := restored.Collection("items").Count(); got != 1 {
+		t.Errorf("restored items = %d", got)
+	}
+	// Secondary indexes survive.
+	if got := len(restored.Collection("events").FindBy("user", "u1")); got != 5 {
+		t.Errorf("indexed lookup after restore = %d, want 5", got)
+	}
+	// Primary-key allocation continues without collisions.
+	id := restored.Collection("events").Insert(map[string]string{"user": "new"})
+	if _, exists := restored.Collection("events").Get(id); !exists {
+		t.Fatal("insert after restore failed")
+	}
+	if restored.Collection("events").Count() != 21 {
+		t.Error("insert after restore collided with restored document")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	s := buildStore(t)
+	var a, b bytes.Buffer
+	if err := s.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical state produced different snapshots")
+	}
+}
+
+func TestLoadSnapshotRejectsMalformed(t *testing.T) {
+	if _, err := LoadSnapshot(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+	if _, err := LoadSnapshot(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("unknown snapshot version accepted")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(restored.Names()); got != 0 {
+		t.Errorf("restored empty store has %d collections", got)
+	}
+}

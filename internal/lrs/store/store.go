@@ -1,0 +1,232 @@
+// Package store is the in-memory document store backing the legacy
+// recommendation system, standing in for the MongoDB instance that Harness
+// uses to persist engine data and inputs pending processing (§7 of the
+// PProx paper): feedback events received via post requests are stored here
+// until the periodic training job folds them into the model.
+//
+// It is a deliberately small but real database: named collections of
+// string-field documents, auto-assigned primary keys, optional secondary
+// indexes, and atomic scans — everything the Universal Recommender
+// substrate needs, nothing more.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// ErrNoCollection reports access to a collection that was never created.
+var ErrNoCollection = errors.New("store: no such collection")
+
+// Document is one stored record: an assigned primary key plus string
+// fields.
+type Document struct {
+	ID     string
+	Fields map[string]string
+}
+
+func (d Document) clone() Document {
+	cp := Document{ID: d.ID, Fields: make(map[string]string, len(d.Fields))}
+	for k, v := range d.Fields {
+		cp.Fields[k] = v
+	}
+	return cp
+}
+
+// Store is a set of named collections.
+type Store struct {
+	mu          sync.Mutex
+	collections map[string]*Collection
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Collection returns the named collection, creating it if needed.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		c = newCollection(name)
+		s.collections[name] = c
+	}
+	return c
+}
+
+// Drop removes a collection and its contents. Dropping an absent
+// collection returns ErrNoCollection.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.collections[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoCollection, name)
+	}
+	delete(s.collections, name)
+	return nil
+}
+
+// Names lists existing collections.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Collection is one document collection with optional secondary indexes.
+type Collection struct {
+	name string
+
+	mu      sync.RWMutex
+	docs    map[string]Document
+	indexes map[string]map[string][]string // field → value → doc IDs
+	nextID  uint64
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		docs:    make(map[string]Document),
+		indexes: make(map[string]map[string][]string),
+	}
+}
+
+// EnsureIndex creates a secondary index on a field; existing documents are
+// indexed immediately. Creating an existing index is a no-op.
+func (c *Collection) EnsureIndex(field string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[field]; ok {
+		return
+	}
+	idx := make(map[string][]string)
+	for id, doc := range c.docs {
+		if v, ok := doc.Fields[field]; ok {
+			idx[v] = append(idx[v], id)
+		}
+	}
+	c.indexes[field] = idx
+}
+
+// Insert stores a document with an auto-assigned primary key and returns
+// the key. Field maps are copied.
+func (c *Collection) Insert(fields map[string]string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.name + "/" + strconv.FormatUint(c.nextID, 10)
+	doc := Document{ID: id, Fields: make(map[string]string, len(fields))}
+	for k, v := range fields {
+		doc.Fields[k] = v
+	}
+	c.docs[id] = doc
+	for field, idx := range c.indexes {
+		if v, ok := doc.Fields[field]; ok {
+			idx[v] = append(idx[v], id)
+		}
+	}
+	return id
+}
+
+// Get returns the document with the given primary key.
+func (c *Collection) Get(id string) (Document, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return Document{}, false
+	}
+	return d.clone(), true
+}
+
+// FindBy returns all documents whose field equals value, using the
+// secondary index when one exists and a full scan otherwise.
+func (c *Collection) FindBy(field, value string) []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if idx, ok := c.indexes[field]; ok {
+		ids := idx[value]
+		out := make([]Document, 0, len(ids))
+		for _, id := range ids {
+			if d, ok := c.docs[id]; ok {
+				out = append(out, d.clone())
+			}
+		}
+		return out
+	}
+	var out []Document
+	for _, d := range c.docs {
+		if d.Fields[field] == value {
+			out = append(out, d.clone())
+		}
+	}
+	return out
+}
+
+// Delete removes a document by primary key; it reports whether the
+// document existed.
+func (c *Collection) Delete(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc, ok := c.docs[id]
+	if !ok {
+		return false
+	}
+	delete(c.docs, id)
+	for field, idx := range c.indexes {
+		v, ok := doc.Fields[field]
+		if !ok {
+			continue
+		}
+		ids := idx[v]
+		for i, cand := range ids {
+			if cand == id {
+				idx[v] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(idx[v]) == 0 {
+			delete(idx, v)
+		}
+	}
+	return true
+}
+
+// Count returns the number of stored documents.
+func (c *Collection) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Scan visits every document (in unspecified order) until fn returns
+// false. Documents are cloned, so fn may retain them; mutating the
+// collection from within fn deadlocks, as with any cursor.
+func (c *Collection) Scan(fn func(Document) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, d := range c.docs {
+		if !fn(d.clone()) {
+			return
+		}
+	}
+}
+
+// Clear removes every document but keeps index definitions, as when the
+// training job consumes pending inputs.
+func (c *Collection) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs = make(map[string]Document)
+	for field := range c.indexes {
+		c.indexes[field] = make(map[string][]string)
+	}
+}

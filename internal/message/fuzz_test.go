@@ -1,0 +1,57 @@
+package message
+
+import (
+	"testing"
+
+	"pprox/internal/ppcrypto"
+)
+
+// Fuzz targets guard the parsers that face adversary-controlled bytes:
+// the proxy layers and the user-side library must never panic on hostile
+// input, only reject it. Run with `go test -fuzz=FuzzDecodeItemList
+// ./internal/message` to explore; the seed corpus runs in normal tests.
+
+func FuzzDecodeItemList(f *testing.F) {
+	good, _ := EncodeItemList([]string{"a", "b"})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, MaxRecommendations*ppcrypto.IDBlockSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeItemList(data)
+		if err == nil && len(items) > MaxRecommendations {
+			t.Fatalf("decoded %d items, above maximum", len(items))
+		}
+	})
+}
+
+func FuzzUnpadID(f *testing.F) {
+	block, _ := ppcrypto.PadID("user-1")
+	f.Add(block)
+	f.Add(make([]byte, ppcrypto.IDBlockSize))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, err := ppcrypto.UnpadID(data)
+		if err == nil && len(id) > ppcrypto.IDBlockSize-2 {
+			t.Fatalf("unpadded %d bytes from a %d-byte block", len(id), ppcrypto.IDBlockSize)
+		}
+	})
+}
+
+func FuzzUnmarshalPostRequest(f *testing.F) {
+	f.Add([]byte(`{"enc_user":"AAAA","enc_item":"BBBB"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req PostRequest
+		_ = Unmarshal(data, &req) // must never panic
+	})
+}
+
+func FuzzDecode64(f *testing.F) {
+	f.Add("QUFBQQ==")
+	f.Add("!!!")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = Decode64(s) // must never panic
+	})
+}

@@ -1,0 +1,184 @@
+package message
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pprox/internal/ppcrypto"
+)
+
+func TestEncodeDecodeItemListRoundTrip(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{},
+		{"item-1"},
+		{"a", "b", "c"},
+		manyItems(MaxRecommendations),
+	}
+	for _, items := range cases {
+		data, err := EncodeItemList(items)
+		if err != nil {
+			t.Fatalf("EncodeItemList(%v): %v", items, err)
+		}
+		got, err := DecodeItemList(data)
+		if err != nil {
+			t.Fatalf("DecodeItemList: %v", err)
+		}
+		want := items
+		if want == nil {
+			want = []string{}
+		}
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %v, want %v", got, want)
+		}
+	}
+}
+
+func manyItems(n int) []string {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = strings.Repeat("i", i+1)
+	}
+	return items
+}
+
+func TestEncodeItemListConstantSize(t *testing.T) {
+	// §4.3: the encoded list must have the same size whether the LRS
+	// returned 0, 1, or 20 recommendations.
+	sizes := map[int]bool{}
+	for _, items := range [][]string{{}, {"one"}, manyItems(MaxRecommendations)} {
+		data, err := EncodeItemList(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[len(data)] = true
+	}
+	if len(sizes) != 1 {
+		t.Errorf("item-list sizes vary: %v", sizes)
+	}
+}
+
+func TestEncodeItemListRejectsOverflow(t *testing.T) {
+	_, err := EncodeItemList(manyItems(MaxRecommendations + 1))
+	if !errors.Is(err, ErrTooManyItems) {
+		t.Fatalf("err=%v, want ErrTooManyItems", err)
+	}
+}
+
+func TestDecodeItemListRejectsWrongSize(t *testing.T) {
+	if _, err := DecodeItemList(make([]byte, 13)); !errors.Is(err, ErrMalformedList) {
+		t.Fatalf("err=%v, want ErrMalformedList", err)
+	}
+}
+
+func TestItemListProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		items := make([]string, 0, MaxRecommendations)
+		for _, r := range raw {
+			if len(items) == MaxRecommendations {
+				break
+			}
+			if len(r) > ppcrypto.IDBlockSize-2 {
+				r = r[:ppcrypto.IDBlockSize-2]
+			}
+			items = append(items, string(r))
+		}
+		data, err := EncodeItemList(items)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeItemList(data)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range got {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBase64RoundTrip(t *testing.T) {
+	in := []byte{0, 1, 2, 255, 254}
+	out, err := Decode64(Encode64(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(in) {
+		t.Error("base64 round trip mismatch")
+	}
+	if _, err := Decode64("!!not base64!!"); err == nil {
+		t.Error("Decode64 accepted garbage")
+	}
+}
+
+func TestJSONEnvelopes(t *testing.T) {
+	post := PostRequest{EncUser: "AAA", EncItem: "BBB", Payload: "4.5"}
+	b, err := Marshal(post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PostRequest
+	if err := Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != post {
+		t.Errorf("post round trip: got %+v", got)
+	}
+
+	get := GetRequest{EncUser: "AAA", EncTempKey: "KKK"}
+	b, err = Marshal(get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotGet GetRequest
+	if err := Unmarshal(b, &gotGet); err != nil {
+		t.Fatal(err)
+	}
+	if gotGet != get {
+		t.Errorf("get round trip: got %+v", gotGet)
+	}
+
+	if err := Unmarshal([]byte("{"), &gotGet); err == nil {
+		t.Error("Unmarshal accepted truncated JSON")
+	}
+}
+
+func TestGetRequestTempKeyOmitted(t *testing.T) {
+	// The IA layer strips the temp key before contacting the LRS; the
+	// serialized form must not leak an empty marker field.
+	b, err := Marshal(GetRequest{EncUser: "AAA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "enc_temp_key") {
+		t.Errorf("empty temp key serialized: %s", b)
+	}
+}
+
+func TestPseudoItemBlockCannotCollideWithRealItem(t *testing.T) {
+	// PadID can never produce the 0xFFFF header; verify the invariant the
+	// codec relies on.
+	longest := strings.Repeat("x", ppcrypto.IDBlockSize-2)
+	block, err := ppcrypto.PadID(longest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isPseudoItemBlock(block) {
+		t.Error("a real identifier block matched the pseudo-item marker")
+	}
+}

@@ -1,0 +1,79 @@
+// Package metrics provides the operational observability the paper's
+// testbed gets from its fluentd log pipeline (§7.2): every component
+// exposes its counters on a /metrics endpoint in the Prometheus text
+// exposition format (gauges only — the needs of the evaluation are
+// counts and levels, not histograms, which live in internal/stats).
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Registry collects named gauges; reading the endpoint samples each
+// gauge's function.
+type Registry struct {
+	mu     sync.Mutex
+	gauges map[string]func() float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{gauges: make(map[string]func() float64)}
+}
+
+// Gauge registers a sampled value under a metric name (snake_case by
+// convention). Re-registering a name replaces the sampler.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Snapshot samples every gauge.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	fns := make([]func() float64, 0, len(r.gauges))
+	for n, fn := range r.gauges {
+		names = append(names, n)
+		fns = append(fns, fn)
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(names))
+	for i, n := range names {
+		out[n] = fns[i]()
+	}
+	return out
+}
+
+// ServeHTTP renders the registry in the text exposition format, sorted by
+// name for stable output.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %g\n", n, snap[n])
+	}
+}
+
+var _ http.Handler = (*Registry)(nil)
+
+// Mux wraps an application handler, serving /metrics from the registry
+// and everything else from the handler.
+func Mux(r *Registry, app http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method == http.MethodGet && req.URL.Path == "/metrics" {
+			r.ServeHTTP(w, req)
+			return
+		}
+		app.ServeHTTP(w, req)
+	})
+}

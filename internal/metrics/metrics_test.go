@@ -1,0 +1,97 @@
+package metrics_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pprox/internal/cluster"
+	"pprox/internal/metrics"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Gauge("b_metric", func() float64 { return 2.5 })
+	r.Gauge("a_metric", func() float64 { return 1 })
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	want := "a_metric 1\nb_metric 2.5\n"
+	if body != want {
+		t.Errorf("exposition = %q, want %q (sorted)", body, want)
+	}
+}
+
+func TestRegistryReplaceAndSnapshot(t *testing.T) {
+	r := metrics.NewRegistry()
+	v := 1.0
+	r.Gauge("x", func() float64 { return v })
+	v = 7
+	if got := r.Snapshot()["x"]; got != 7 {
+		t.Errorf("snapshot = %v, want live value 7", got)
+	}
+	r.Gauge("x", func() float64 { return 42 })
+	if got := r.Snapshot()["x"]; got != 42 {
+		t.Errorf("snapshot after replace = %v", got)
+	}
+}
+
+func TestMuxRoutesMetricsAndApp(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Gauge("m", func() float64 { return 3 })
+	app := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		io.WriteString(w, "app")
+	})
+	h := metrics.Mux(r, app)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "m 3") {
+		t.Errorf("metrics body = %q", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/other", nil))
+	if rec.Body.String() != "app" {
+		t.Errorf("app body = %q", rec.Body.String())
+	}
+}
+
+func TestProxyLayerMetrics(t *testing.T) {
+	// Deploy, drive traffic, and read the layer's gauges.
+	d, err := cluster.Deploy(cluster.Spec{
+		ProxyEnabled: true, UA: 1, IA: 1,
+		Encryption: true, ItemPseudonyms: true,
+		Shuffle: 2, ShuffleTimeout: 20 * time.Millisecond,
+		UseStub: true, LRSFrontends: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	reg := metrics.NewRegistry()
+	d.UALayers[0].RegisterMetrics(reg, "pprox_ua")
+
+	cl := d.Client(10 * time.Second)
+	if _, err := cl.Get(t.Context(), "metrics-user"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap["pprox_ua_requests_served_total"] != 1 {
+		t.Errorf("served = %v", snap["pprox_ua_requests_served_total"])
+	}
+	if snap["pprox_ua_ecalls_total"] < 1 {
+		t.Errorf("ecalls = %v", snap["pprox_ua_ecalls_total"])
+	}
+	if snap["pprox_ua_shuffle_flushes_total"] < 1 {
+		t.Errorf("flushes = %v", snap["pprox_ua_shuffle_flushes_total"])
+	}
+	if _, ok := snap["pprox_ua_epc_pages_used"]; !ok {
+		t.Error("EPC gauge missing")
+	}
+}

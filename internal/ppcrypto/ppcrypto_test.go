@@ -1,0 +1,374 @@
+package ppcrypto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testKeyPair is generated once; RSA generation is slow and the tests only
+// need any valid pair.
+var testKeyPair = mustGenerate()
+
+func mustGenerate() *KeyPair {
+	kp, err := GenerateKeyPair()
+	if err != nil {
+		panic(err)
+	}
+	return kp
+}
+
+func mustKey(t *testing.T) []byte {
+	t.Helper()
+	k, err := NewSymmetricKey()
+	if err != nil {
+		t.Fatalf("NewSymmetricKey: %v", err)
+	}
+	return k
+}
+
+func TestPadUnpadRoundTrip(t *testing.T) {
+	for _, id := range []string{"", "u", "user-42", strings.Repeat("x", IDBlockSize-2)} {
+		block, err := PadID(id)
+		if err != nil {
+			t.Fatalf("PadID(%q): %v", id, err)
+		}
+		if len(block) != IDBlockSize {
+			t.Fatalf("PadID(%q): block size %d, want %d", id, len(block), IDBlockSize)
+		}
+		got, err := UnpadID(block)
+		if err != nil {
+			t.Fatalf("UnpadID(PadID(%q)): %v", id, err)
+		}
+		if got != id {
+			t.Errorf("round trip: got %q, want %q", got, id)
+		}
+	}
+}
+
+func TestPadIDTooLong(t *testing.T) {
+	if _, err := PadID(strings.Repeat("x", IDBlockSize-1)); err == nil {
+		t.Fatal("PadID accepted an identifier longer than the block")
+	}
+}
+
+func TestUnpadIDRejectsMalformed(t *testing.T) {
+	t.Run("wrong size", func(t *testing.T) {
+		if _, err := UnpadID(make([]byte, IDBlockSize-1)); err == nil {
+			t.Error("UnpadID accepted a short block")
+		}
+	})
+	t.Run("length header beyond block", func(t *testing.T) {
+		block := make([]byte, IDBlockSize)
+		block[0] = 0xFF
+		block[1] = 0xFF
+		if _, err := UnpadID(block); err == nil {
+			t.Error("UnpadID accepted an oversized length header")
+		}
+	})
+	t.Run("nonzero padding", func(t *testing.T) {
+		block, err := PadID("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		block[IDBlockSize-1] = 1
+		if _, err := UnpadID(block); err == nil {
+			t.Error("UnpadID accepted nonzero padding")
+		}
+	})
+}
+
+func TestPadIDProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) > IDBlockSize-2 {
+			raw = raw[:IDBlockSize-2]
+		}
+		id := string(raw)
+		block, err := PadID(id)
+		if err != nil {
+			return false
+		}
+		got, err := UnpadID(block)
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOAEPRoundTrip(t *testing.T) {
+	block, err := PadID("user-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := EncryptOAEP(testKeyPair.Public, block)
+	if err != nil {
+		t.Fatalf("EncryptOAEP: %v", err)
+	}
+	if len(ct) != RSACiphertextSize {
+		t.Fatalf("ciphertext size %d, want constant %d", len(ct), RSACiphertextSize)
+	}
+	pt, err := DecryptOAEP(testKeyPair.Private, ct)
+	if err != nil {
+		t.Fatalf("DecryptOAEP: %v", err)
+	}
+	if !bytes.Equal(pt, block) {
+		t.Error("OAEP round trip mismatch")
+	}
+}
+
+func TestOAEPIsRandomized(t *testing.T) {
+	// §4.1: randomized encryption of the same identifier must yield
+	// different ciphertexts, which is why it cannot serve as a pseudonym.
+	block, err := PadID("user-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := EncryptOAEP(testKeyPair.Public, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncryptOAEP(testKeyPair.Public, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("two OAEP encryptions of the same plaintext are identical")
+	}
+}
+
+func TestDecryptOAEPWrongKey(t *testing.T) {
+	other, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, _ := PadID("user-1")
+	ct, err := EncryptOAEP(testKeyPair.Public, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptOAEP(other.Private, ct); err == nil {
+		t.Error("DecryptOAEP succeeded with the wrong private key")
+	}
+}
+
+func TestDecryptOAEPRejectsWrongSize(t *testing.T) {
+	if _, err := DecryptOAEP(testKeyPair.Private, make([]byte, 17)); err == nil {
+		t.Error("DecryptOAEP accepted a short ciphertext")
+	}
+}
+
+func TestDetEncryptIsDeterministic(t *testing.T) {
+	key := mustKey(t)
+	block, _ := PadID("item-9")
+	a, err := DetEncrypt(key, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DetEncrypt(key, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("deterministic encryption produced two different ciphertexts")
+	}
+	if bytes.Equal(a, block) {
+		t.Error("deterministic encryption left the plaintext unchanged")
+	}
+}
+
+func TestDetEncryptDistinctInputsDistinctOutputs(t *testing.T) {
+	key := mustKey(t)
+	a, _ := PadID("item-1")
+	b, _ := PadID("item-2")
+	ca, err := DetEncrypt(key, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := DetEncrypt(key, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ca, cb) {
+		t.Error("two distinct identifiers pseudonymize to the same value")
+	}
+}
+
+func TestDetRoundTripProperty(t *testing.T) {
+	key := mustKey(t)
+	f := func(data []byte) bool {
+		ct, err := DetEncrypt(key, data)
+		if err != nil {
+			return false
+		}
+		pt, err := DetDecrypt(key, ct)
+		return err == nil && bytes.Equal(pt, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEncryptIsRandomized(t *testing.T) {
+	key := mustKey(t)
+	msg := []byte("recommendations: i1,i2,i3")
+	a, err := SymEncrypt(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SymEncrypt(key, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("randomized symmetric encryption produced identical ciphertexts")
+	}
+}
+
+func TestSymRoundTripProperty(t *testing.T) {
+	key := mustKey(t)
+	f := func(data []byte) bool {
+		ct, err := SymEncrypt(key, data)
+		if err != nil {
+			return false
+		}
+		pt, err := SymDecrypt(key, ct)
+		return err == nil && bytes.Equal(pt, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymDecryptRejectsShortCiphertext(t *testing.T) {
+	key := mustKey(t)
+	if _, err := SymDecrypt(key, []byte{1, 2, 3}); err == nil {
+		t.Error("SymDecrypt accepted a ciphertext shorter than the IV")
+	}
+}
+
+func TestSymmetricKeySizeEnforced(t *testing.T) {
+	if _, err := DetEncrypt([]byte("short"), make([]byte, IDBlockSize)); err == nil {
+		t.Error("DetEncrypt accepted a short key")
+	}
+	if _, err := SymEncrypt([]byte("short"), []byte("x")); err == nil {
+		t.Error("SymEncrypt accepted a short key")
+	}
+}
+
+func TestPseudonymizeStableAndReversible(t *testing.T) {
+	key := mustKey(t)
+	p1, err := Pseudonymize(key, "user-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Pseudonymize(key, "user-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Error("pseudonym is not stable across calls")
+	}
+	id, err := Depseudonymize(key, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "user-7" {
+		t.Errorf("Depseudonymize: got %q, want %q", id, "user-7")
+	}
+}
+
+func TestDepseudonymizeWrongKeyFailsOrGarbles(t *testing.T) {
+	// With the wrong permanent key the padding check almost always
+	// rejects the block; if it happens to parse, the identifier must
+	// differ. Either way the adversary does not learn the cleartext.
+	k1, k2 := mustKey(t), mustKey(t)
+	p, err := Pseudonymize(k1, "user-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := Depseudonymize(k2, p)
+	if err == nil && id == "user-7" {
+		t.Error("wrong key recovered the cleartext identifier")
+	}
+}
+
+func TestPseudonymProperty(t *testing.T) {
+	key := mustKey(t)
+	f := func(raw []byte) bool {
+		if len(raw) > IDBlockSize-2 {
+			raw = raw[:IDBlockSize-2]
+		}
+		id := string(raw)
+		p, err := Pseudonymize(key, id)
+		if err != nil {
+			return false
+		}
+		got, err := Depseudonymize(key, p)
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyMarshalRoundTrip(t *testing.T) {
+	pubDER, err := MarshalPublicKey(testKeyPair.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := UnmarshalPublicKey(pubDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(testKeyPair.Public.N) != 0 || pub.E != testKeyPair.Public.E {
+		t.Error("public key round trip mismatch")
+	}
+
+	privDER, err := MarshalPrivateKey(testKeyPair.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, err := UnmarshalPrivateKey(privDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.D.Cmp(testKeyPair.Private.D) != 0 {
+		t.Error("private key round trip mismatch")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalPublicKey([]byte("not DER")); err == nil {
+		t.Error("UnmarshalPublicKey accepted garbage")
+	}
+	if _, err := UnmarshalPrivateKey([]byte("not DER")); err == nil {
+		t.Error("UnmarshalPrivateKey accepted garbage")
+	}
+}
+
+func TestConstantCiphertextSizes(t *testing.T) {
+	// §4.3: "The size of all encrypted messages is constant, by using
+	// fixed-size user and item identifiers, and padding when necessary."
+	key := mustKey(t)
+	var sizes []int
+	for _, id := range []string{"u", "a-much-longer-user-identifier-string"} {
+		block, err := PadID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := EncryptOAEP(testKeyPair.Public, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := DetEncrypt(key, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(ct), len(det))
+	}
+	if sizes[0] != sizes[2] || sizes[1] != sizes[3] {
+		t.Errorf("ciphertext sizes vary with identifier length: %v", sizes)
+	}
+}

@@ -1,0 +1,314 @@
+package proxy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"pprox/internal/enclave"
+	"pprox/internal/message"
+	"pprox/internal/ppcrypto"
+)
+
+// Secret names under which layer key material is provisioned into
+// enclaves (Table 1 of the paper).
+const (
+	// SecretPrivateKey is skUA / skIA: the layer private key decrypting
+	// fields the user-side library encrypted for this layer alone.
+	SecretPrivateKey = "sk"
+	// SecretPermanentKey is kUA / kIA: the permanent symmetric key
+	// deterministically pseudonymizing identifiers for the LRS.
+	SecretPermanentKey = "k"
+)
+
+// ECALL entry points registered by each layer's enclave code.
+const (
+	ecallUAPost    = "ua/post"
+	ecallUAGet     = "ua/get"
+	ecallIAPost    = "ia/post"
+	ecallIAGet     = "ia/get"
+	ecallIAGetResp = "ia/get-response"
+)
+
+// Code identities measured at attestation time. Version changes (e.g. the
+// item-pseudonymization variant) change the measurement, so a provisioner
+// always knows which code it is trusting with keys.
+var (
+	// UAIdentity is the User Anonymizer enclave code identity.
+	UAIdentity = enclave.CodeIdentity{Name: "pprox-ua", Version: "1.0"}
+	// IAIdentity is the Item Anonymizer enclave code identity.
+	IAIdentity = enclave.CodeIdentity{Name: "pprox-ia", Version: "1.0"}
+	// IAIdentityNoItemPseudonyms is the IA variant with item
+	// pseudonymization disabled (§6.3, configuration m4).
+	IAIdentityNoItemPseudonyms = enclave.CodeIdentity{Name: "pprox-ia", Version: "1.0-noitempseudo"}
+)
+
+// iaGetCall frames the IA get-path ECALL: the opaque request body plus the
+// host-chosen handle under which the enclave parks the temporary key k_u
+// in its EPC key-value store until the LRS response arrives.
+type iaGetCall struct {
+	Handle string          `json:"handle"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// errEnclave wraps handler-internal failures; the untrusted server sees
+// only that processing failed, never why a ciphertext was rejected.
+var errEnclave = errors.New("proxy: enclave processing failed")
+
+// TenantSecret qualifies a secret name for a tenant: one enclave may be
+// provisioned with several applications' keys (§6.3 multi-tenancy). The
+// empty tenant selects the single-tenant names.
+func TenantSecret(base, tenant string) string {
+	if tenant == "" {
+		return base
+	}
+	return base + "@" + tenant
+}
+
+func getSecret(s enclave.Secrets, base, tenant string) ([]byte, error) {
+	name := TenantSecret(base, tenant)
+	v, ok := s.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: secret %q missing", errEnclave, name)
+	}
+	return v, nil
+}
+
+func privateKey(s enclave.Secrets, tenant string) (*ppcrypto.KeyPair, error) {
+	der, err := getSecret(s, SecretPrivateKey, tenant)
+	if err != nil {
+		return nil, err
+	}
+	priv, err := ppcrypto.UnmarshalPrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errEnclave, err)
+	}
+	return &ppcrypto.KeyPair{Private: priv, Public: &priv.PublicKey}, nil
+}
+
+// NewUAEnclave launches a User Anonymizer enclave on the platform and
+// registers its measured code. The UA layer sees the user identifier in
+// the clear (after decrypting with skUA) and replaces it with its stable
+// pseudonym det_enc(u, kUA); it can never see item identifiers (§3).
+func NewUAEnclave(p *enclave.Platform) *enclave.Enclave {
+	e := p.Launch(UAIdentity)
+
+	pseudonymizeUser := func(s enclave.Secrets, tenant, encUser string) (string, error) {
+		kp, err := privateKey(s, tenant)
+		if err != nil {
+			return "", err
+		}
+		kUA, err := getSecret(s, SecretPermanentKey, tenant)
+		if err != nil {
+			return "", err
+		}
+		ct, err := message.Decode64(encUser)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		block, err := ppcrypto.DecryptOAEP(kp.Private, ct)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		u, err := ppcrypto.UnpadID(block)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		pseudo, err := ppcrypto.Pseudonymize(kUA, u)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		return message.Encode64(pseudo), nil
+	}
+
+	e.Register(ecallUAPost, func(s enclave.Secrets, _ *enclave.KV, in []byte) ([]byte, error) {
+		var req message.PostRequest
+		if err := message.Unmarshal(in, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		pseudo, err := pseudonymizeUser(s, req.Tenant, req.EncUser)
+		if err != nil {
+			return nil, err
+		}
+		req.EncUser = pseudo
+		return message.Marshal(req)
+	})
+
+	e.Register(ecallUAGet, func(s enclave.Secrets, _ *enclave.KV, in []byte) ([]byte, error) {
+		var req message.GetRequest
+		if err := message.Unmarshal(in, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		pseudo, err := pseudonymizeUser(s, req.Tenant, req.EncUser)
+		if err != nil {
+			return nil, err
+		}
+		req.EncUser = pseudo
+		return message.Marshal(req)
+	})
+
+	return e
+}
+
+// IAOptions selects Item Anonymizer code variants.
+type IAOptions struct {
+	// DisableItemPseudonymization sends item identifiers to the LRS in
+	// the clear (§6.3): useful for semantics-based recommenders, at the
+	// cost of weakening the adversary the design tolerates.
+	DisableItemPseudonymization bool
+}
+
+// IAIdentityFor returns the code identity matching the options, for
+// attestation.
+func IAIdentityFor(opts IAOptions) enclave.CodeIdentity {
+	if opts.DisableItemPseudonymization {
+		return IAIdentityNoItemPseudonyms
+	}
+	return IAIdentity
+}
+
+// NewIAEnclave launches an Item Anonymizer enclave. The IA layer sees item
+// identifiers in the clear and pseudonymizes them for the LRS; it can
+// never see user identifiers or client addresses (§3). On the get path it
+// keeps the temporary key k_u in its EPC key-value store and uses it to
+// re-encrypt the recommendation list so the UA layer cannot read it.
+func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
+	e := p.Launch(IAIdentityFor(opts))
+
+	decryptItem := func(s enclave.Secrets, tenant, encItem string) (string, error) {
+		kp, err := privateKey(s, tenant)
+		if err != nil {
+			return "", err
+		}
+		ct, err := message.Decode64(encItem)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		block, err := ppcrypto.DecryptOAEP(kp.Private, ct)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		item, err := ppcrypto.UnpadID(block)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		return item, nil
+	}
+
+	e.Register(ecallIAPost, func(s enclave.Secrets, _ *enclave.KV, in []byte) ([]byte, error) {
+		var req message.PostRequest
+		if err := message.Unmarshal(in, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		item, err := decryptItem(s, req.Tenant, req.EncItem)
+		if err != nil {
+			return nil, err
+		}
+		lrsItem := item
+		if !opts.DisableItemPseudonymization {
+			kIA, err := getSecret(s, SecretPermanentKey, req.Tenant)
+			if err != nil {
+				return nil, err
+			}
+			pseudo, err := ppcrypto.Pseudonymize(kIA, item)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", errEnclave, err)
+			}
+			lrsItem = message.Encode64(pseudo)
+		}
+		return message.Marshal(message.LRSPost{
+			User:    req.EncUser, // already det_enc(u, kUA) in base64
+			Item:    lrsItem,
+			Payload: req.Payload,
+			Event:   req.Event,
+			Tenant:  req.Tenant,
+		})
+	})
+
+	e.Register(ecallIAGet, func(s enclave.Secrets, kv *enclave.KV, in []byte) ([]byte, error) {
+		var call iaGetCall
+		if err := message.Unmarshal(in, &call); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		var req message.GetRequest
+		if err := message.Unmarshal(call.Body, &req); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		kp, err := privateKey(s, req.Tenant)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := message.Decode64(req.EncTempKey)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		ku, err := ppcrypto.DecryptOAEP(kp.Private, ct)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		if len(ku) != ppcrypto.SymmetricKeySize {
+			return nil, fmt.Errorf("%w: temporary key has wrong size", errEnclave)
+		}
+		// Park k_u (and the tenant whose kIA must decrypt the response)
+		// in the EPC KV store until the LRS answers; neither ever
+		// crosses the enclave boundary.
+		if err := kv.Put(call.Handle, append(ku, []byte(req.Tenant)...)); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		return message.Marshal(message.LRSGet{User: req.EncUser, N: message.MaxRecommendations, Tenant: req.Tenant})
+	})
+
+	e.Register(ecallIAGetResp, func(s enclave.Secrets, kv *enclave.KV, in []byte) ([]byte, error) {
+		var call iaGetCall
+		if err := message.Unmarshal(in, &call); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		var resp message.LRSGetResponse
+		if err := message.Unmarshal(call.Body, &resp); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		parked, ok := kv.Take(call.Handle)
+		if !ok || len(parked) < ppcrypto.SymmetricKeySize {
+			return nil, fmt.Errorf("%w: no pending temporary key for handle", errEnclave)
+		}
+		ku := parked[:ppcrypto.SymmetricKeySize]
+		tenant := string(parked[ppcrypto.SymmetricKeySize:])
+
+		items := resp.Items
+		if len(items) > message.MaxRecommendations {
+			items = items[:message.MaxRecommendations]
+		}
+		clear := make([]string, 0, len(items))
+		if opts.DisableItemPseudonymization {
+			clear = append(clear, items...)
+		} else {
+			kIA, err := getSecret(s, SecretPermanentKey, tenant)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				pseudo, err := message.Decode64(it)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", errEnclave, err)
+				}
+				id, err := ppcrypto.Depseudonymize(kIA, pseudo)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", errEnclave, err)
+				}
+				clear = append(clear, id)
+			}
+		}
+
+		packed, err := message.EncodeItemList(clear)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		encrypted, err := ppcrypto.SymEncrypt(ku, packed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		return message.Marshal(message.GetResponse{EncItems: message.Encode64(encrypted)})
+	})
+
+	return e
+}

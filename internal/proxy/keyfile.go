@@ -1,0 +1,140 @@
+package proxy
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+
+	"pprox/internal/ppcrypto"
+)
+
+// keyfile.go serializes key material for the cmd/ binaries and the
+// examples: the RaaS client application generates layer keys with
+// pprox-keygen, provisions the proxy processes with the full file, and
+// embeds only the public bundle in its front end.
+
+// KeyFile is the JSON form of both layers' full key material. It is held
+// by the RaaS client application only; proxy layer processes receive it
+// at start-up to provision their enclaves.
+type KeyFile struct {
+	UA LayerKeyJSON `json:"ua"`
+	IA LayerKeyJSON `json:"ia"`
+}
+
+// LayerKeyJSON is one layer's key material in serialized form.
+type LayerKeyJSON struct {
+	// PrivateKeyDER is the PKCS#8 private key, base64.
+	PrivateKeyDER string `json:"private_key_der"`
+	// PermanentKey is the 32-byte pseudonymization key, base64.
+	PermanentKey string `json:"permanent_key"`
+}
+
+// BundleFile is the JSON form of the public bundle embedded in the
+// user-side library.
+type BundleFile struct {
+	// UAPublicDER and IAPublicDER are PKIX public keys, base64.
+	UAPublicDER string `json:"ua_public_der"`
+	IAPublicDER string `json:"ia_public_der"`
+}
+
+// MarshalKeyFile serializes both layers' keys.
+func MarshalKeyFile(ua, ia *LayerKeys) ([]byte, error) {
+	uaJSON, err := layerToJSON(ua)
+	if err != nil {
+		return nil, err
+	}
+	iaJSON, err := layerToJSON(ia)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(KeyFile{UA: uaJSON, IA: iaJSON}, "", "  ")
+}
+
+func layerToJSON(lk *LayerKeys) (LayerKeyJSON, error) {
+	der, err := ppcrypto.MarshalPrivateKey(lk.Pair.Private)
+	if err != nil {
+		return LayerKeyJSON{}, err
+	}
+	return LayerKeyJSON{
+		PrivateKeyDER: base64.StdEncoding.EncodeToString(der),
+		PermanentKey:  base64.StdEncoding.EncodeToString(lk.Permanent),
+	}, nil
+}
+
+// UnmarshalKeyFile parses a key file back into both layers' keys.
+func UnmarshalKeyFile(data []byte) (ua, ia *LayerKeys, err error) {
+	var kf KeyFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return nil, nil, fmt.Errorf("parse key file: %w", err)
+	}
+	if ua, err = layerFromJSON(kf.UA); err != nil {
+		return nil, nil, fmt.Errorf("UA keys: %w", err)
+	}
+	if ia, err = layerFromJSON(kf.IA); err != nil {
+		return nil, nil, fmt.Errorf("IA keys: %w", err)
+	}
+	return ua, ia, nil
+}
+
+func layerFromJSON(lj LayerKeyJSON) (*LayerKeys, error) {
+	der, err := base64.StdEncoding.DecodeString(lj.PrivateKeyDER)
+	if err != nil {
+		return nil, fmt.Errorf("decode private key: %w", err)
+	}
+	priv, err := ppcrypto.UnmarshalPrivateKey(der)
+	if err != nil {
+		return nil, err
+	}
+	perm, err := base64.StdEncoding.DecodeString(lj.PermanentKey)
+	if err != nil {
+		return nil, fmt.Errorf("decode permanent key: %w", err)
+	}
+	if len(perm) != ppcrypto.SymmetricKeySize {
+		return nil, fmt.Errorf("permanent key is %d bytes, want %d", len(perm), ppcrypto.SymmetricKeySize)
+	}
+	return &LayerKeys{
+		Pair:      &ppcrypto.KeyPair{Private: priv, Public: &priv.PublicKey},
+		Permanent: perm,
+	}, nil
+}
+
+// MarshalBundleFile serializes the public bundle.
+func MarshalBundleFile(b PublicBundle) ([]byte, error) {
+	uaDER, err := ppcrypto.MarshalPublicKey(b.UAPublic)
+	if err != nil {
+		return nil, err
+	}
+	iaDER, err := ppcrypto.MarshalPublicKey(b.IAPublic)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(BundleFile{
+		UAPublicDER: base64.StdEncoding.EncodeToString(uaDER),
+		IAPublicDER: base64.StdEncoding.EncodeToString(iaDER),
+	}, "", "  ")
+}
+
+// UnmarshalBundleFile parses a public bundle.
+func UnmarshalBundleFile(data []byte) (PublicBundle, error) {
+	var bf BundleFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return PublicBundle{}, fmt.Errorf("parse bundle file: %w", err)
+	}
+	uaDER, err := base64.StdEncoding.DecodeString(bf.UAPublicDER)
+	if err != nil {
+		return PublicBundle{}, fmt.Errorf("decode UA public key: %w", err)
+	}
+	iaDER, err := base64.StdEncoding.DecodeString(bf.IAPublicDER)
+	if err != nil {
+		return PublicBundle{}, fmt.Errorf("decode IA public key: %w", err)
+	}
+	uaPub, err := ppcrypto.UnmarshalPublicKey(uaDER)
+	if err != nil {
+		return PublicBundle{}, err
+	}
+	iaPub, err := ppcrypto.UnmarshalPublicKey(iaDER)
+	if err != nil {
+		return PublicBundle{}, err
+	}
+	return PublicBundle{UAPublic: uaPub, IAPublic: iaPub}, nil
+}

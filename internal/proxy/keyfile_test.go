@@ -1,0 +1,143 @@
+package proxy
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pprox/internal/ppcrypto"
+)
+
+func testLayerKeysPair(t *testing.T) (*LayerKeys, *LayerKeys) {
+	t.Helper()
+	f := newFixture(t) // reuse the slow-to-generate shared keys
+	return f.uaKeys, f.iaKeys
+}
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	ua, ia := testLayerKeysPair(t)
+	data, err := MarshalKeyFile(ua, ia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotUA, gotIA, err := UnmarshalKeyFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotUA.Pair.Private.D.Cmp(ua.Pair.Private.D) != 0 {
+		t.Error("UA private key round trip mismatch")
+	}
+	if gotIA.Pair.Private.D.Cmp(ia.Pair.Private.D) != 0 {
+		t.Error("IA private key round trip mismatch")
+	}
+	if string(gotUA.Permanent) != string(ua.Permanent) || string(gotIA.Permanent) != string(ia.Permanent) {
+		t.Error("permanent key round trip mismatch")
+	}
+}
+
+func TestKeyFileInterops(t *testing.T) {
+	// A pseudonym computed with the original keys must equal one
+	// computed with the round-tripped keys (provisioning different
+	// instances from the file yields one consistent layer).
+	ua, ia := testLayerKeysPair(t)
+	data, err := MarshalKeyFile(ua, ia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotUA, _, err := UnmarshalKeyFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ppcrypto.Pseudonymize(ua.Permanent, "user-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ppcrypto.Pseudonymize(gotUA.Permanent, "user-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1) != string(p2) {
+		t.Error("round-tripped keys produce different pseudonyms")
+	}
+}
+
+func TestKeyFileRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", "{"},
+		{"bad base64 private", `{"ua":{"private_key_der":"!!","permanent_key":"AAAA"},"ia":{"private_key_der":"!!","permanent_key":"AAAA"}}`},
+		{"bad der", `{"ua":{"private_key_der":"AAAA","permanent_key":"AAAA"},"ia":{"private_key_der":"AAAA","permanent_key":"AAAA"}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := UnmarshalKeyFile([]byte(tc.data)); err == nil {
+				t.Error("malformed key file accepted")
+			}
+		})
+	}
+}
+
+func TestKeyFileRejectsShortPermanentKey(t *testing.T) {
+	ua, ia := testLayerKeysPair(t)
+	data, err := MarshalKeyFile(ua, ia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kf KeyFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		t.Fatal(err)
+	}
+	kf.UA.PermanentKey = "AAAA" // 3 bytes
+	bad, err := json.Marshal(kf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := UnmarshalKeyFile(bad); err == nil || !strings.Contains(err.Error(), "permanent key") {
+		t.Errorf("short permanent key accepted: %v", err)
+	}
+}
+
+func TestBundleFileRoundTrip(t *testing.T) {
+	ua, ia := testLayerKeysPair(t)
+	data, err := MarshalBundleFile(Bundle(ua, ia))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBundleFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UAPublic.N.Cmp(ua.Pair.Public.N) != 0 || got.IAPublic.N.Cmp(ia.Pair.Public.N) != 0 {
+		t.Error("bundle round trip mismatch")
+	}
+}
+
+func TestBundleFileContainsNoSecrets(t *testing.T) {
+	ua, ia := testLayerKeysPair(t)
+	data, err := MarshalBundleFile(Bundle(ua, ia))
+	if err != nil {
+		t.Fatal(err)
+	}
+	privUA, err := ppcrypto.MarshalPrivateKey(ua.Pair.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neither a private key fragment nor a permanent key may appear in
+	// the client-side bundle.
+	if strings.Contains(string(data), string(ua.Permanent)) {
+		t.Error("permanent key bytes in the public bundle")
+	}
+	if len(privUA) > 64 && strings.Contains(string(data), string(privUA[:64])) {
+		t.Error("private key material in the public bundle")
+	}
+}
+
+func TestBundleFileRejectsMalformed(t *testing.T) {
+	for _, data := range []string{"{", `{"ua_public_der":"!!","ia_public_der":"AAAA"}`, `{"ua_public_der":"AAAA","ia_public_der":"AAAA"}`} {
+		if _, err := UnmarshalBundleFile([]byte(data)); err == nil {
+			t.Errorf("malformed bundle accepted: %s", data)
+		}
+	}
+}

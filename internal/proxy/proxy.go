@@ -1,0 +1,345 @@
+// Package proxy implements the PProx privacy-preserving proxy service
+// (§§3–5 of the paper): two layers of anonymizing proxies running in SGX
+// enclaves between the user-side library and an unmodified legacy
+// recommendation system.
+//
+//   - The User Anonymizer (UA) layer decrypts and pseudonymizes user
+//     identifiers; it never sees item identifiers.
+//   - The Item Anonymizer (IA) layer decrypts and pseudonymizes item
+//     identifiers and re-encrypts recommendation lists under the client's
+//     temporary key; it never sees user identifiers or addresses.
+//
+// Each layer buffers and shuffles traffic (UA on the request path, IA on
+// the response path) so a network observer cannot correlate flows across
+// the proxy (§4.3). The untrusted server part of each layer handles only
+// opaque bytes: all cryptography happens in ECALLs into the layer's
+// enclave, with a bounded data-processing worker pool standing in for the
+// paper's in-enclave thread pool (§5).
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"pprox/internal/enclave"
+	"pprox/internal/message"
+	"pprox/internal/metrics"
+)
+
+// Role distinguishes the two proxy layers.
+type Role int
+
+// Layer roles.
+const (
+	RoleUA Role = iota + 1
+	RoleIA
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleUA:
+		return "UA"
+	case RoleIA:
+		return "IA"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Config assembles one proxy layer instance.
+type Config struct {
+	// Role selects UA or IA behaviour.
+	Role Role
+	// Enclave is the provisioned enclave executing this layer's
+	// cryptography (NewUAEnclave / NewIAEnclave).
+	Enclave *enclave.Enclave
+	// Next is the base URL of the next hop: the IA layer's balancer for
+	// a UA instance, the LRS for an IA instance.
+	Next string
+	// HTTPClient carries traffic to the next hop.
+	HTTPClient *http.Client
+	// ShuffleSize is S; values ≤ 1 disable shuffling (§4.3). The UA
+	// layer shuffles requests, the IA layer shuffles responses.
+	ShuffleSize int
+	// ShuffleTimeout bounds how long a partially filled buffer waits.
+	ShuffleTimeout time.Duration
+	// TableSize caps the pending table T (default 4×S).
+	TableSize int
+	// Workers sizes the data-processing pool; the paper uses one thread
+	// per core on 2-core nodes, so the default is 2.
+	Workers int
+	// PassThrough forwards bodies untouched (micro-benchmark m1: no
+	// encryption). Shuffling still applies if configured.
+	PassThrough bool
+}
+
+// Layer is one proxy instance (one node of one layer). It serves the same
+// REST API as the LRS and forwards transformed traffic to the next hop.
+type Layer struct {
+	cfg      Config
+	shuffler *Shuffler
+	workers  chan struct{}
+
+	nextHandle atomic.Uint64
+	served     atomic.Uint64
+	failed     atomic.Uint64
+}
+
+// New creates a layer instance from its configuration.
+func New(cfg Config) (*Layer, error) {
+	if cfg.Role != RoleUA && cfg.Role != RoleIA {
+		return nil, fmt.Errorf("proxy: invalid role %d", int(cfg.Role))
+	}
+	if !cfg.PassThrough && cfg.Enclave == nil {
+		return nil, errors.New("proxy: enclave required unless pass-through")
+	}
+	if cfg.Next == "" {
+		return nil, errors.New("proxy: next hop required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	l := &Layer{
+		cfg:     cfg,
+		workers: make(chan struct{}, cfg.Workers),
+	}
+	if cfg.ShuffleSize > 1 {
+		l.shuffler = NewShuffler(cfg.ShuffleSize, cfg.ShuffleTimeout, cfg.TableSize)
+	}
+	return l, nil
+}
+
+// Close releases buffered messages (shutdown path).
+func (l *Layer) Close() { l.shuffler.Close() }
+
+// Stats returns served and failed request counts.
+func (l *Layer) Stats() (served, failed uint64) {
+	return l.served.Load(), l.failed.Load()
+}
+
+// Shuffler exposes the layer's shuffler (nil when disabled), for tests and
+// operational metrics.
+func (l *Layer) Shuffler() *Shuffler { return l.shuffler }
+
+// Enclave exposes the layer's enclave (nil in pass-through mode), for the
+// security experiments that compromise it.
+func (l *Layer) Enclave() *enclave.Enclave { return l.cfg.Enclave }
+
+// RegisterMetrics exposes the layer's operational gauges under the given
+// prefix: request counters, shuffle-buffer behaviour, and EPC usage.
+func (l *Layer) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Gauge(prefix+"_requests_served_total", func() float64 {
+		served, _ := l.Stats()
+		return float64(served)
+	})
+	r.Gauge(prefix+"_requests_failed_total", func() float64 {
+		_, failed := l.Stats()
+		return float64(failed)
+	})
+	if l.shuffler != nil {
+		r.Gauge(prefix+"_shuffle_flushes_total", func() float64 {
+			flushes, _ := l.shuffler.Stats()
+			return float64(flushes)
+		})
+		r.Gauge(prefix+"_shuffle_shed_total", func() float64 {
+			_, sheds := l.shuffler.Stats()
+			return float64(sheds)
+		})
+		r.Gauge(prefix+"_shuffle_pending", func() float64 {
+			return float64(l.shuffler.Pending())
+		})
+	}
+	if l.cfg.Enclave != nil {
+		r.Gauge(prefix+"_epc_pages_used", func() float64 {
+			used, _ := l.cfg.Enclave.EPCUsage()
+			return float64(used)
+		})
+		r.Gauge(prefix+"_ecalls_total", func() float64 {
+			return float64(l.cfg.Enclave.EcallCount())
+		})
+	}
+}
+
+// ServeHTTP implements the layer's REST endpoint.
+func (l *Layer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && (r.URL.Path == message.EventsPath || r.URL.Path == message.QueriesPath):
+		l.handle(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == message.HealthPath:
+		fmt.Fprint(w, "ok")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		l.fail(w, http.StatusBadRequest, "read request")
+		return
+	}
+	isGet := r.URL.Path == message.QueriesPath
+
+	var status int
+	var respBody []byte
+	if l.cfg.Role == RoleUA {
+		status, respBody, err = l.handleUA(r.Context(), r.URL.Path, body, isGet)
+	} else {
+		status, respBody, err = l.handleIA(r.Context(), r.URL.Path, body, isGet)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrTableFull):
+			l.fail(w, http.StatusServiceUnavailable, "shuffling table full")
+		case errors.Is(err, errEnclave):
+			// No detail: the untrusted host must not relay why the
+			// enclave rejected a ciphertext.
+			l.fail(w, http.StatusBadRequest, "request rejected")
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			l.fail(w, http.StatusGatewayTimeout, "timeout")
+		default:
+			l.fail(w, http.StatusBadGateway, "upstream error")
+		}
+		return
+	}
+
+	l.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(respBody)
+}
+
+func (l *Layer) fail(w http.ResponseWriter, status int, msg string) {
+	l.failed.Add(1)
+	http.Error(w, msg, status)
+}
+
+// handleUA implements the UA node pipeline: pseudonymize the user
+// identifier in the enclave, shuffle the request batch, forward to the IA
+// layer, and relay the (already client-encrypted) response untouched.
+func (l *Layer) handleUA(ctx context.Context, path string, body []byte, isGet bool) (int, []byte, error) {
+	out := body
+	if !l.cfg.PassThrough {
+		ecall := ecallUAPost
+		if isGet {
+			ecall = ecallUAGet
+		}
+		var err error
+		out, err = l.process(ecall, out)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	// Request shuffling happens between the UA and IA layers (§4.3).
+	if _, err := l.shuffler.Wait(ctx); err != nil {
+		return 0, nil, err
+	}
+	return l.forward(ctx, path, out)
+}
+
+// handleIA implements the IA node pipeline: pseudonymize the item (post)
+// or park the temporary key (get) in the enclave, forward to the LRS,
+// transform the response in the enclave, and shuffle the response batch
+// before it travels back toward the UA layer.
+func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bool) (int, []byte, error) {
+	out := body
+	var handle string
+	if !l.cfg.PassThrough {
+		if isGet {
+			handle = strconv.FormatUint(l.nextHandle.Add(1), 36)
+			framed, err := message.Marshal(iaGetCall{Handle: handle, Body: body})
+			if err != nil {
+				return 0, nil, err
+			}
+			out, err = l.process(ecallIAGet, framed)
+			if err != nil {
+				return 0, nil, err
+			}
+		} else {
+			var err error
+			out, err = l.process(ecallIAPost, out)
+			if err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+
+	status, lrsBody, err := l.forward(ctx, path, out)
+	if err != nil {
+		l.dropHandle(handle)
+		return 0, nil, err
+	}
+
+	respBody := lrsBody
+	if !l.cfg.PassThrough && isGet {
+		if status == http.StatusOK {
+			framed, err := message.Marshal(iaGetCall{Handle: handle, Body: lrsBody})
+			if err != nil {
+				l.dropHandle(handle)
+				return 0, nil, err
+			}
+			respBody, err = l.process(ecallIAGetResp, framed)
+			if err != nil {
+				return 0, nil, err
+			}
+		} else {
+			l.dropHandle(handle)
+		}
+	}
+
+	// Response shuffling happens between the IA and UA layers (§4.3).
+	if _, err := l.shuffler.Wait(ctx); err != nil {
+		return 0, nil, err
+	}
+	return status, respBody, nil
+}
+
+// dropHandle clears a parked temporary key when the request it belongs to
+// dies before its response transformation, so the EPC store cannot leak.
+func (l *Layer) dropHandle(handle string) {
+	if handle != "" && l.cfg.Enclave != nil {
+		l.cfg.Enclave.KV().Delete(handle)
+	}
+}
+
+// process runs an ECALL under the data-processing worker pool, modelling
+// the fixed pool of in-enclave threads consuming the shared queue (§5).
+func (l *Layer) process(ecall string, in []byte) ([]byte, error) {
+	l.workers <- struct{}{}
+	defer func() { <-l.workers }()
+	return l.cfg.Enclave.Ecall(ecall, in)
+}
+
+// forward relays a transformed request to the next hop and returns its
+// status and body.
+func (l *Layer) forward(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, l.cfg.Next+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, fmt.Errorf("proxy: build forward request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := l.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, fmt.Errorf("proxy: forward to %s: %w", l.cfg.Next, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return 0, nil, fmt.Errorf("proxy: read upstream response: %w", err)
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+// maxBody bounds message sizes; PProx traffic is constant-size and small.
+const maxBody = 1 << 20

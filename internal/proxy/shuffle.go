@@ -1,0 +1,160 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrTableFull reports that the pending-request table T reached capacity;
+// the server sheds the request rather than dropping it silently (§5: "the
+// size of T should be larger than S in order to avoid dropping incoming
+// requests between the reaching of the threshold and the processing of the
+// requests").
+var ErrTableFull = errors.New("proxy: pending-request table full")
+
+// Shuffler implements request/response shuffling (§4.3, Fig. 5): messages
+// are buffered until S of them are pending — or until a timer expires —
+// and then released in uniformly random order. An adversary observing the
+// wire cannot map an individual incoming message to the corresponding
+// outgoing one with probability better than 1/S.
+//
+// A Shuffler with size ≤ 1 is a no-op (every message is released
+// immediately), which is the "shuffling off" configuration (m1–m4).
+type Shuffler struct {
+	size    int
+	timeout time.Duration
+	table   int // capacity of the pending table T
+
+	mu      sync.Mutex
+	pending []*pendingMsg
+	timer   *time.Timer
+	rng     *rand.Rand
+	flushes uint64
+	sheds   uint64
+}
+
+// NewShuffler creates a shuffler with buffer size S, a flush timer, and a
+// pending-table capacity (values ≤ 0 select the paper-faithful defaults:
+// timeout 500 ms, table 4×S). Per §5 the table must be larger than S; a
+// smaller table is honored as a hard cap and sheds the excess, which is
+// exactly the drop behaviour the paper sizes T to avoid.
+func NewShuffler(size int, timeout time.Duration, table int) *Shuffler {
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	if table <= 0 {
+		table = 4 * size
+	}
+	return &Shuffler{
+		size:    size,
+		timeout: timeout,
+		table:   table,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Size returns the shuffle buffer size S.
+func (s *Shuffler) Size() int { return s.size }
+
+// Wait blocks the calling message until the shuffler releases it as part
+// of a randomized batch, and returns the message's position in the
+// batch's randomized release order (0 when shuffling is disabled). It
+// returns ErrTableFull when the pending table is at capacity, or the
+// context error if the caller gives up first.
+func (s *Shuffler) Wait(ctx context.Context) (int, error) {
+	if s == nil || s.size <= 1 {
+		return 0, nil
+	}
+
+	release := &pendingMsg{ch: make(chan struct{})}
+
+	s.mu.Lock()
+	if len(s.pending) >= s.table {
+		s.sheds++
+		s.mu.Unlock()
+		return 0, ErrTableFull
+	}
+	s.pending = append(s.pending, release)
+	if len(s.pending) >= s.size {
+		s.flushLocked()
+	} else if s.timer == nil {
+		s.timer = time.AfterFunc(s.timeout, s.onTimer)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-release.ch:
+		return release.pos, nil
+	case <-ctx.Done():
+		// The slot stays in the buffer; its release is a no-op for a
+		// departed caller but still advances the flush threshold,
+		// matching a real proxy where a timed-out client's socket is
+		// still drained.
+		return 0, ctx.Err()
+	}
+}
+
+// pendingMsg is one buffered message awaiting release.
+type pendingMsg struct {
+	ch  chan struct{}
+	pos int
+}
+
+func (s *Shuffler) onTimer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timer = nil
+	if len(s.pending) > 0 {
+		s.flushLocked()
+	}
+}
+
+// flushLocked releases every pending message in uniformly random order:
+// each message learns its randomized position and is unblocked in that
+// order, so the wire order downstream follows the permutation.
+func (s *Shuffler) flushLocked() {
+	batch := s.pending
+	s.pending = nil
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+	for pos, msg := range batch {
+		msg.pos = pos
+		close(msg.ch)
+	}
+	s.flushes++
+}
+
+// Stats returns the number of completed flushes and shed messages.
+func (s *Shuffler) Stats() (flushes, sheds uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushes, s.sheds
+}
+
+// Pending returns the number of currently buffered messages.
+func (s *Shuffler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Close releases any buffered messages immediately (shutdown path).
+func (s *Shuffler) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) > 0 {
+		s.flushLocked()
+	} else if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}

@@ -1,0 +1,262 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShufflerDisabledIsImmediate(t *testing.T) {
+	for _, s := range []*Shuffler{nil, NewShuffler(0, 0, 0), NewShuffler(1, 0, 0)} {
+		start := time.Now()
+		if _, err := s.Wait(context.Background()); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if time.Since(start) > 50*time.Millisecond {
+			t.Error("disabled shuffler delayed the message")
+		}
+	}
+}
+
+// runBatch enqueues n messages and returns each message's release
+// position, indexed by arrival index.
+func runBatch(t *testing.T, sh *Shuffler, n int) []int {
+	t.Helper()
+	positions := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// Arrivals strictly ordered: wait for the previous message to
+		// be buffered before enqueueing the next.
+		want := sh.Pending() + 1
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pos, err := sh.Wait(context.Background())
+			if err != nil {
+				t.Errorf("Wait: %v", err)
+				return
+			}
+			positions[i] = pos
+		}(i)
+		deadline := time.Now().Add(2 * time.Second)
+		for sh.Pending() != want && sh.Pending() != 0 && time.Now().Before(deadline) {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	wg.Wait()
+	return positions
+}
+
+func TestShufflerReleasesFullBatchWithPermutation(t *testing.T) {
+	const s = 8
+	sh := NewShuffler(s, time.Minute, 0)
+	positions := runBatch(t, sh, s)
+
+	// The positions must be a permutation of 0..s-1.
+	sorted := append([]int(nil), positions...)
+	sort.Ints(sorted)
+	for i, p := range sorted {
+		if p != i {
+			t.Fatalf("positions %v are not a permutation", positions)
+		}
+	}
+	flushes, sheds := sh.Stats()
+	if flushes != 1 || sheds != 0 {
+		t.Errorf("stats = %d flushes, %d sheds", flushes, sheds)
+	}
+}
+
+func TestShufflerRandomizesOrder(t *testing.T) {
+	// Across several batches, at least one must release in a
+	// non-identity order (P[all identity] = (1/8!)^4 ≈ 0).
+	const s = 8
+	identityAlways := true
+	for trial := 0; trial < 4 && identityAlways; trial++ {
+		sh := NewShuffler(s, time.Minute, 0)
+		positions := runBatch(t, sh, s)
+		for i, p := range positions {
+			if p != i {
+				identityAlways = false
+				break
+			}
+		}
+	}
+	if identityAlways {
+		t.Error("every batch released in arrival order; shuffling is not randomizing")
+	}
+}
+
+func TestShufflerTimerFlushesPartialBatch(t *testing.T) {
+	sh := NewShuffler(10, 30*time.Millisecond, 0)
+	start := time.Now()
+	if _, err := sh.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 20*time.Millisecond {
+		t.Errorf("released after %v, before the timer", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("released after %v, long after the timer", elapsed)
+	}
+}
+
+func TestShufflerBlocksUntilBatchCompletes(t *testing.T) {
+	sh := NewShuffler(2, time.Minute, 0)
+	first := make(chan error, 1)
+	go func() {
+		_, err := sh.Wait(context.Background())
+		first <- err
+	}()
+	select {
+	case err := <-first:
+		t.Fatalf("first message released alone (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Second message completes the batch; both release.
+	if _, err := sh.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-first:
+		if err != nil {
+			t.Fatalf("first Wait: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("first message never released")
+	}
+}
+
+func TestShufflerTableFullSheds(t *testing.T) {
+	// §5: the table T must be sized larger than S, otherwise requests
+	// drop. Misconfigure it deliberately (table 100 < size 200): the
+	// flush threshold is never reached, the table saturates at 100, and
+	// further arrivals shed with ErrTableFull.
+	sh3 := NewShuffler(200, time.Minute, 100)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	shed, released := 0, 0
+	for i := 0; i < 150; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := sh3.Wait(context.Background())
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				released++
+			case errors.Is(err, ErrTableFull):
+				shed++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	// Wait until the table is saturated, then release everyone.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := shed
+		mu.Unlock()
+		if done == 50 && sh3.Pending() == 100 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sh3.Close()
+	wg.Wait()
+	if shed != 50 || released != 100 {
+		t.Errorf("shed=%d released=%d, want 50/100", shed, released)
+	}
+	if _, sheds := sh3.Stats(); sheds != 50 {
+		t.Errorf("Stats sheds = %d", sheds)
+	}
+}
+
+func TestShufflerContextCancellation(t *testing.T) {
+	sh := NewShuffler(10, time.Minute, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := sh.Wait(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// The abandoned slot still counts toward the next flush.
+	if sh.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", sh.Pending())
+	}
+}
+
+func TestShufflerCloseReleasesPending(t *testing.T) {
+	sh := NewShuffler(10, time.Minute, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := sh.Wait(context.Background())
+		done <- err
+	}()
+	for i := 0; i < 1000 && sh.Pending() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	sh.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait after Close: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not release pending message")
+	}
+	// Closing an idle or nil shuffler is a no-op.
+	sh.Close()
+	var nilSh *Shuffler
+	nilSh.Close()
+}
+
+func TestShufflerSizeAccessor(t *testing.T) {
+	if got := NewShuffler(7, 0, 0).Size(); got != 7 {
+		t.Errorf("Size = %d", got)
+	}
+}
+
+// TestShufflerPermutationUniformity is a statistical check on the privacy
+// mechanism itself (§6.2 assumes uniformly random release order): over
+// many batches, arrival position i must land on release position j with
+// frequency ≈ 1/S for every (i, j). A chi-square statistic over the S×S
+// contingency table guards against a biased (e.g. off-by-one or
+// swap-only) shuffle.
+func TestShufflerPermutationUniformity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const s = 6
+	const batches = 600
+	counts := make([][]int, s)
+	for i := range counts {
+		counts[i] = make([]int, s)
+	}
+	for b := 0; b < batches; b++ {
+		sh := NewShuffler(s, time.Minute, 0)
+		positions := runBatch(t, sh, s)
+		for arrival, release := range positions {
+			counts[arrival][release]++
+		}
+	}
+	expected := float64(batches) / float64(s)
+	chi2 := 0.0
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			d := float64(counts[i][j]) - expected
+			chi2 += d * d / expected
+		}
+	}
+	// Degrees of freedom (s-1)^2 = 25; the 99.9th percentile of chi2(25)
+	// is ≈ 52.6. Using a generous 75 keeps the false-failure rate
+	// negligible while still catching any structural bias.
+	if chi2 > 75 {
+		t.Errorf("shuffle permutation bias: chi² = %.1f over %d batches (counts %v)", chi2, batches, counts)
+	}
+}

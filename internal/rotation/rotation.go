@@ -1,0 +1,177 @@
+// Package rotation implements the breach response of the PProx paper
+// (§2.3, footnote 1): once the breach detector reports that an enclave's
+// secrets leaked, "the appropriate response must take into account the
+// fact that secrets provisioned to the corrupted enclave are now in the
+// hands of the adversary. Available options include dropping the database
+// content and re-starting the system with new secrets, [or] downloading
+// the LRS state for local re-encryption before re-uploading it and
+// provisioning fresh enclaves and the user-side library with new secrets."
+//
+// This package implements the re-encryption option: the RaaS client
+// application generates fresh layer keys, migrates every pseudonym stored
+// by the LRS from the leaked permanent key to the fresh one (a bijection,
+// so user profiles and model continuity are preserved), and provisions
+// fresh enclaves. After rotation the adversary's loot decrypts nothing.
+package rotation
+
+import (
+	"errors"
+	"fmt"
+
+	"pprox/internal/enclave"
+	"pprox/internal/lrs/engine"
+	"pprox/internal/message"
+	"pprox/internal/ppcrypto"
+	"pprox/internal/proxy"
+)
+
+// ErrUnknownLayer reports a rotation request for a layer this package does
+// not know.
+var ErrUnknownLayer = errors.New("rotation: unknown layer")
+
+// Layer identifies which proxy layer's keys rotate.
+type Layer int
+
+// Rotatable layers.
+const (
+	LayerUA Layer = iota + 1
+	LayerIA
+)
+
+// String implements fmt.Stringer.
+func (l Layer) String() string {
+	switch l {
+	case LayerUA:
+		return "UA"
+	case LayerIA:
+		return "IA"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Result summarizes one completed rotation.
+type Result struct {
+	Layer Layer
+	// Fresh is the layer's replacement key material; the caller
+	// provisions fresh enclaves and redistributes the public bundle.
+	Fresh *proxy.LayerKeys
+	// Migrated counts re-encrypted pseudonyms.
+	Migrated int
+}
+
+// RotateKeys generates fresh keys for the given layer and re-encrypts the
+// engine's stored pseudonyms from old to fresh. The old keys — which the
+// adversary may hold — become useless against the migrated database.
+func RotateKeys(layer Layer, old *proxy.LayerKeys, eng *engine.Engine) (*Result, error) {
+	fresh, err := proxy.NewLayerKeys()
+	if err != nil {
+		return nil, fmt.Errorf("rotation: fresh keys: %w", err)
+	}
+
+	var field string
+	switch layer {
+	case LayerUA:
+		field = "user"
+	case LayerIA:
+		field = "item"
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownLayer, int(layer))
+	}
+
+	migrated := 0
+	err = eng.RewriteEvents(func(fields map[string]string) (map[string]string, error) {
+		out := make(map[string]string, len(fields))
+		for k, v := range fields {
+			out[k] = v
+		}
+		reencrypted, err := reencryptPseudonym(old.Permanent, fresh.Permanent, fields[field])
+		if err != nil {
+			return nil, err
+		}
+		out[field] = reencrypted
+		migrated++
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The model was built on old pseudonyms; rebuild it on the migrated
+	// database before serving further queries.
+	if err := eng.TrainNow(); err != nil {
+		return nil, fmt.Errorf("rotation: retrain: %w", err)
+	}
+	return &Result{Layer: layer, Fresh: fresh, Migrated: migrated}, nil
+}
+
+// reencryptPseudonym maps det_enc(x, oldKey) to det_enc(x, freshKey)
+// without ever exposing x outside this migration step.
+func reencryptPseudonym(oldKey, freshKey []byte, pseudonym string) (string, error) {
+	raw, err := message.Decode64(pseudonym)
+	if err != nil {
+		return "", fmt.Errorf("decode pseudonym: %w", err)
+	}
+	id, err := ppcrypto.Depseudonymize(oldKey, raw)
+	if err != nil {
+		return "", fmt.Errorf("old-key decryption: %w", err)
+	}
+	fresh, err := ppcrypto.Pseudonymize(freshKey, id)
+	if err != nil {
+		return "", err
+	}
+	return message.Encode64(fresh), nil
+}
+
+// Responder wires the enclave breach detector to automatic rotation: when
+// a breach is detected on an enclave whose identity matches one of the
+// registered layers, it rotates that layer's keys and reports the result.
+type Responder struct {
+	eng    *engine.Engine
+	uaKeys *proxy.LayerKeys
+	iaKeys *proxy.LayerKeys
+	// OnRotated receives each completed rotation (e.g. to provision
+	// fresh enclaves and push the new public bundle).
+	OnRotated func(*Result)
+	// OnError receives rotation failures.
+	OnError func(error)
+}
+
+// NewResponder builds the breach-response hook.
+func NewResponder(eng *engine.Engine, uaKeys, iaKeys *proxy.LayerKeys, onRotated func(*Result), onError func(error)) *Responder {
+	return &Responder{eng: eng, uaKeys: uaKeys, iaKeys: iaKeys, OnRotated: onRotated, OnError: onError}
+}
+
+// Countermeasure is the enclave.BreachDetector callback.
+func (r *Responder) Countermeasure(e *enclave.Enclave) {
+	var layer Layer
+	var keys *proxy.LayerKeys
+	switch e.Identity().Name {
+	case proxy.UAIdentity.Name:
+		layer, keys = LayerUA, r.uaKeys
+	case proxy.IAIdentity.Name:
+		layer, keys = LayerIA, r.iaKeys
+	default:
+		if r.OnError != nil {
+			r.OnError(fmt.Errorf("%w: enclave %q", ErrUnknownLayer, e.Identity().Name))
+		}
+		return
+	}
+	res, err := RotateKeys(layer, keys, r.eng)
+	if err != nil {
+		if r.OnError != nil {
+			r.OnError(err)
+		}
+		return
+	}
+	// Track the new keys so a second breach rotates from the right
+	// baseline.
+	switch layer {
+	case LayerUA:
+		r.uaKeys = res.Fresh
+	case LayerIA:
+		r.iaKeys = res.Fresh
+	}
+	if r.OnRotated != nil {
+		r.OnRotated(res)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"time"
+
+	"pprox/internal/autoscale"
+	"pprox/internal/stats"
+)
+
+// elastic.go simulates the elastic scaling the paper calls for (§5,
+// §8.1.2): a time-varying load is served either by a fixed proxy fleet or
+// by one resized per load segment by the autoscale controller. The
+// experiment quantifies the trade-off the paper describes — fixed large
+// fleets waste capacity AND latency (starved shuffle buffers at low
+// load), while elastic fleets track the knee.
+
+// ElasticSegment is one measured segment of the load trace.
+type ElasticSegment struct {
+	RPS    int
+	Pairs  int
+	Candle stats.Candlestick
+}
+
+// ElasticResult compares one policy over the whole trace.
+type ElasticResult struct {
+	Policy   string
+	Segments []ElasticSegment
+	// PairSeconds is the provisioned capacity integral (instance pairs
+	// × seconds): the deployment cost.
+	PairSeconds float64
+}
+
+// ElasticTrace is the diurnal-style load profile used by the experiment.
+func ElasticTrace() []int {
+	return []int{50, 250, 500, 1000, 750, 250, 50}
+}
+
+// RunElastic simulates the trace under a fixed fleet of fixedPairs and
+// under the autoscale controller, with shuffle size S = 10 as in
+// Figure 8. Each segment runs for opts.Duration of virtual time.
+func RunElastic(fixedPairs int, trace []int, opts RunOptions) (fixed, elastic ElasticResult) {
+	fixed = runPolicy("fixed", trace, opts, func(rps int, current int) int {
+		return fixedPairs
+	})
+	ctrl := autoscale.DefaultController()
+	elastic = runPolicy("elastic", trace, opts, func(rps int, current int) int {
+		// The controller sees the (perfectly estimated) segment rate;
+		// estimator dynamics are unit-tested in internal/autoscale.
+		return ctrl.Desired(float64(rps), current)
+	})
+	return fixed, elastic
+}
+
+func runPolicy(name string, trace []int, opts RunOptions, pairsFor func(rps, current int) int) ElasticResult {
+	res := ElasticResult{Policy: name}
+	current := 1
+	for _, rps := range trace {
+		current = pairsFor(rps, current)
+		spec := SystemSpec{
+			Proxy: true, UA: current, IA: current,
+			Encryption: true, SGX: true, ItemPseudonyms: true,
+			Shuffle: 10, UseStub: true, Seed: 1,
+		}
+		sys := NewSystem(spec)
+		dist := sys.Run(rps, opts.Duration, opts.Trim)
+		res.Segments = append(res.Segments, ElasticSegment{
+			RPS:    rps,
+			Pairs:  current,
+			Candle: dist.Candlestick(),
+		})
+		res.PairSeconds += float64(current) * opts.Duration.Seconds()
+	}
+	return res
+}
+
+// WorstMedian returns the highest per-segment median latency of a policy.
+func (r ElasticResult) WorstMedian() time.Duration {
+	var worst time.Duration
+	for _, s := range r.Segments {
+		if s.Candle.Median > worst {
+			worst = s.Candle.Median
+		}
+	}
+	return worst
+}

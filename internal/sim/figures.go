@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"time"
+
+	"pprox/internal/cluster"
+	"pprox/internal/stats"
+)
+
+// Row is one candlestick of one figure: a configuration at a request
+// rate.
+type Row struct {
+	Figure string
+	Config string
+	RPS    int
+	Candle stats.Candlestick
+}
+
+// RunOptions tune how much virtual time each point simulates.
+type RunOptions struct {
+	// Duration is the injection window per repetition (virtual time).
+	Duration time.Duration
+	// Trim is removed from both ends of the measurement window (§8
+	// trims 15 s of 5-minute runs; scaled down proportionally here).
+	Trim time.Duration
+	// Repetitions aggregates several seeded runs, like the paper's 6.
+	Repetitions int
+}
+
+// DefaultRunOptions simulate 60 virtual seconds per point, 3 repetitions,
+// trimming 5 s per side — enough for tight quartiles at 50 RPS.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Duration: 60 * time.Second, Trim: 5 * time.Second, Repetitions: 3}
+}
+
+// QuickRunOptions are for tests and smoke runs.
+func QuickRunOptions() RunOptions {
+	return RunOptions{Duration: 12 * time.Second, Trim: 1 * time.Second, Repetitions: 1}
+}
+
+func runPoint(spec SystemSpec, rps int, opts RunOptions) stats.Distribution {
+	reps := opts.Repetitions
+	if reps <= 0 {
+		reps = 1
+	}
+	dists := make([]stats.Distribution, 0, reps)
+	for r := 0; r < reps; r++ {
+		spec.Seed = int64(r + 1)
+		sys := NewSystem(spec)
+		dists = append(dists, sys.Run(rps, opts.Duration, opts.Trim))
+	}
+	return stats.Merge(dists...)
+}
+
+func microByName(name string) cluster.MicroConfig {
+	for _, c := range cluster.MicroConfigs() {
+		if c.Name == name {
+			return c
+		}
+	}
+	panic("sim: unknown micro configuration " + name)
+}
+
+// Figure6 regenerates Fig. 6: the latency contribution of each privacy
+// feature (m1 plain, m2 +encryption, m3 +SGX, m4 item pseudonymization
+// off) from 50 to 250 RPS against the stub LRS.
+func Figure6(opts RunOptions) []Row {
+	var rows []Row
+	for _, name := range []string{"m1", "m2", "m3", "m4"} {
+		cfg := microByName(name)
+		for _, rps := range cluster.MicroRPSPoints() {
+			d := runPoint(FromMicro(cfg), rps, opts)
+			rows = append(rows, Row{Figure: "6", Config: name, RPS: rps, Candle: d.Candlestick()})
+		}
+	}
+	return rows
+}
+
+// Figure7 regenerates Fig. 7: the impact of shuffling (m3 without, m5 with
+// S=5, m6 with S=10).
+func Figure7(opts RunOptions) []Row {
+	var rows []Row
+	for _, name := range []string{"m3", "m5", "m6"} {
+		cfg := microByName(name)
+		for _, rps := range cluster.MicroRPSPoints() {
+			d := runPoint(FromMicro(cfg), rps, opts)
+			rows = append(rows, Row{Figure: "7", Config: name, RPS: rps, Candle: d.Candlestick()})
+		}
+	}
+	return rows
+}
+
+// Figure8 regenerates Fig. 8: horizontal scaling of the proxy service
+// (m6–m9, 1 to 4 instances per layer) from 50 to each configuration's
+// maximum rate.
+func Figure8(opts RunOptions) []Row {
+	var rows []Row
+	for _, name := range []string{"m6", "m7", "m8", "m9"} {
+		cfg := microByName(name)
+		for _, rps := range cluster.RPSPointsUpTo(cfg.MaxRPS) {
+			d := runPoint(FromMicro(cfg), rps, opts)
+			rows = append(rows, Row{Figure: "8", Config: name, RPS: rps, Candle: d.Candlestick()})
+		}
+	}
+	return rows
+}
+
+// Figure9 regenerates Fig. 9: the Harness LRS baseline (b1–b4).
+func Figure9(opts RunOptions) []Row {
+	var rows []Row
+	for _, cfg := range cluster.BaselineConfigs() {
+		for _, rps := range cluster.RPSPointsUpTo(cfg.MaxRPS) {
+			d := runPoint(FromMacro(cfg), rps, opts)
+			rows = append(rows, Row{Figure: "9", Config: cfg.Name, RPS: rps, Candle: d.Candlestick()})
+		}
+	}
+	return rows
+}
+
+// Figure10 regenerates Fig. 10: the complete integrated system (f1–f4).
+func Figure10(opts RunOptions) []Row {
+	var rows []Row
+	for _, cfg := range cluster.FullConfigs() {
+		for _, rps := range cluster.RPSPointsUpTo(cfg.MaxRPS) {
+			d := runPoint(FromMacro(cfg), rps, opts)
+			rows = append(rows, Row{Figure: "10", Config: cfg.Name, RPS: rps, Candle: d.Candlestick()})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Node models one machine with a fixed number of cores processing CPU
+// demands FIFO — the 2-core NUCs of the paper's cluster. Work beyond core
+// capacity queues, which is what produces the saturation knees of
+// Figures 6–10.
+type Node struct {
+	eng   *Engine
+	cores int
+	busy  int
+	queue []job
+}
+
+type job struct {
+	cpu  time.Duration
+	done func()
+}
+
+// NewNode creates a node with the given core count.
+func NewNode(eng *Engine, cores int) *Node {
+	return &Node{eng: eng, cores: cores}
+}
+
+// Submit requests cpu time on the node; done runs when the work
+// completes.
+func (n *Node) Submit(cpu time.Duration, done func()) {
+	if n.busy < n.cores {
+		n.busy++
+		n.run(job{cpu: cpu, done: done})
+		return
+	}
+	n.queue = append(n.queue, job{cpu: cpu, done: done})
+}
+
+func (n *Node) run(j job) {
+	n.eng.After(j.cpu, func() {
+		j.done()
+		if len(n.queue) > 0 {
+			next := n.queue[0]
+			n.queue = n.queue[1:]
+			n.run(next)
+			return
+		}
+		n.busy--
+	})
+}
+
+// Shuffler models the proxy's shuffle buffer in virtual time: messages
+// buffer until S are pending or the flush timer expires, then release
+// together (the randomized order within a batch does not change
+// latencies, only wire order, so the latency model releases the whole
+// batch at the flush instant).
+type Shuffler struct {
+	eng      *Engine
+	size     int
+	timeout  time.Duration
+	pending  []func()
+	timerSet bool
+	epoch    int
+}
+
+// NewShuffler creates a virtual-time shuffle buffer; size ≤ 1 disables
+// buffering.
+func NewShuffler(eng *Engine, size int, timeout time.Duration) *Shuffler {
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	return &Shuffler{eng: eng, size: size, timeout: timeout}
+}
+
+// Add buffers a message; done runs at its release instant.
+func (s *Shuffler) Add(done func()) {
+	if s == nil || s.size <= 1 {
+		done()
+		return
+	}
+	s.pending = append(s.pending, done)
+	if len(s.pending) >= s.size {
+		s.flush()
+		return
+	}
+	if !s.timerSet {
+		s.timerSet = true
+		epoch := s.epoch
+		s.eng.After(s.timeout, func() {
+			if s.epoch == epoch && len(s.pending) > 0 {
+				s.flush()
+			}
+		})
+	}
+}
+
+func (s *Shuffler) flush() {
+	batch := s.pending
+	s.pending = nil
+	s.timerSet = false
+	s.epoch++
+	for _, done := range batch {
+		done()
+	}
+}
+
+// RoundRobin selects instances the way kube-proxy's virtual service IPs
+// do.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin creates a selector over n instances.
+func NewRoundRobin(n int) *RoundRobin { return &RoundRobin{n: n} }
+
+// Next returns the next instance index.
+func (r *RoundRobin) Next() int {
+	i := r.next % r.n
+	r.next++
+	return i
+}
+
+// ServiceTime draws randomized CPU demands around a mean, giving the
+// M/G/c-style spread that widens latency distributions near saturation.
+// The distribution is a two-point mix approximating a lognormal with
+// moderate coefficient of variation.
+type ServiceTime struct {
+	rng  *rand.Rand
+	mean time.Duration
+	// cv is the coefficient of variation; 0 yields deterministic times.
+	cv float64
+}
+
+// NewServiceTime creates a sampler.
+func NewServiceTime(rng *rand.Rand, mean time.Duration, cv float64) *ServiceTime {
+	return &ServiceTime{rng: rng, mean: mean, cv: cv}
+}
+
+// Sample draws one service time (never below 10% of the mean).
+func (s *ServiceTime) Sample() time.Duration {
+	if s.cv <= 0 {
+		return s.mean
+	}
+	// Lognormal parameterized to the requested mean and cv.
+	sigma2 := math.Log1p(s.cv * s.cv)
+	mu := -0.5 * sigma2
+	f := math.Exp(s.rng.NormFloat64()*math.Sqrt(sigma2) + mu)
+	d := time.Duration(float64(s.mean) * f)
+	if floor := s.mean / 10; d < floor {
+		d = floor
+	}
+	return d
+}

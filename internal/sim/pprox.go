@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"pprox/internal/cluster"
+	"pprox/internal/stats"
+)
+
+// System is one simulated deployment: optional proxy layers in front of a
+// stub or Harness LRS, mirroring the in-process cluster package but in
+// virtual time.
+type System struct {
+	eng *Engine
+	rng *rand.Rand
+
+	proxy          bool
+	encryption     bool
+	sgx            bool
+	itemPseudonyms bool
+
+	uaNodes []*Node
+	iaNodes []*Node
+	uaRR    *RoundRobin
+	iaRR    *RoundRobin
+	uaShuf  []*Shuffler
+	iaShuf  []*Shuffler
+
+	useStub bool
+	feNodes []*Node
+	feRR    *RoundRobin
+	esNodes []*Node
+	esRR    *RoundRobin
+
+	uaReq, uaResp *ServiceTime
+	iaReq, iaResp *ServiceTime
+	iaRespPost    *ServiceTime
+	fe, es        *ServiceTime
+
+	// postFraction of injected requests take the post path (footnote 9:
+	// posts behave like gets with marginally lower latencies, because
+	// the IA response leg does no list re-encryption).
+	postFraction float64
+
+	recorder *stats.Recorder
+	measure  func(t0 time.Duration) bool
+}
+
+// SystemSpec selects the simulated deployment.
+type SystemSpec struct {
+	Proxy          bool
+	UA, IA         int
+	Encryption     bool
+	SGX            bool
+	ItemPseudonyms bool
+	Shuffle        int
+	UseStub        bool
+	LRSFrontends   int
+	Seed           int64
+	// PostFraction injects this share of requests as post (feedback)
+	// calls instead of gets; the evaluation reports gets (§8 footnote
+	// 9), so the default 0 matches the figures.
+	PostFraction float64
+}
+
+// FromMicro maps a Table 2 row onto a simulated deployment (stub LRS).
+func FromMicro(c cluster.MicroConfig) SystemSpec {
+	return SystemSpec{
+		Proxy: true, UA: c.UA, IA: c.IA,
+		Encryption: c.Encryption, SGX: c.SGX, ItemPseudonyms: c.ItemPseudonyms,
+		Shuffle: c.Shuffle, UseStub: true, Seed: 1,
+	}
+}
+
+// FromMacro maps a Table 3 row onto a simulated deployment (Harness LRS).
+func FromMacro(c cluster.MacroConfig) SystemSpec {
+	return SystemSpec{
+		Proxy: c.Proxy, UA: c.UA, IA: c.IA,
+		Encryption: c.Proxy, SGX: c.Proxy, ItemPseudonyms: c.Proxy,
+		Shuffle: c.Shuffle, LRSFrontends: c.LRSFrontends, Seed: 1,
+	}
+}
+
+// NewSystem builds the simulated deployment.
+func NewSystem(spec SystemSpec) *System {
+	eng := NewEngine()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	s := &System{
+		eng: eng, rng: rng,
+		proxy: spec.Proxy, encryption: spec.Encryption, sgx: spec.SGX,
+		itemPseudonyms: spec.ItemPseudonyms,
+		useStub:        spec.UseStub,
+		recorder:       stats.NewRecorder(0),
+	}
+
+	if spec.Proxy {
+		s.uaRR = NewRoundRobin(spec.UA)
+		s.iaRR = NewRoundRobin(spec.IA)
+		for i := 0; i < spec.UA; i++ {
+			s.uaNodes = append(s.uaNodes, NewNode(eng, proxyCores))
+			s.uaShuf = append(s.uaShuf, NewShuffler(eng, spec.Shuffle, shuffleTimeout))
+		}
+		for i := 0; i < spec.IA; i++ {
+			s.iaNodes = append(s.iaNodes, NewNode(eng, proxyCores))
+			s.iaShuf = append(s.iaShuf, NewShuffler(eng, spec.Shuffle, shuffleTimeout))
+		}
+	}
+
+	if !spec.UseStub {
+		fe := spec.LRSFrontends
+		if fe <= 0 {
+			fe = 1
+		}
+		s.feRR = NewRoundRobin(fe)
+		for i := 0; i < fe; i++ {
+			s.feNodes = append(s.feNodes, NewNode(eng, proxyCores))
+		}
+		s.esRR = NewRoundRobin(harnessESNodes)
+		for i := 0; i < harnessESNodes; i++ {
+			s.esNodes = append(s.esNodes, NewNode(eng, proxyCores))
+		}
+	}
+
+	// Per-operation service-time samplers, per the calibration.
+	uaReq, uaResp, iaReq, iaResp := s.proxyCosts()
+	s.uaReq = NewServiceTime(rng, uaReq, proxyCV)
+	s.uaResp = NewServiceTime(rng, uaResp, proxyCV)
+	s.iaReq = NewServiceTime(rng, iaReq, proxyCV)
+	s.iaResp = NewServiceTime(rng, iaResp, proxyCV)
+	// A post's response is a bare status code: the IA relays it without
+	// de-pseudonymization or re-encryption (Fig. 3 vs Fig. 4).
+	s.iaRespPost = NewServiceTime(rng, parseCost, proxyCV)
+	s.fe = NewServiceTime(rng, harnessFECost, harnessCV)
+	s.es = NewServiceTime(rng, harnessESCost, harnessCV)
+	s.postFraction = spec.PostFraction
+	return s
+}
+
+// proxyCosts derives per-node per-direction CPU demands from the
+// configuration's feature set — this is where Table 2's Enc/SGX/★ columns
+// become cost.
+func (s *System) proxyCosts() (uaReq, uaResp, iaReq, iaResp time.Duration) {
+	uaReq, uaResp, iaReq, iaResp = parseCost, parseCost, parseCost, parseCost
+	if s.encryption {
+		uaReq += uaCryptoReq
+		iaReq += iaCryptoReq
+		iaResp += iaCryptoResp
+		if s.itemPseudonyms {
+			iaReq += itemPseudoCost
+			iaResp += itemPseudoCost
+		}
+		if s.sgx {
+			uaReq += sgxEcall
+			iaReq += sgxEcall
+			iaResp += sgxEcall
+		}
+	}
+	return uaReq, uaResp, iaReq, iaResp
+}
+
+// inject schedules one get request at virtual time t.
+func (s *System) inject(t time.Duration) {
+	s.eng.After(t-s.eng.Now(), func() {
+		t0 := s.eng.Now()
+		record := func() {
+			if s.measure == nil || s.measure(t0) {
+				s.recorder.Observe(s.eng.Now() - t0)
+			}
+		}
+		isPost := s.postFraction > 0 && s.rng.Float64() < s.postFraction
+		if s.proxy {
+			s.viaProxy(isPost, record)
+			return
+		}
+		s.hop(func() { s.lrs(func() { s.hop(record) }) })
+	})
+}
+
+// viaProxy walks the full Fig. 3/Fig. 4 path: client → UA (process,
+// shuffle) → IA (process) → LRS → IA (process, shuffle) → UA (relay) →
+// client. Posts differ from gets only on the IA response leg.
+func (s *System) viaProxy(isPost bool, done func()) {
+	ua := s.uaRR.Next()
+	ia := s.iaRR.Next()
+	iaRespCost := s.iaResp
+	if isPost {
+		iaRespCost = s.iaRespPost
+	}
+	s.hop(func() {
+		s.uaNodes[ua].Submit(s.uaReq.Sample(), func() {
+			s.uaShuf[ua].Add(func() {
+				s.hop(func() {
+					s.iaNodes[ia].Submit(s.iaReq.Sample(), func() {
+						s.hop(func() {
+							s.lrs(func() {
+								s.hop(func() {
+									s.iaNodes[ia].Submit(iaRespCost.Sample(), func() {
+										s.iaShuf[ia].Add(func() {
+											s.hop(func() {
+												s.uaNodes[ua].Submit(s.uaResp.Sample(), func() {
+													s.hop(done)
+												})
+											})
+										})
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// lrs models the backend: the fixed-latency nginx stub, or the Harness
+// pipeline (front-end CPU → Elasticsearch CPU → model-read base delay).
+func (s *System) lrs(done func()) {
+	if s.useStub {
+		s.eng.After(stubService, done)
+		return
+	}
+	fe := s.feRR.Next()
+	es := s.esRR.Next()
+	s.feNodes[fe].Submit(s.fe.Sample(), func() {
+		s.esNodes[es].Submit(s.es.Sample(), func() {
+			s.eng.After(harnessBase, done)
+		})
+	})
+}
+
+func (s *System) hop(done func()) { s.eng.After(netHop, done) }
+
+// Run drives an open-loop arrival process at the given rate for the given
+// virtual duration, trimming a warm-up and cool-down window, and returns
+// the round-trip latency distribution.
+func (s *System) Run(rps int, duration, trim time.Duration) stats.Distribution {
+	interval := time.Duration(float64(time.Second) / float64(rps))
+	lo, hi := trim, duration-trim
+	s.measure = func(t0 time.Duration) bool { return t0 >= lo && t0 <= hi }
+	for t := time.Duration(0); t < duration; t += interval {
+		s.inject(t)
+	}
+	// Let in-flight requests complete: run beyond the injection window.
+	s.eng.Run(duration + 30*time.Second)
+	return s.recorder.Snapshot()
+}

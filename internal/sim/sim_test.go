@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pprox/internal/cluster"
+)
+
+func ms(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3*time.Millisecond, func() { order = append(order, 3) })
+	e.After(1*time.Millisecond, func() { order = append(order, 1) })
+	e.After(2*time.Millisecond, func() { order = append(order, 2) })
+	e.Run(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.After(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineStopsAtHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(2*time.Second, func() { ran = true })
+	e.Run(time.Second)
+	if ran {
+		t.Error("event beyond horizon executed")
+	}
+}
+
+func TestNodeQueuesBeyondCores(t *testing.T) {
+	e := NewEngine()
+	n := NewNode(e, 2)
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		n.Submit(10*time.Millisecond, func() { done = append(done, e.Now()) })
+	}
+	e.Run(time.Second)
+	if len(done) != 4 {
+		t.Fatalf("completed %d jobs", len(done))
+	}
+	// Two cores: jobs finish at 10ms, 10ms, 20ms, 20ms.
+	if done[0] != 10*time.Millisecond || done[2] != 20*time.Millisecond {
+		t.Errorf("completions = %v", done)
+	}
+}
+
+func TestShufflerBatchesInVirtualTime(t *testing.T) {
+	e := NewEngine()
+	s := NewShuffler(e, 3, 500*time.Millisecond)
+	var released []time.Duration
+	add := func(at time.Duration) {
+		e.After(at, func() { s.Add(func() { released = append(released, e.Now()) }) })
+	}
+	add(0)
+	add(10 * time.Millisecond)
+	add(20 * time.Millisecond) // fills the buffer → flush at 20ms
+	add(30 * time.Millisecond) // alone → timer flush at 530ms
+	e.Run(2 * time.Second)
+	if len(released) != 4 {
+		t.Fatalf("released %d", len(released))
+	}
+	for i := 0; i < 3; i++ {
+		if released[i] != 20*time.Millisecond {
+			t.Errorf("batch released at %v, want 20ms", released[i])
+		}
+	}
+	if released[3] != 530*time.Millisecond {
+		t.Errorf("timer flush at %v, want 530ms", released[3])
+	}
+}
+
+func TestShufflerDisabled(t *testing.T) {
+	e := NewEngine()
+	s := NewShuffler(e, 0, 0)
+	ran := false
+	s.Add(func() { ran = true })
+	if !ran {
+		t.Error("disabled shuffler delayed the message")
+	}
+}
+
+func TestServiceTimeMoments(t *testing.T) {
+	st := NewServiceTime(newTestRng(), 10*time.Millisecond, 0.4)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += float64(st.Sample())
+	}
+	mean := sum / float64(n)
+	if mean < 0.85*float64(10*time.Millisecond) || mean > 1.15*float64(10*time.Millisecond) {
+		t.Errorf("sample mean %.2fms, want ≈ 10ms", mean/1e6)
+	}
+	det := NewServiceTime(newTestRng(), 10*time.Millisecond, 0)
+	if det.Sample() != 10*time.Millisecond {
+		t.Error("cv=0 must be deterministic")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	spec := FromMicro(cluster.MicroConfigs()[2])
+	opts := QuickRunOptions()
+	a := runPoint(spec, 100, opts).Candlestick()
+	b := runPoint(spec, 100, opts).Candlestick()
+	if a != b {
+		t.Errorf("same seed, different results:\n%v\n%v", a, b)
+	}
+}
+
+// TestFigure6Shape verifies the paper's qualitative claims (§8.1.1):
+// encryption costs more than SGX, item pseudonymization is negligible,
+// and all configurations stay interactive (< 50 ms median) up to 250 RPS.
+func TestFigure6Shape(t *testing.T) {
+	opts := QuickRunOptions()
+	med := func(name string, rps int) time.Duration {
+		return runPoint(FromMicro(microByName(name)), rps, opts).Median()
+	}
+	m1, m2, m3, m4 := med("m1", 100), med("m2", 100), med("m3", 100), med("m4", 100)
+
+	encCost := m2 - m1
+	sgxCost := m3 - m2
+	if encCost <= 0 || sgxCost <= 0 {
+		t.Fatalf("features are free? enc=+%v sgx=+%v", encCost, sgxCost)
+	}
+	if encCost <= sgxCost {
+		t.Errorf("encryption (+%v) must cost more than SGX (+%v)", encCost, sgxCost)
+	}
+	if sgxCost < ms(1) || sgxCost > ms(6) {
+		t.Errorf("SGX adds %v, paper reports 2–5 ms", sgxCost)
+	}
+	if diff := m3 - m4; diff < 0 || diff > ms(1) {
+		t.Errorf("item pseudonymization toggle changes median by %v, paper says negligible", diff)
+	}
+	for name, v := range map[string]time.Duration{"m1": m1, "m2": m2, "m3": m3, "m4": m4} {
+		if v > ms(50) {
+			t.Errorf("%s median %v exceeds Fig. 6's 50 ms axis", name, v)
+		}
+	}
+}
+
+// TestFigure7Shape verifies §8.1.1's shuffling claims: at 50 RPS S=10 is
+// too slow for most SLOs while S=5 stays within a few hundred ms; at
+// ≥ 100 RPS medians fall well below 200 ms.
+func TestFigure7Shape(t *testing.T) {
+	opts := QuickRunOptions()
+	med := func(name string, rps int) time.Duration {
+		return runPoint(FromMicro(microByName(name)), rps, opts).Median()
+	}
+	m3at50, m5at50, m6at50 := med("m3", 50), med("m5", 50), med("m6", 50)
+	if !(m3at50 < m5at50 && m5at50 < m6at50) {
+		t.Errorf("shuffle latency must grow with S at 50 RPS: %v %v %v", m3at50, m5at50, m6at50)
+	}
+	if m5at50 > ms(400) {
+		t.Errorf("S=5 at 50 RPS median %v, want at most a few hundred ms", m5at50)
+	}
+	// Batches leaving the UA arrive at the IA together, so the response
+	// buffer refills quickly: the second stage adds far less than the
+	// first. The median still roughly doubles m5's.
+	if m6at50 < ms(120) {
+		t.Errorf("S=10 at 50 RPS median %v, paper reports it too high for most SLOs", m6at50)
+	}
+	for _, name := range []string{"m5", "m6"} {
+		for _, rps := range []int{100, 250} {
+			if m := med(name, rps); m > ms(200) {
+				t.Errorf("%s at %d RPS median %v, paper reports well below 200 ms", name, rps, m)
+			}
+		}
+	}
+}
+
+// TestFigure8Shape verifies §8.1.2: each added instance pair buys 250 RPS
+// — m9 (4 pairs) stays under 200 ms at 1000 RPS, while m6 (1 pair)
+// saturates there.
+func TestFigure8Shape(t *testing.T) {
+	opts := QuickRunOptions()
+	m9 := runPoint(FromMicro(microByName("m9")), 1000, opts)
+	if m := m9.Median(); m > ms(200) {
+		t.Errorf("m9 at 1000 RPS median %v, paper reports consistently under 200 ms", m)
+	}
+	m6 := runPoint(FromMicro(microByName("m6")), 500, opts)
+	if m := m6.Median(); m < ms(200) {
+		t.Errorf("m6 at 500 RPS median %v — should be far beyond saturation", m)
+	}
+	// Over-provisioning hurts at low rate: m9 at 50 RPS pays long
+	// shuffle fills (§8.1.2's scale-down observation).
+	m9low := runPoint(FromMicro(microByName("m9")), 50, opts)
+	if m := m9low.Median(); m < ms(200) {
+		t.Errorf("m9 at 50 RPS median %v, paper reports shuffle delays dominating", m)
+	}
+}
+
+// TestFigure9Shape verifies §8.2's baseline claims: sub-100 ms medians up
+// to 500 RPS on the right-sized deployment, saturation when driven 250
+// beyond the configuration's rating.
+func TestFigure9Shape(t *testing.T) {
+	opts := QuickRunOptions()
+	b2 := FromMacro(cluster.BaselineConfigs()[1]) // rated 500
+	if m := runPoint(b2, 500, opts).Median(); m > ms(100) {
+		t.Errorf("b2 at 500 RPS median %v, paper reports below 100 ms", m)
+	}
+	b1 := FromMacro(cluster.BaselineConfigs()[0]) // rated 250, saturates at 500
+	if m := runPoint(b1, 500, opts).Median(); m < ms(150) {
+		t.Errorf("b1 at 500 RPS median %v — should saturate", m)
+	}
+	b4 := FromMacro(cluster.BaselineConfigs()[3])
+	d := runPoint(b4, 1000, opts)
+	if max := d.Candlestick().WHigh; max < ms(100) || max > ms(600) {
+		t.Errorf("b4 at 1000 RPS upper whisker %v, paper reports peaks near 300 ms", max)
+	}
+}
+
+// TestFigure10Shape verifies §8.2's integrated-system claims: medians
+// between 100 and 200 ms for 250–750 RPS, everything below 300 ms; at
+// 1000 RPS the median stays under 200 ms.
+func TestFigure10Shape(t *testing.T) {
+	opts := QuickRunOptions()
+	fs := cluster.FullConfigs()
+	for i, rps := range []int{250, 500, 750} {
+		d := runPoint(FromMacro(fs[i]), rps, opts)
+		m := d.Median()
+		if m < ms(40) || m > ms(300) {
+			t.Errorf("f%d at %d RPS median %v, paper reports 100–200 ms systematically below 300", i+1, rps, m)
+		}
+	}
+	f4 := runPoint(FromMacro(fs[3]), 1000, opts)
+	if m := f4.Median(); m > ms(200) {
+		t.Errorf("f4 at 1000 RPS median %v, paper reports below 200 ms", m)
+	}
+}
+
+// TestLatencyAdditivity checks the paper's observation that Fig. 10
+// latencies are "the sum of latencies observed in Figures 8 and 9".
+func TestLatencyAdditivity(t *testing.T) {
+	opts := QuickRunOptions()
+	proxyOnly := runPoint(FromMicro(microByName("m7")), 500, opts).Median()
+	lrsOnly := runPoint(FromMacro(cluster.BaselineConfigs()[1]), 500, opts).Median()
+	full := runPoint(FromMacro(cluster.FullConfigs()[1]), 500, opts).Median()
+	sum := proxyOnly + lrsOnly - stubService // proxy-only includes the stub
+	lo, hi := time.Duration(float64(sum)*0.6), time.Duration(float64(sum)*1.6)
+	if full < lo || full > hi {
+		t.Errorf("f2 median %v vs proxy(%v)+LRS(%v) ≈ %v: not additive", full, proxyOnly, lrsOnly, sum)
+	}
+}
+
+func newTestRng() *rand.Rand { return rand.New(rand.NewSource(7)) }
+
+// TestElasticScalingBeatsFixedFleet verifies the §5/§8.1.2 motivation for
+// elastic scaling: a fixed 4-pair fleet pays long shuffle-fill delays at
+// low rates and costs more pair-seconds; the controller tracks load and
+// keeps every segment's median within SLO.
+func TestElasticScalingBeatsFixedFleet(t *testing.T) {
+	opts := QuickRunOptions()
+	fixed, elastic := RunElastic(4, ElasticTrace(), opts)
+
+	if elastic.PairSeconds >= fixed.PairSeconds {
+		t.Errorf("elastic cost %.0f pair-s not below fixed %.0f", elastic.PairSeconds, fixed.PairSeconds)
+	}
+	// The fixed fleet's 50 RPS segments are timer-bound (≈ 0.5–1 s);
+	// elastic drops to 1 pair and stays interactive.
+	if w := fixed.WorstMedian(); w < ms(300) {
+		t.Errorf("fixed fleet worst median %v — expected timer-bound low-load segments", w)
+	}
+	if w := elastic.WorstMedian(); w > ms(300) {
+		t.Errorf("elastic worst median %v exceeds the 300 ms SLO", w)
+	}
+	// Elastic still survives the 1000 RPS peak.
+	for _, s := range elastic.Segments {
+		if s.RPS == 1000 && s.Candle.Median > ms(300) {
+			t.Errorf("elastic at peak: median %v", s.Candle.Median)
+		}
+	}
+}
+
+// TestPostsMarginallyFasterThanGets verifies footnote 9: "We evaluated the
+// costs of post requests and these systematically follow the same trends
+// as for get requests, with only marginally lower latencies."
+func TestPostsMarginallyFasterThanGets(t *testing.T) {
+	opts := QuickRunOptions()
+	spec := FromMicro(microByName("m3"))
+
+	gets := runPoint(spec, 100, opts).Median()
+	postSpec := spec
+	postSpec.PostFraction = 1.0
+	posts := runPoint(postSpec, 100, opts).Median()
+
+	if posts >= gets {
+		t.Errorf("posts (%v) not faster than gets (%v)", posts, gets)
+	}
+	// "Marginally": within a few ms, same order of magnitude.
+	if diff := gets - posts; diff > ms(6) {
+		t.Errorf("posts faster by %v — more than marginal", diff)
+	}
+}

@@ -1,0 +1,226 @@
+// Package stats computes the latency-distribution summaries used by the
+// PProx evaluation (§8). The paper reports each configuration/RPS pair as a
+// candlestick: box boundaries at the 25th and 75th percentiles, the median
+// inside, and whiskers extending to the most distant points within 1.5
+// times the interquartile range from the box (footnote 7).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects latency samples concurrently, one per completed
+// request, as the workload injector measures round-trip service times.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewRecorder creates an empty recorder with room for the expected number
+// of samples.
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{samples: make([]time.Duration, 0, capacity)}
+}
+
+// Observe records one round-trip latency.
+func (r *Recorder) Observe(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Snapshot copies the samples into an immutable Distribution.
+func (r *Recorder) Snapshot() Distribution {
+	r.mu.Lock()
+	cp := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	return NewDistribution(cp)
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Distribution is a sorted, immutable set of latency samples.
+type Distribution struct {
+	sorted []time.Duration
+}
+
+// NewDistribution builds a distribution from samples (the slice is taken
+// over and sorted in place).
+func NewDistribution(samples []time.Duration) Distribution {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return Distribution{sorted: samples}
+}
+
+// Merge combines distributions, e.g. the 6 repetitions the paper aggregates
+// per configuration/RPS pair ("we run each experiment 6 times and report
+// the aggregated distribution").
+func Merge(ds ...Distribution) Distribution {
+	var n int
+	for _, d := range ds {
+		n += len(d.sorted)
+	}
+	all := make([]time.Duration, 0, n)
+	for _, d := range ds {
+		all = append(all, d.sorted...)
+	}
+	return NewDistribution(all)
+}
+
+// N returns the sample count.
+func (d Distribution) N() int { return len(d.sorted) }
+
+// Min returns the smallest sample, or 0 when empty.
+func (d Distribution) Min() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[0]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (d Distribution) Max() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[len(d.sorted)-1]
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (d Distribution) Mean() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range d.sorted {
+		sum += float64(s)
+	}
+	return time.Duration(sum / float64(len(d.sorted)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation
+// between order statistics, or 0 when empty.
+func (d Distribution) Quantile(q float64) time.Duration {
+	n := len(d.sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return d.sorted[0]
+	}
+	if q >= 1 {
+		return d.sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return d.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return time.Duration(float64(d.sorted[lo])*(1-frac) + float64(d.sorted[hi])*frac)
+}
+
+// Median returns the 50th percentile.
+func (d Distribution) Median() time.Duration { return d.Quantile(0.5) }
+
+// Candlestick is one box-and-whiskers row as plotted in Figures 6–10.
+type Candlestick struct {
+	N      int
+	Min    time.Duration
+	WLow   time.Duration // lower whisker: most distant point within 1.5·IQR below P25
+	P25    time.Duration
+	Median time.Duration
+	P75    time.Duration
+	WHigh  time.Duration // upper whisker: most distant point within 1.5·IQR above P75
+	Max    time.Duration
+	Mean   time.Duration
+}
+
+// Candlestick summarizes the distribution with the paper's box/whisker
+// definition.
+func (d Distribution) Candlestick() Candlestick {
+	c := Candlestick{
+		N:      d.N(),
+		Min:    d.Min(),
+		Max:    d.Max(),
+		Mean:   d.Mean(),
+		P25:    d.Quantile(0.25),
+		Median: d.Median(),
+		P75:    d.Quantile(0.75),
+	}
+	if c.N == 0 {
+		return c
+	}
+	iqr := c.P75 - c.P25
+	loFence := c.P25 - time.Duration(1.5*float64(iqr))
+	hiFence := c.P75 + time.Duration(1.5*float64(iqr))
+	c.WLow = c.P25
+	c.WHigh = c.P75
+	for _, s := range d.sorted {
+		if s >= loFence {
+			c.WLow = s
+			break
+		}
+	}
+	for i := len(d.sorted) - 1; i >= 0; i-- {
+		if d.sorted[i] <= hiFence {
+			c.WHigh = d.sorted[i]
+			break
+		}
+	}
+	// With interpolated quantiles and skewed data the nearest in-fence
+	// sample can land inside the box; clamp whiskers to the box edges so
+	// WLow ≤ P25 and WHigh ≥ P75 always hold.
+	if c.WLow > c.P25 {
+		c.WLow = c.P25
+	}
+	if c.WHigh < c.P75 {
+		c.WHigh = c.P75
+	}
+	return c
+}
+
+// String renders the candlestick as a fixed-width millisecond row suitable
+// for the experiment harness output.
+func (c Candlestick) String() string {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return fmt.Sprintf("n=%-6d whiskers=[%7.1f %7.1f]ms box=[%7.1f %7.1f %7.1f]ms max=%7.1fms",
+		c.N, ms(c.WLow), ms(c.WHigh), ms(c.P25), ms(c.Median), ms(c.P75), ms(c.Max))
+}
+
+// Histogram buckets samples into fixed-width bins for quick terminal
+// inspection of a distribution's shape.
+func (d Distribution) Histogram(binWidth time.Duration, maxBins int) []int {
+	if binWidth <= 0 || len(d.sorted) == 0 {
+		return nil
+	}
+	nBins := int(d.Max()/binWidth) + 1
+	if nBins > maxBins {
+		nBins = maxBins
+	}
+	bins := make([]int, nBins)
+	for _, s := range d.sorted {
+		b := int(s / binWidth)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		bins[b]++
+	}
+	return bins
+}

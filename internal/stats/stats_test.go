@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestEmptyDistribution(t *testing.T) {
+	d := NewDistribution(nil)
+	if d.N() != 0 || d.Min() != 0 || d.Max() != 0 || d.Mean() != 0 || d.Median() != 0 {
+		t.Error("empty distribution should be all zero")
+	}
+	c := d.Candlestick()
+	if c.N != 0 {
+		t.Error("empty candlestick should have N=0")
+	}
+	if d.Histogram(ms(1), 10) != nil {
+		t.Error("empty histogram should be nil")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	d := NewDistribution([]time.Duration{ms(10)})
+	if d.Median() != ms(10) || d.Min() != ms(10) || d.Max() != ms(10) {
+		t.Error("single-sample quantiles should all equal the sample")
+	}
+	c := d.Candlestick()
+	if c.WLow != ms(10) || c.WHigh != ms(10) {
+		t.Errorf("whiskers = [%v %v], want [10ms 10ms]", c.WLow, c.WHigh)
+	}
+}
+
+func TestQuantilesOnKnownData(t *testing.T) {
+	// 1..100 ms: quantiles are exact order statistics.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = ms(i + 1)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(samples), func(i, j int) {
+		samples[i], samples[j] = samples[j], samples[i]
+	})
+	d := NewDistribution(samples)
+
+	if got := d.Quantile(0); got != ms(1) {
+		t.Errorf("Q0 = %v", got)
+	}
+	if got := d.Quantile(1); got != ms(100) {
+		t.Errorf("Q1 = %v", got)
+	}
+	if got := d.Median(); got < ms(50) || got > ms(51) {
+		t.Errorf("median = %v, want within [50ms,51ms]", got)
+	}
+	if got := d.Quantile(0.25); got < ms(25) || got > ms(26) {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := d.Mean(); got != ms(50)+500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+}
+
+func TestCandlestickWhiskersClipOutliers(t *testing.T) {
+	// A tight cluster plus one extreme outlier: the whisker must stop at
+	// the cluster, the max must still report the outlier.
+	samples := []time.Duration{ms(10), ms(11), ms(12), ms(13), ms(14), ms(500)}
+	c := NewDistribution(samples).Candlestick()
+	if c.Max != ms(500) {
+		t.Errorf("max = %v", c.Max)
+	}
+	if c.WHigh == ms(500) {
+		t.Error("upper whisker extended to a 1.5·IQR outlier")
+	}
+	if c.WHigh < c.P75 {
+		t.Errorf("upper whisker %v below P75 %v", c.WHigh, c.P75)
+	}
+	if c.WLow > c.P25 {
+		t.Errorf("lower whisker %v above P25 %v", c.WLow, c.P25)
+	}
+}
+
+func TestCandlestickOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) * time.Microsecond
+		}
+		c := NewDistribution(samples).Candlestick()
+		return c.Min <= c.WLow && c.WLow <= c.P25 && c.P25 <= c.Median &&
+			c.Median <= c.P75 && c.P75 <= c.WHigh && c.WHigh <= c.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v)
+		}
+		d := NewDistribution(samples)
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return d.Quantile(qa) <= d.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				r.Observe(ms(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 2000 {
+		t.Errorf("Len = %d, want 2000", r.Len())
+	}
+	d := r.Snapshot()
+	if d.N() != 2000 {
+		t.Errorf("snapshot N = %d", d.N())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear samples")
+	}
+	// Snapshot taken before Reset is unaffected.
+	if d.N() != 2000 {
+		t.Error("snapshot mutated by Reset")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewDistribution([]time.Duration{ms(1), ms(3)})
+	b := NewDistribution([]time.Duration{ms(2), ms(4)})
+	m := Merge(a, b)
+	if m.N() != 4 || m.Min() != ms(1) || m.Max() != ms(4) {
+		t.Errorf("merge: N=%d min=%v max=%v", m.N(), m.Min(), m.Max())
+	}
+	if got := m.Median(); got != ms(2)+500*time.Microsecond {
+		t.Errorf("merged median = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	d := NewDistribution([]time.Duration{ms(1), ms(2), ms(5), ms(11), ms(99)})
+	bins := d.Histogram(ms(10), 5)
+	if len(bins) != 5 {
+		t.Fatalf("bins = %v", bins)
+	}
+	if bins[0] != 3 || bins[1] != 1 || bins[4] != 1 {
+		t.Errorf("bins = %v", bins)
+	}
+}
+
+func TestCandlestickString(t *testing.T) {
+	s := NewDistribution([]time.Duration{ms(10), ms(20)}).Candlestick().String()
+	if s == "" {
+		t.Error("empty candlestick row")
+	}
+}

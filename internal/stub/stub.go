@@ -1,0 +1,92 @@
+// Package stub provides the static-payload stand-in for the LRS used by
+// the paper's micro-benchmarks (§7.1): "When testing PProx in isolation
+// from Harness, we use a stub service with the nginx high-performance HTTP
+// server to serve a static payload of the same size as Harness
+// recommendations lists."
+package stub
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"pprox/internal/message"
+)
+
+// Server is the static stub LRS. It accepts the same REST API as a real
+// LRS: POST /events for feedback (acknowledged and discarded) and POST
+// /queries for recommendations (a constant list, same size as a Harness
+// response).
+type Server struct {
+	// Delay adds an artificial service time per request, used to model
+	// the 1–2 ms the paper measures for direct injector→nginx requests.
+	Delay time.Duration
+
+	items    []string
+	posts    atomic.Uint64
+	gets     atomic.Uint64
+	respBody []byte
+}
+
+// New creates a stub serving a static list of n generated item
+// identifiers (n is capped at message.MaxRecommendations).
+func New(n int) (*Server, error) {
+	if n > message.MaxRecommendations {
+		n = message.MaxRecommendations
+	}
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf("stub-item-%04d", i)
+	}
+	return NewWithItems(items)
+}
+
+// NewWithItems creates a stub serving the given static list — e.g.
+// identifiers pre-pseudonymized under the IA layer's permanent key, so
+// that a full-crypto PProx deployment in front of the stub exercises the
+// same de-pseudonymization path as with a real LRS.
+func NewWithItems(items []string) (*Server, error) {
+	if len(items) > message.MaxRecommendations {
+		items = items[:message.MaxRecommendations]
+	}
+	items = append([]string(nil), items...)
+	body, err := message.Marshal(message.LRSGetResponse{Items: items})
+	if err != nil {
+		return nil, fmt.Errorf("stub: prebuild response: %w", err)
+	}
+	return &Server{items: items, respBody: body}, nil
+}
+
+// Items returns the static recommendation list the stub serves.
+func (s *Server) Items() []string {
+	return append([]string(nil), s.items...)
+}
+
+// Counts returns how many post and get requests were served.
+func (s *Server) Counts() (posts, gets uint64) {
+	return s.posts.Load(), s.gets.Load()
+}
+
+// ServeHTTP implements the LRS REST API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == message.EventsPath:
+		s.posts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok"}`)
+	case r.Method == http.MethodPost && r.URL.Path == message.QueriesPath:
+		s.gets.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.respBody)
+	case r.Method == http.MethodGet && r.URL.Path == message.HealthPath:
+		fmt.Fprint(w, "ok")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+var _ http.Handler = (*Server)(nil)

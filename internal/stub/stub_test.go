@@ -1,0 +1,94 @@
+package stub
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pprox/internal/message"
+)
+
+func newServer(t *testing.T, n int) *Server {
+	t.Helper()
+	s, err := New(n)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestStubServesStaticRecommendations(t *testing.T) {
+	s := newServer(t, 20)
+	req := httptest.NewRequest(http.MethodPost, message.QueriesPath, strings.NewReader(`{"user":"p-1"}`))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp message.LRSGetResponse
+	if err := message.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 20 {
+		t.Errorf("items = %d, want 20", len(resp.Items))
+	}
+	if _, gets := s.Counts(); gets != 1 {
+		t.Errorf("gets = %d", gets)
+	}
+}
+
+func TestStubAcknowledgesEvents(t *testing.T) {
+	s := newServer(t, 20)
+	req := httptest.NewRequest(http.MethodPost, message.EventsPath, strings.NewReader(`{"user":"p","item":"q"}`))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if !strings.Contains(string(body), "ok") {
+		t.Errorf("body = %s", body)
+	}
+	if posts, _ := s.Counts(); posts != 1 {
+		t.Errorf("posts = %d", posts)
+	}
+}
+
+func TestStubHealth(t *testing.T) {
+	s := newServer(t, 1)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, message.HealthPath, nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("health status = %d", rec.Code)
+	}
+}
+
+func TestStubUnknownPath(t *testing.T) {
+	s := newServer(t, 1)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestStubCapsListSize(t *testing.T) {
+	s := newServer(t, 1000)
+	if got := len(s.Items()); got != message.MaxRecommendations {
+		t.Errorf("items = %d, want cap %d", got, message.MaxRecommendations)
+	}
+}
+
+func TestStubDelay(t *testing.T) {
+	s := newServer(t, 1)
+	s.Delay = 20 * time.Millisecond
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, message.QueriesPath, strings.NewReader("{}")))
+	if elapsed := time.Since(start); elapsed < s.Delay {
+		t.Errorf("request served in %v, want ≥ %v", elapsed, s.Delay)
+	}
+}

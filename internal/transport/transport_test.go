@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestListenDialRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("svc-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		c.Write(append([]byte("re:"), buf...))
+	}()
+
+	c, err := n.DialContext(context.Background(), "mem", "svc-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "re:hello" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestDialUnknownAddressRefused(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	_, err := n.DialContext(context.Background(), "mem", "nobody")
+	if !errors.Is(err, ErrConnectionRefused) {
+		t.Fatalf("err=%v, want ErrConnectionRefused", err)
+	}
+}
+
+func TestDuplicateListenRejected(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	if _, err := n.Listen("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("svc"); !errors.Is(err, ErrAddressInUse) {
+		t.Fatalf("err=%v, want ErrAddressInUse", err)
+	}
+}
+
+func TestListenerCloseUnbindsAddress(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Address is free again.
+	if _, err := n.Listen("svc"); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	// Accept on the closed listener fails.
+	if _, err := l.Accept(); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("accept after close: err=%v", err)
+	}
+}
+
+func TestDialContextCancellation(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the accept backlog without accepting.
+	for i := 0; i < cap(l.(*listener).pending); i++ {
+		if _, err := n.DialContext(context.Background(), "mem", "slow"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := n.DialContext(ctx, "mem", "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v, want deadline exceeded", err)
+	}
+}
+
+func TestNetworkCloseRefusesEverything(t *testing.T) {
+	n := NewNetwork()
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if _, err := n.Listen("b"); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("Listen after Close: err=%v", err)
+	}
+	if _, err := n.DialContext(context.Background(), "mem", "a"); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("Dial after Close: err=%v", err)
+	}
+	// Double close is fine.
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPOverMemnet(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := Serve(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "hi %s", r.URL.Path)
+	}))
+	defer shutdown()
+
+	client := HTTPClient(n, 5*time.Second)
+	resp, err := client.Get("http://web/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "hi /x" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestHTTPOverMemnetConcurrent(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := Serve(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer shutdown()
+
+	client := HTTPClient(n, 5*time.Second)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get("http://web/")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("request failed: %v", err)
+	}
+}
+
+func TestServeShutdownIdempotentUse(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := Serve(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// After shutdown the address no longer accepts connections.
+	client := HTTPClient(n, 500*time.Millisecond)
+	if _, err := client.Get("http://web/"); err == nil {
+		t.Error("request succeeded after shutdown")
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleCSV = `userId,movieId,rating,timestamp
+1,10,4.0,1388534400
+1,20,3.5,1420070400
+2,10,5.0,1420070401
+2,30,2.0,1262304000
+3,10,4.5,1454284800
+`
+
+// Timestamps: 1388534400 = 2014-01-01, 1420070400/1 = 2015-01-01,
+// 1262304000 = 2010-01-01, 1454284800 = 2016-02-01.
+
+func TestLoadMovieLensCSVWindow(t *testing.T) {
+	d, err := LoadMovieLensCSV(strings.NewReader(sampleCSV), MovieLensWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2014–2015 keeps the first three rows only.
+	if len(d.Events) != 3 {
+		t.Fatalf("events = %d, want 3 inside 2014–2015", len(d.Events))
+	}
+	if d.Users != 2 || d.Items != 2 {
+		t.Errorf("cardinalities = %d users, %d items", d.Users, d.Items)
+	}
+	if d.Events[0].User != "ml-user-1" || d.Events[0].Item != "ml-movie-10" || d.Events[0].Rating != "4.0" {
+		t.Errorf("event[0] = %+v", d.Events[0])
+	}
+}
+
+func TestLoadMovieLensCSVNoWindow(t *testing.T) {
+	d, err := LoadMovieLensCSV(strings.NewReader(sampleCSV), TimeWindow{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 5 {
+		t.Errorf("events = %d, want all 5 without a window", len(d.Events))
+	}
+}
+
+func TestLoadMovieLensCSVRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"wrong header", "a,b,c,d\n1,2,3,4\n"},
+		{"bad timestamp", "userId,movieId,rating,timestamp\n1,2,3,notanumber\n"},
+		{"short row", "userId,movieId,rating,timestamp\n1,2\n"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadMovieLensCSV(strings.NewReader(tc.body), TimeWindow{}); err == nil {
+				t.Error("malformed csv accepted")
+			}
+		})
+	}
+}
+
+func TestTimeWindowContains(t *testing.T) {
+	w := MovieLensWindow()
+	if !w.Contains(time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("2014 date excluded")
+	}
+	if w.Contains(time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("window upper bound must be exclusive")
+	}
+	if !w.Contains(time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("window lower bound must be inclusive")
+	}
+}

@@ -1,0 +1,140 @@
+// Package workload provides the evaluation's load-generation side (§7.1,
+// §8): an open-loop HTTP load injector equivalent to the node.js loadtest
+// tool the paper uses, and a deterministic synthetic dataset with the
+// shape of the MovieLens ml-20m 2014–2015 slice.
+package workload
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pprox/internal/stats"
+)
+
+// RequestFunc issues one request and returns its error; the injector
+// measures its round-trip time.
+type RequestFunc func(ctx context.Context) error
+
+// Injector drives requests at a fixed open-loop rate: arrivals are
+// scheduled by the clock, never by completions, so saturation manifests as
+// growing latencies exactly as in the paper's measurements.
+type Injector struct {
+	// RPS is the arrival rate (requests per second).
+	RPS int
+	// Duration is the injection period.
+	Duration time.Duration
+	// Trim drops measurements this close to the start and end of the
+	// injection period (§8: "We trim the first and last 15 seconds of
+	// each measurement period").
+	Trim time.Duration
+	// MaxInFlight sheds arrivals beyond this many outstanding requests
+	// (0 = unlimited), protecting the injector itself from saturation
+	// collapse.
+	MaxInFlight int
+}
+
+// Result aggregates one injection run.
+type Result struct {
+	// Latencies holds round-trip times of successful requests inside
+	// the measurement window.
+	Latencies stats.Distribution
+	// Sent counts issued requests; Failed counts errors; Shed counts
+	// arrivals dropped by MaxInFlight.
+	Sent, Failed, Shed int
+	// Elapsed is the wall-clock injection time.
+	Elapsed time.Duration
+}
+
+// Run injects load and blocks until every outstanding request finishes.
+func (inj *Injector) Run(ctx context.Context, fn RequestFunc) Result {
+	interval := time.Second / time.Duration(inj.RPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	recorder := stats.NewRecorder(inj.RPS * int(inj.Duration/time.Second+1))
+
+	var (
+		mu           sync.Mutex
+		sent, failed int
+		shed         int
+		inFlight     int
+	)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	windowLo := start.Add(inj.Trim)
+	windowHi := start.Add(inj.Duration - inj.Trim)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(inj.Duration)
+
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			mu.Lock()
+			if inj.MaxInFlight > 0 && inFlight >= inj.MaxInFlight {
+				shed++
+				mu.Unlock()
+				continue
+			}
+			inFlight++
+			sent++
+			mu.Unlock()
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				err := fn(ctx)
+				latency := time.Since(t0)
+
+				mu.Lock()
+				inFlight--
+				if err != nil {
+					failed++
+				}
+				mu.Unlock()
+				if err == nil && !t0.Before(windowLo) && !t0.After(windowHi) {
+					recorder.Observe(latency)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	return Result{
+		Latencies: recorder.Snapshot(),
+		Sent:      sent,
+		Failed:    failed,
+		Shed:      shed,
+		Elapsed:   time.Since(start),
+	}
+}
+
+// RunRepetitions runs the injection n times and merges the latency
+// distributions, as the paper does ("We run each experiment 6 times and
+// report the aggregated distribution").
+func (inj *Injector) RunRepetitions(ctx context.Context, n int, fn RequestFunc) Result {
+	var total Result
+	dists := make([]stats.Distribution, 0, n)
+	for i := 0; i < n; i++ {
+		r := inj.Run(ctx, fn)
+		dists = append(dists, r.Latencies)
+		total.Sent += r.Sent
+		total.Failed += r.Failed
+		total.Shed += r.Shed
+		total.Elapsed += r.Elapsed
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	total.Latencies = stats.Merge(dists...)
+	return total
+}

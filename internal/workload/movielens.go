@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The paper's experimental workload is the MovieLens ml-20m dataset
+// restricted to 2014–2015: "562,888 ratings for 17,141 different movies
+// made by 7,288 different users" (§8). The real dataset is not
+// redistributable with this repository, so Generate produces a
+// deterministic synthetic event stream with the same cardinalities and the
+// heavy-tailed popularity structure of movie ratings (see DESIGN.md §1:
+// the evaluation exercises the (user, item) stream's shape, never the
+// rating semantics).
+const (
+	// MovieLensUsers is the distinct-user count of the paper's slice.
+	MovieLensUsers = 7288
+	// MovieLensItems is the distinct-movie count of the paper's slice.
+	MovieLensItems = 17141
+	// MovieLensEvents is the rating count of the paper's slice.
+	MovieLensEvents = 562888
+)
+
+// Event is one feedback interaction of the workload.
+type Event struct {
+	User string
+	Item string
+	// Rating is the optional payload carried by post(u, i[, p]).
+	Rating string
+}
+
+// Dataset is a synthetic event stream.
+type Dataset struct {
+	Events []Event
+	Users  int
+	Items  int
+}
+
+// Params control dataset generation.
+type Params struct {
+	Users  int
+	Items  int
+	Events int
+	// ItemSkew is the Zipf exponent of item popularity (> 1); movie
+	// ratings are strongly skewed, ≈ 1.1.
+	ItemSkew float64
+	// UserSkew is the Zipf exponent of per-user activity (> 1).
+	UserSkew float64
+	Seed     int64
+}
+
+// MovieLensParams returns the full-size paper workload.
+func MovieLensParams() Params {
+	return Params{
+		Users:    MovieLensUsers,
+		Items:    MovieLensItems,
+		Events:   MovieLensEvents,
+		ItemSkew: 1.1,
+		UserSkew: 1.2,
+		Seed:     2021, // the paper's publication year; any fixed seed does
+	}
+}
+
+// ScaledMovieLensParams returns the paper workload scaled down by factor
+// (e.g. 0.01 for quick tests), keeping the skew structure.
+func ScaledMovieLensParams(factor float64) Params {
+	p := MovieLensParams()
+	scale := func(n int) int {
+		s := int(float64(n) * factor)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	p.Users = scale(p.Users)
+	p.Items = scale(p.Items)
+	p.Events = scale(p.Events)
+	return p
+}
+
+// Generate builds the synthetic dataset. It is deterministic in
+// Params.Seed.
+func Generate(p Params) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	itemZipf := rand.NewZipf(rng, p.ItemSkew, 1, uint64(p.Items-1))
+	userZipf := rand.NewZipf(rng, p.UserSkew, 1, uint64(p.Users-1))
+
+	events := make([]Event, p.Events)
+	for i := range events {
+		u := int(userZipf.Uint64())
+		it := int(itemZipf.Uint64())
+		events[i] = Event{
+			User:   UserID(u),
+			Item:   ItemID(it),
+			Rating: fmt.Sprintf("%.1f", 0.5+float64(rng.Intn(10))*0.5),
+		}
+	}
+	return &Dataset{Events: events, Users: p.Users, Items: p.Items}
+}
+
+// UserID names the i-th synthetic user.
+func UserID(i int) string { return fmt.Sprintf("ml-user-%05d", i) }
+
+// ItemID names the i-th synthetic movie.
+func ItemID(i int) string { return fmt.Sprintf("ml-movie-%06d", i) }
+
+// DistinctUsers returns the distinct users appearing in the event stream,
+// in first-appearance order — the population the get-phase draws from.
+func (d *Dataset) DistinctUsers() []string {
+	seen := make(map[string]bool, d.Users)
+	var users []string
+	for _, ev := range d.Events {
+		if !seen[ev.User] {
+			seen[ev.User] = true
+			users = append(users, ev.User)
+		}
+	}
+	return users
+}
