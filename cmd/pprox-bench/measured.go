@@ -60,15 +60,31 @@ func runMeasuredMacro() error {
 
 		i := 0
 		inj := &workload.Injector{RPS: 40, Duration: 3 * time.Second, MaxInFlight: 256}
-		res := inj.Run(ctx, func(ctx context.Context) error {
-			i++
-			_, err := cl.Get(ctx, users[i%len(users)])
-			return err
-		})
+		var res workload.Result
+		run := func() {
+			res = inj.Run(ctx, func(ctx context.Context) error {
+				i++
+				_, err := cl.Get(ctx, users[i%len(users)])
+				return err
+			})
+		}
+		var before, after scrapeSet
+		var scrapeErr error
+		if setup.spec.ProxyEnabled {
+			before, after, scrapeErr = bracketScrape(d, run)
+		} else {
+			run()
+		}
+		fmt.Printf("%-28s sent=%d failed=%d  %s\n", setup.name, res.Sent, res.Failed, res.Latencies.Candlestick())
+		if scrapeErr == nil && setup.spec.ProxyEnabled {
+			printStageBreakdown(before, after)
+		}
 		if err := d.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("%-28s sent=%d failed=%d  %s\n", setup.name, res.Sent, res.Failed, res.Latencies.Candlestick())
+		if scrapeErr != nil {
+			return scrapeErr
+		}
 	}
 	fmt.Println("(full-system ≈ baseline + proxy crypto overhead, as §8.2 reports)")
 	return nil
@@ -98,18 +114,27 @@ func runMeasured() error {
 
 		cl := d.Client(10 * time.Second)
 		inj := &workload.Injector{RPS: 50, Duration: 3 * time.Second, MaxInFlight: 256}
-		res := inj.Run(context.Background(), func(ctx context.Context) error {
-			_, err := cl.Get(ctx, "bench-user")
-			return err
+		var res workload.Result
+		before, after, scrapeErr := bracketScrape(d, func() {
+			res = inj.Run(context.Background(), func(ctx context.Context) error {
+				_, err := cl.Get(ctx, "bench-user")
+				return err
+			})
 		})
+		if res.Failed > 0 {
+			fmt.Printf("%-6s %5d  %d/%d requests failed\n", name, 50, res.Failed, res.Sent)
+		} else {
+			fmt.Printf("%-6s %5d  %s\n", name, 50, res.Latencies.Candlestick())
+		}
+		if scrapeErr == nil {
+			printStageBreakdown(before, after)
+		}
 		if err := d.Close(); err != nil {
 			return fmt.Errorf("close %s: %w", name, err)
 		}
-		if res.Failed > 0 {
-			fmt.Printf("%-6s %5d  %d/%d requests failed\n", name, 50, res.Failed, res.Sent)
-			continue
+		if scrapeErr != nil {
+			return scrapeErr
 		}
-		fmt.Printf("%-6s %5d  %s\n", name, 50, res.Latencies.Candlestick())
 	}
 	return nil
 }

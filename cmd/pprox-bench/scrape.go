@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pprox/internal/cluster"
+	"pprox/internal/proxy"
+)
+
+// scrape.go reads the deployment's own /metrics endpoints — the same
+// Prometheus text format an operator scrapes — and turns the before/after
+// difference of the pprox_proxy_stage_seconds histograms into a per-stage
+// latency breakdown, printed next to the end-to-end candlesticks. The
+// round trip through the exposition format is deliberate: the benchmark
+// exercises the observability path it reports on.
+
+// scrapeSet maps a full series identity (name plus rendered label block)
+// to its sampled value.
+type scrapeSet map[string]float64
+
+// parseExposition parses Prometheus text-format lines into a scrapeSet.
+func parseExposition(body string) scrapeSet {
+	out := make(scrapeSet)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// scrapeDeployment reads the deployment's metrics. All nodes share the
+// deployment registry, so one node suffices; scraping by node address
+// still goes over the (in-memory) wire like a real scrape would.
+func scrapeDeployment(d *cluster.Deployment, httpClient *http.Client) (scrapeSet, error) {
+	resp, err := httpClient.Get("http://ua-0/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parseExposition(string(body)), nil
+}
+
+// seriesLabels extracts the label map from a series identity like
+// `name{a="x",b="y"}`. Label values in the proxy families never contain
+// escaped quotes, so splitting on `",` is safe here.
+func seriesLabels(series string) (name string, labels map[string]string) {
+	labels = make(map[string]string)
+	open := strings.IndexByte(series, '{')
+	if open < 0 {
+		return series, labels
+	}
+	name = series[:open]
+	body := strings.TrimSuffix(series[open+1:], "}")
+	for _, pair := range strings.Split(body, `",`) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			continue
+		}
+		labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+	}
+	return name, labels
+}
+
+// stageDist is one (layer, stage) cell of the breakdown: the histogram
+// delta accumulated across that layer's nodes.
+type stageDist struct {
+	count   float64
+	sum     float64
+	buckets map[float64]float64 // le → cumulative count delta
+}
+
+// quantile returns the smallest bucket bound covering fraction q of the
+// observations — the histogram-resolution upper bound on that quantile.
+func (s *stageDist) quantile(q float64) float64 {
+	les := make([]float64, 0, len(s.buckets))
+	for le := range s.buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	target := q * s.count
+	for _, le := range les {
+		if s.buckets[le] >= target {
+			return le
+		}
+	}
+	return les[len(les)-1]
+}
+
+// stageBreakdown computes per-(layer, stage) histogram deltas between two
+// scrapes of pprox_proxy_stage_seconds.
+func stageBreakdown(before, after scrapeSet) map[string]map[string]*stageDist {
+	const fam = "pprox_proxy_stage_seconds"
+	out := make(map[string]map[string]*stageDist)
+	cell := func(layer, stage string) *stageDist {
+		if out[layer] == nil {
+			out[layer] = make(map[string]*stageDist)
+		}
+		if out[layer][stage] == nil {
+			out[layer][stage] = &stageDist{buckets: make(map[float64]float64)}
+		}
+		return out[layer][stage]
+	}
+	for series, v := range after {
+		name, labels := seriesLabels(series)
+		if !strings.HasPrefix(name, fam) {
+			continue
+		}
+		delta := v - before[series]
+		c := cell(labels["layer"], labels["stage"])
+		switch name {
+		case fam + "_count":
+			c.count += delta
+		case fam + "_sum":
+			c.sum += delta
+		case fam + "_bucket":
+			le, err := strconv.ParseFloat(labels["le"], 64)
+			if err != nil { // +Inf
+				le = inf
+			}
+			c.buckets[le] += delta
+		}
+	}
+	return out
+}
+
+// inf stands in for the +Inf bucket bound in the breakdown maps.
+const inf = 1e308
+
+func fmtSeconds(v float64) string {
+	switch {
+	case v >= inf:
+		return ">10s"
+	case v >= 1:
+		return fmt.Sprintf("%.2gs", v)
+	default:
+		return fmt.Sprintf("%.3gms", v*1000)
+	}
+}
+
+// printStageBreakdown renders the per-stage table for each proxy layer,
+// pipeline order, with histogram-resolution p50/p95 upper bounds.
+func printStageBreakdown(before, after scrapeSet) {
+	dist := stageBreakdown(before, after)
+	for _, layer := range []string{"ua", "ia"} {
+		stages := dist[layer]
+		if len(stages) == 0 {
+			continue
+		}
+		fmt.Printf("  %s per-stage breakdown (scraped from /metrics):\n", layer)
+		fmt.Printf("    %-16s %8s %10s %10s %10s\n", "stage", "count", "mean", "p50≤", "p95≤")
+		for _, stage := range proxy.Stages {
+			s := stages[stage]
+			if s == nil || s.count == 0 {
+				continue
+			}
+			fmt.Printf("    %-16s %8.0f %10s %10s %10s\n",
+				stage, s.count, fmtSeconds(s.sum/s.count),
+				fmtSeconds(s.quantile(0.5)), fmtSeconds(s.quantile(0.95)))
+		}
+	}
+}
+
+// bracketScrape runs fn between two scrapes of the deployment's metrics,
+// so the caller can print the candlestick first and the per-stage table
+// (from the scrape delta) underneath it.
+func bracketScrape(d *cluster.Deployment, fn func()) (before, after scrapeSet, err error) {
+	httpClient := d.HTTPClient(5 * time.Second)
+	if before, err = scrapeDeployment(d, httpClient); err != nil {
+		return nil, nil, fmt.Errorf("pre-run scrape: %w", err)
+	}
+	fn()
+	if after, err = scrapeDeployment(d, httpClient); err != nil {
+		return nil, nil, fmt.Errorf("post-run scrape: %w", err)
+	}
+	return before, after, nil
+}

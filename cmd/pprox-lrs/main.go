@@ -28,36 +28,32 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	trainEvery := flag.Duration("train-every", 30*time.Second, "periodic training interval (0 = manual via POST /train)")
 	snapshot := flag.String("snapshot", "", "event-log snapshot file: loaded at start-up if present, written at shutdown")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6061 (off when empty)")
 	flag.Parse()
 
-	if err := run(*listen, *trainEvery, *snapshot); err != nil {
+	if err := run(*listen, *trainEvery, *snapshot, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-lrs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, trainEvery time.Duration, snapshot string) error {
+func run(listen string, trainEvery time.Duration, snapshot, debugAddr string) error {
 	eng, err := loadOrNewEngine(snapshot)
 	if err != nil {
 		return err
 	}
 	reg := metrics.NewRegistry()
-	reg.Gauge("pprox_lrs_posts_total", func() float64 {
-		posts, _, _ := eng.Stats()
-		return float64(posts)
-	})
-	reg.Gauge("pprox_lrs_queries_total", func() float64 {
-		_, queries, _ := eng.Stats()
-		return float64(queries)
-	})
-	reg.Gauge("pprox_lrs_trains_total", func() float64 {
-		_, _, trains := eng.Stats()
-		return float64(trains)
-	})
-	reg.Gauge("pprox_lrs_events", func() float64 {
-		return float64(eng.EventCount())
-	})
-	handler := metrics.Mux(reg, engine.NewHandler(eng))
+	instrument := eng.RegisterMetrics(reg, "lrs")
+	handler := metrics.Mux(reg, eng.Health, instrument(engine.NewHandler(eng)))
+
+	if debugAddr != "" {
+		stopDebug, err := metrics.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Printf("pprox-lrs: pprof on http://%s/debug/pprof/\n", debugAddr)
+	}
 
 	l, err := net.Listen("tcp", listen)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"pprox/internal/eventloop"
 	"pprox/internal/metrics"
 	"pprox/internal/proxy"
+	"pprox/internal/trace"
 	"pprox/internal/transport"
 )
 
@@ -37,15 +38,17 @@ func main() {
 	noItemPseudo := flag.Bool("no-item-pseudonyms", false, "send item identifiers to the LRS in the clear (§6.3)")
 	passthrough := flag.Bool("passthrough", false, "forward without cryptography (baseline m1)")
 	useEventloop := flag.Bool("eventloop", false, "serve with the §5 acceptor+queue+worker-pool architecture instead of net/http")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6060 (off when empty)")
+	traceLog := flag.String("trace-log", "", "append privacy-safe trace records (JSON lines) to this file")
 	flag.Parse()
 
-	if err := run(*role, *listen, *next, *keysPath, *shuffle, *shuffleTimeout, *workers, *noItemPseudo, *passthrough, *useEventloop); err != nil {
+	if err := run(*role, *listen, *next, *keysPath, *shuffle, *shuffleTimeout, *workers, *noItemPseudo, *passthrough, *useEventloop, *debugAddr, *traceLog); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-proxy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.Duration, workers int, noItemPseudo, passthrough, useEventloop bool) error {
+func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.Duration, workers int, noItemPseudo, passthrough, useEventloop bool, debugAddr, traceLog string) error {
 	var r proxy.Role
 	switch role {
 	case "ua":
@@ -112,8 +115,45 @@ func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.D
 	defer layer.Close()
 
 	reg := metrics.NewRegistry()
-	layer.RegisterMetrics(reg, "pprox_"+role)
-	handler := metrics.Mux(reg, layer)
+	layer.RegisterMetrics(reg, role)
+	handler := metrics.Mux(reg, layer.Health, layer)
+
+	if traceLog != "" {
+		f, err := os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		layer.SetTracer(trace.New(role, trace.WriterSink(f), nil))
+		if shuffle <= 0 {
+			// Without a shuffler nothing flushes the trace buffer, so run
+			// the epochs on the flush timer instead. Batching still hides
+			// per-request timing, but only shuffling gives the 1/S bound.
+			stopEpochs := make(chan struct{})
+			defer close(stopEpochs)
+			go func() {
+				ticker := time.NewTicker(shuffleTimeout)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ticker.C:
+						layer.Tracer().AdvanceEpoch()
+					case <-stopEpochs:
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	if debugAddr != "" {
+		stopDebug, err := metrics.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Printf("pprox-proxy: pprof on http://%s/debug/pprof/\n", debugAddr)
+	}
 
 	l, err := net.Listen("tcp", listen)
 	if err != nil {

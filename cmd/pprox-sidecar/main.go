@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -21,6 +22,8 @@ import (
 	"time"
 
 	"pprox/internal/client"
+	"pprox/internal/message"
+	"pprox/internal/metrics"
 	"pprox/internal/proxy"
 	"pprox/internal/transport"
 )
@@ -30,15 +33,16 @@ func main() {
 	target := flag.String("target", "", "base URL of the PProx UA layer (or its balancer)")
 	bundlePath := flag.String("bundle", "", "public bundle from pprox-keygen")
 	tenant := flag.String("tenant", "", "tenant name on a multi-tenant deployment")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6062 (off when empty)")
 	flag.Parse()
 
-	if err := run(*listen, *target, *bundlePath, *tenant); err != nil {
+	if err := run(*listen, *target, *bundlePath, *tenant, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-sidecar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, target, bundlePath, tenant string) error {
+func run(listen, target, bundlePath, tenant, debugAddr string) error {
 	if target == "" || bundlePath == "" {
 		return fmt.Errorf("-target and -bundle are required")
 	}
@@ -57,11 +61,55 @@ func run(listen, target, bundlePath, tenant string) error {
 		cl = cl.ForTenant(tenant, bundle)
 	}
 
+	reg := metrics.NewRegistry()
+	intercepted := reg.HistogramVec("pprox_sidecar_request_seconds",
+		"End-to-end latency of requests proxied through the sidecar.",
+		nil, "path")
+	label := func(req *http.Request) []string {
+		p := "other"
+		if req.URL.Path == message.EventsPath || req.URL.Path == message.QueriesPath {
+			p = req.URL.Path
+		}
+		return []string{p}
+	}
+	health := func() metrics.Health {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		checks := map[string]string{"target": "ok"}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+message.HealthPath, nil)
+		if err != nil {
+			checks["target"] = "bad target URL"
+			return metrics.Health{OK: false, Checks: checks}
+		}
+		resp, err := httpClient.Do(req)
+		if err != nil {
+			checks["target"] = "unreachable"
+			return metrics.Health{OK: false, Checks: checks}
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			checks["target"] = "status " + resp.Status
+			return metrics.Health{OK: false, Checks: checks}
+		}
+		return metrics.Health{OK: true, Checks: checks}
+	}
+	handler := metrics.Mux(reg, health,
+		metrics.InstrumentHandler(intercepted, label, client.NewInterceptor(cl)))
+
+	if debugAddr != "" {
+		stopDebug, err := metrics.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Printf("pprox-sidecar: pprof on http://%s/debug/pprof/\n", debugAddr)
+	}
+
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	shutdown := transport.Serve(l, client.NewInterceptor(cl))
+	shutdown := transport.Serve(l, handler)
 	fmt.Printf("pprox-sidecar: intercepting LRS API on %s → %s\n", l.Addr(), target)
 
 	sig := make(chan os.Signal, 1)

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"pprox/internal/metrics"
 	"pprox/internal/proxy"
 	"pprox/internal/stub"
 	"pprox/internal/transport"
@@ -29,15 +30,16 @@ func main() {
 	items := flag.Int("items", 20, "static recommendation list size")
 	delay := flag.Duration("delay", 0, "artificial service time per request")
 	keysPath := flag.String("pseudonymize-with", "", "key file; serve items pseudonymized under the IA permanent key")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address (off when empty)")
 	flag.Parse()
 
-	if err := run(*listen, *items, *delay, *keysPath); err != nil {
+	if err := run(*listen, *items, *delay, *keysPath, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-stub:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, items int, delay time.Duration, keysPath string) error {
+func run(listen string, items int, delay time.Duration, keysPath, debugAddr string) error {
 	var s *stub.Server
 	var err error
 	if keysPath != "" {
@@ -66,11 +68,24 @@ func run(listen string, items int, delay time.Duration, keysPath string) error {
 	}
 	s.Delay = delay
 
+	reg := metrics.NewRegistry()
+	s.RegisterMetrics(reg, "stub")
+	handler := metrics.Mux(reg, s.Health, s)
+
+	if debugAddr != "" {
+		stopDebug, err := metrics.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		fmt.Printf("pprox-stub: pprof on http://%s/debug/pprof/\n", debugAddr)
+	}
+
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	shutdown := transport.Serve(l, s)
+	shutdown := transport.Serve(l, handler)
 	fmt.Printf("pprox-stub: serving %d static items on %s\n", items, l.Addr())
 
 	sig := make(chan os.Signal, 1)

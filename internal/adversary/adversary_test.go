@@ -33,6 +33,7 @@ type tappedStack struct {
 	iaEncl *enclave.Enclave
 	uaKeys *proxy.LayerKeys
 	iaKeys *proxy.LayerKeys
+	ua, ia *proxy.Layer
 	net    *transport.Network
 }
 
@@ -85,6 +86,7 @@ func newTappedStack(t *testing.T, shuffleSize int) *tappedStack {
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.ia = ia
 	st.serve(t, "ia", ia)
 
 	ua, err := proxy.New(proxy.Config{
@@ -94,6 +96,7 @@ func newTappedStack(t *testing.T, shuffleSize int) *tappedStack {
 	if err != nil {
 		t.Fatal(err)
 	}
+	st.ua = ua
 	// Edge tap: bodies are encrypted and constant-size, so no label is
 	// extractable from content; the adversary's edge knowledge (source
 	// address ↔ time) is recorded by the test driver at send time.

@@ -10,8 +10,10 @@ import (
 	"pprox/internal/enclave"
 	"pprox/internal/lrs/engine"
 	"pprox/internal/message"
+	"pprox/internal/metrics"
 	"pprox/internal/proxy"
 	"pprox/internal/stub"
+	"pprox/internal/trace"
 	"pprox/internal/transport"
 )
 
@@ -44,6 +46,10 @@ type Spec struct {
 	// LRSMiddleware, when set, wraps the LRS handler — e.g. with an
 	// adversary network tap for the security experiments.
 	LRSMiddleware func(http.Handler) http.Handler
+	// Trace enables privacy-safe hop-local tracing on every proxy
+	// layer; records collect in Deployment.Traces at shuffle-epoch
+	// granularity.
+	Trace bool
 }
 
 // SpecFromMicro translates a Table 2 row into a deployable spec. The SGX
@@ -92,6 +98,12 @@ type Deployment struct {
 	UAKeys, IAKeys *proxy.LayerKeys
 	// UALayers and IALayers are the proxy instances.
 	UALayers, IALayers []*proxy.Layer
+	// Metrics is the deployment-wide registry; every node serves it on
+	// GET /metrics (plus /healthz), so the bench injector can scrape
+	// per-stage histograms exactly as an operator would.
+	Metrics *metrics.Registry
+	// Traces collects the layers' trace exports when Spec.Trace is set.
+	Traces *trace.Collector
 
 	spec      Spec
 	shutdowns []func() error
@@ -106,7 +118,12 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		return nil, errors.New("cluster: proxy deployment needs at least one instance per layer")
 	}
 
-	d = &Deployment{Net: transport.NewNetwork(), spec: spec}
+	d = &Deployment{
+		Net:     transport.NewNetwork(),
+		spec:    spec,
+		Metrics: metrics.NewRegistry(),
+		Traces:  trace.NewCollector(),
+	}
 	d.Balancer = NewBalancer(d.Net)
 	defer func() {
 		if err != nil {
@@ -152,7 +169,7 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 			return nil, err
 		}
 		d.IALayers = append(d.IALayers, layer)
-		if err := d.serve(addr, layer); err != nil {
+		if err := d.serveLayer(addr, layer, spec); err != nil {
 			return nil, err
 		}
 	}
@@ -167,7 +184,7 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 			return nil, err
 		}
 		d.UALayers = append(d.UALayers, layer)
-		if err := d.serve(addr, layer); err != nil {
+		if err := d.serveLayer(addr, layer, spec); err != nil {
 			return nil, err
 		}
 	}
@@ -207,9 +224,20 @@ func (d *Deployment) deployLRS(spec Spec) error {
 		handler = engine.NewHandler(d.Engine)
 	}
 
+	var health metrics.HealthFunc
+	if d.Stub != nil {
+		d.Stub.RegisterMetrics(d.Metrics, "lrs")
+		health = d.Stub.Health
+	} else {
+		instrument := d.Engine.RegisterMetrics(d.Metrics, "lrs")
+		handler = instrument(handler)
+		health = d.Engine.Health
+	}
+
 	if spec.LRSMiddleware != nil {
 		handler = spec.LRSMiddleware(handler)
 	}
+	handler = metrics.Mux(d.Metrics, health, handler)
 	backends := make([]string, spec.LRSFrontends)
 	for i := range backends {
 		addr := fmt.Sprintf("lrs-%d", i)
@@ -220,6 +248,18 @@ func (d *Deployment) deployLRS(spec Spec) error {
 	}
 	d.Balancer.Register("lrs", backends...)
 	return nil
+}
+
+// serveLayer registers the layer's instruments (and tracer, when the spec
+// asks for one) under its node name and serves it behind the standard
+// operational mux, so scraping "http://ua-0/metrics" over the in-memory
+// network works exactly like against a real instance.
+func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) error {
+	layer.RegisterMetrics(d.Metrics, addr)
+	if spec.Trace {
+		layer.SetTracer(trace.New(addr, d.Traces.Sink(), nil))
+	}
+	return d.serve(addr, metrics.Mux(d.Metrics, layer.Health, layer))
 }
 
 // newLayer builds one provisioned proxy instance. Every instance of a

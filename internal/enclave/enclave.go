@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -109,7 +110,25 @@ type Enclave struct {
 	epcPages     int
 	epcUsedPages int
 
-	ecalls uint64
+	ecalls   uint64
+	observer atomic.Pointer[EcallObserver]
+}
+
+// EcallObserver receives the name, wall-clock duration, and outcome of
+// every ECALL, for the observability layer (ECALL count/duration metrics
+// and hop-local tracing). It runs on the caller's goroutine after the
+// handler returns, outside the enclave lock, so it must be cheap and
+// must not call back into the enclave.
+type EcallObserver func(name string, d time.Duration, err error)
+
+// SetEcallObserver installs (or, with nil, removes) the ECALL observer.
+// Safe to call concurrently with Ecall.
+func (e *Enclave) SetEcallObserver(fn EcallObserver) {
+	if fn == nil {
+		e.observer.Store(nil)
+		return
+	}
+	e.observer.Store(&fn)
 }
 
 // ID returns the unique enclave instance identifier.
@@ -185,7 +204,12 @@ func (e *Enclave) Ecall(name string, in []byte) ([]byte, error) {
 	e.ecalls++
 	e.mu.Unlock()
 
-	return h(secrets, kv, in)
+	start := time.Now()
+	out, err := h(secrets, kv, in)
+	if obs := e.observer.Load(); obs != nil {
+		(*obs)(name, time.Since(start), err)
+	}
+	return out, err
 }
 
 // EcallCount returns the number of ECALLs served, used by the breach

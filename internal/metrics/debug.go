@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts a profiling server on addr exposing the standard
+// net/http/pprof endpoints (/debug/pprof/, .../profile, .../heap, ...).
+// It is served on a dedicated listener, never on the traffic port: the
+// profile endpoints are operator-only and must not be reachable from the
+// request path. The returned function stops the server.
+func ServeDebug(addr string) (stop func() error, err error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(l)
+	return func() error {
+		err := srv.Close()
+		l.Close()
+		return err
+	}, nil
+}
+
+// InstrumentHandler wraps an HTTP handler, observing each request's
+// service time into the histogram family. The label function maps a
+// request to the family's label values and is responsible for bounding
+// cardinality (collapse unknown paths to "other").
+func InstrumentHandler(hv *HistogramVec, label func(*http.Request) []string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		hv.With(label(r)...).ObserveSince(start)
+	})
+}

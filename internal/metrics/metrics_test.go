@@ -1,9 +1,11 @@
 package metrics_test
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -12,47 +14,176 @@ import (
 	"pprox/internal/metrics"
 )
 
-func TestRegistryExposition(t *testing.T) {
-	r := metrics.NewRegistry()
-	r.Gauge("b_metric", func() float64 { return 2.5 })
-	r.Gauge("a_metric", func() float64 { return 1 })
-
+func expose(r *metrics.Registry) string {
 	rec := httptest.NewRecorder()
 	r.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
-	body := rec.Body.String()
-	want := "a_metric 1\nb_metric 2.5\n"
+	return rec.Body.String()
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Gauge("b_metric", "second", func() float64 { return 2.5 })
+	r.Gauge("a_metric", "first", func() float64 { return 1 })
+
+	body := expose(r)
+	want := "# HELP a_metric first\n# TYPE a_metric gauge\na_metric 1\n" +
+		"# HELP b_metric second\n# TYPE b_metric gauge\nb_metric 2.5\n"
 	if body != want {
-		t.Errorf("exposition = %q, want %q (sorted)", body, want)
+		t.Errorf("exposition = %q, want %q (sorted, with preambles)", body, want)
 	}
 }
 
 func TestRegistryReplaceAndSnapshot(t *testing.T) {
 	r := metrics.NewRegistry()
 	v := 1.0
-	r.Gauge("x", func() float64 { return v })
+	r.Gauge("x", "", func() float64 { return v })
 	v = 7
 	if got := r.Snapshot()["x"]; got != 7 {
 		t.Errorf("snapshot = %v, want live value 7", got)
 	}
-	r.Gauge("x", func() float64 { return 42 })
+	r.Gauge("x", "", func() float64 { return 42 })
 	if got := r.Snapshot()["x"]; got != 42 {
 		t.Errorf("snapshot after replace = %v", got)
 	}
 }
 
-func TestMuxRoutesMetricsAndApp(t *testing.T) {
+func TestCounterExposition(t *testing.T) {
 	r := metrics.NewRegistry()
-	r.Gauge("m", func() float64 { return 3 })
+	c := r.Counter("events_total", "Things that happened.")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	body := expose(r)
+	if !strings.Contains(body, "# TYPE events_total counter\n") {
+		t.Errorf("missing counter TYPE line in %q", body)
+	}
+	if !strings.Contains(body, "events_total 3\n") {
+		t.Errorf("missing sample in %q", body)
+	}
+}
+
+func TestCounterVecStableOrder(t *testing.T) {
+	r := metrics.NewRegistry()
+	v := r.CounterVec("hits_total", "Labeled hits.", "node")
+	v.With("b").Add(2)
+	v.With("a").Inc()
+	// Same labels → same child.
+	v.With("a").Inc()
+
+	body := expose(r)
+	wantOrder := "hits_total{node=\"a\"} 2\nhits_total{node=\"b\"} 2\n"
+	if !strings.Contains(body, wantOrder) {
+		t.Errorf("children not in stable sorted order:\n%s", body)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+
+	body := expose(r)
+	if !strings.Contains(body, "# TYPE lat_seconds histogram\n") {
+		t.Fatalf("missing histogram TYPE line in %q", body)
+	}
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, body)
+		}
+	}
+	// Buckets must be cumulative and end at the total count.
+	var prev float64
+	var buckets int
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		buckets++
+		val, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample line %q: %v", line, err)
+		}
+		if val < prev {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		prev = val
+	}
+	if buckets != 4 {
+		t.Errorf("bucket lines = %d, want 4 (3 bounds + +Inf)", buckets)
+	}
+	if prev != float64(h.Count()) {
+		t.Errorf("+Inf bucket %v != count %d", prev, h.Count())
+	}
+	if sum := h.Sum(); sum < 5.6 || sum > 5.61 {
+		t.Errorf("sum = %v, want ≈5.605", sum)
+	}
+}
+
+func TestHistogramVecSharesFamily(t *testing.T) {
+	r := metrics.NewRegistry()
+	v1 := r.HistogramVec("stage_seconds", "Stage time.", nil, "stage")
+	v2 := r.HistogramVec("stage_seconds", "Stage time.", nil, "stage")
+	v1.With("decrypt").Observe(0.001)
+	v2.With("decrypt").Observe(0.001)
+	if got := v1.With("decrypt").Count(); got != 2 {
+		t.Errorf("re-registered family did not share children: count = %d", got)
+	}
+	// One TYPE line even though registered twice.
+	if n := strings.Count(expose(r), "# TYPE stage_seconds histogram"); n != 1 {
+		t.Errorf("TYPE lines = %d, want 1", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := metrics.NewRegistry()
+	v := r.CounterVec("weird_total", "", "path")
+	v.With("a\\b\"c\nd").Inc()
+	body := expose(r)
+	want := `weird_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(body, want+"\n") {
+		t.Errorf("escaped series %q missing from:\n%s", want, body)
+	}
+}
+
+func TestMuxRoutesMetricsHealthAndApp(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Gauge("m", "", func() float64 { return 3 })
 	app := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		io.WriteString(w, "app")
 	})
-	h := metrics.Mux(r, app)
+	healthy := true
+	h := metrics.Mux(r, func() metrics.Health {
+		return metrics.Health{OK: healthy, Checks: map[string]string{"probe": "ok"}}
+	}, app)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
 	if !strings.Contains(rec.Body.String(), "m 3") {
 		t.Errorf("metrics body = %q", rec.Body.String())
 	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"status":"ok"`) {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	healthy = false
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), `"status":"degraded"`) {
+		t.Errorf("degraded healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/other", nil))
 	if rec.Body.String() != "app" {
@@ -60,8 +191,9 @@ func TestMuxRoutesMetricsAndApp(t *testing.T) {
 	}
 }
 
-func TestProxyLayerMetrics(t *testing.T) {
-	// Deploy, drive traffic, and read the layer's gauges.
+func TestDeploymentMetricsEndToEnd(t *testing.T) {
+	// Deploy with shuffling, drive traffic, and scrape a UA node's
+	// /metrics over the in-memory network — the acceptance path.
 	d, err := cluster.Deploy(cluster.Spec{
 		ProxyEnabled: true, UA: 1, IA: 1,
 		Encryption: true, ItemPseudonyms: true,
@@ -73,25 +205,60 @@ func TestProxyLayerMetrics(t *testing.T) {
 	}
 	defer d.Close()
 
-	reg := metrics.NewRegistry()
-	d.UALayers[0].RegisterMetrics(reg, "pprox_ua")
-
 	cl := d.Client(10 * time.Second)
 	if _, err := cl.Get(t.Context(), "metrics-user"); err != nil {
 		t.Fatal(err)
 	}
 
-	snap := reg.Snapshot()
-	if snap["pprox_ua_requests_served_total"] != 1 {
-		t.Errorf("served = %v", snap["pprox_ua_requests_served_total"])
+	snap := d.Metrics.Snapshot()
+	if snap[`pprox_proxy_requests_served_total{layer="ua",node="ua-0"}`] != 1 {
+		t.Errorf("ua served = %v", snap[`pprox_proxy_requests_served_total{layer="ua",node="ua-0"}`])
 	}
-	if snap["pprox_ua_ecalls_total"] < 1 {
-		t.Errorf("ecalls = %v", snap["pprox_ua_ecalls_total"])
+	if snap[`pprox_enclave_ecalls_total{layer="ua",node="ua-0"}`] < 1 {
+		t.Errorf("ua ecalls = %v", snap[`pprox_enclave_ecalls_total{layer="ua",node="ua-0"}`])
 	}
-	if snap["pprox_ua_shuffle_flushes_total"] < 1 {
-		t.Errorf("flushes = %v", snap["pprox_ua_shuffle_flushes_total"])
+	if snap[`pprox_proxy_shuffle_flushes_total{layer="ua",node="ua-0"}`] < 1 {
+		t.Errorf("ua flushes = %v", snap[`pprox_proxy_shuffle_flushes_total{layer="ua",node="ua-0"}`])
 	}
-	if _, ok := snap["pprox_ua_epc_pages_used"]; !ok {
+	if _, ok := snap[`pprox_enclave_epc_pages_used{layer="ua",node="ua-0"}`]; !ok {
 		t.Error("EPC gauge missing")
+	}
+	for _, stage := range []string{"ecall_decrypt", "shuffle_wait", "forward"} {
+		key := fmt.Sprintf(`pprox_proxy_stage_seconds_count{layer="ua",node="ua-0",stage=%q}`, stage)
+		if snap[key] < 1 {
+			t.Errorf("stage %s unobserved: %v", stage, snap[key])
+		}
+	}
+	if snap[`pprox_lrs_request_seconds_count{node="lrs",path="/queries"}`] < 1 {
+		t.Error("LRS request histogram unobserved")
+	}
+
+	// Scrape over the wire like an operator.
+	httpClient := d.HTTPClient(5 * time.Second)
+	resp, err := httpClient.Get("http://ua-0/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `pprox_proxy_stage_seconds_bucket{layer="ua",node="ua-0",stage="shuffle_wait",le=`) {
+		t.Errorf("scraped /metrics missing shuffle_wait buckets:\n%.2000s", body)
+	}
+	if !strings.Contains(string(body), "# TYPE pprox_proxy_stage_seconds histogram") {
+		t.Error("scraped /metrics missing TYPE line")
+	}
+
+	// /healthz reports the provisioned layer as ready.
+	hresp, err := httpClient.Get("http://ua-0/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		hb, _ := io.ReadAll(hresp.Body)
+		t.Errorf("healthz = %d %s", hresp.StatusCode, hb)
 	}
 }

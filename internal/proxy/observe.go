@@ -1,0 +1,238 @@
+package proxy
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"pprox/internal/message"
+	"pprox/internal/metrics"
+	"pprox/internal/trace"
+)
+
+// Pipeline stage names, the values of the `stage` label on
+// pprox_proxy_stage_seconds and of trace span records. They follow the
+// paper's cost attribution (§7.2/§8): enclave cryptography, shuffling
+// delay, and network hops.
+const (
+	// StageEcallDecrypt is the request-path ECALL (pseudonymization /
+	// decryption), including the wait for a data-processing worker —
+	// the paper's in-enclave thread-pool queueing (§5).
+	StageEcallDecrypt = "ecall_decrypt"
+	// StageShuffleWait is the time a message spends buffered in the
+	// shuffler before its batch is released (§4.3).
+	StageShuffleWait = "shuffle_wait"
+	// StageForward is the next-hop round trip (IA balancer for UA
+	// instances, LRS for IA instances).
+	StageForward = "forward"
+	// StageEcallReencrypt is the IA response-path ECALL that
+	// de-pseudonymizes the list and re-encrypts it under k_u.
+	StageEcallReencrypt = "ecall_reencrypt"
+)
+
+// Stages lists every stage label in pipeline order, for consumers that
+// render breakdown tables.
+var Stages = []string{StageEcallDecrypt, StageShuffleWait, StageForward, StageEcallReencrypt}
+
+// pendingDepthBuckets bound occupancy histograms (table depths, batch
+// sizes) rather than latencies.
+var pendingDepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// instruments holds the layer's cached metric children so the hot path
+// never takes a registry or family lock.
+type instruments struct {
+	stage        map[string]*metrics.Histogram
+	ecall        map[string]*metrics.Histogram
+	pendingDepth *metrics.Histogram
+	batchSize    *metrics.Histogram
+}
+
+func (l *Layer) roleLabel() string { return strings.ToLower(l.cfg.Role.String()) }
+
+// RegisterMetrics exposes the layer's instruments on the registry, all
+// labeled {layer,node} so any number of instances share one registry:
+//
+//   - pprox_proxy_requests_{served,failed}_total counters,
+//   - pprox_proxy_shuffle_{flushes,shed}_total counters (the values
+//     Shuffler.Stats computes) and the pprox_proxy_shuffle_pending gauge
+//     (Shuffler.Pending),
+//   - pprox_enclave_epc_pages_used gauge and pprox_enclave_ecalls_total
+//     counter for the enclave runtime,
+//   - the per-stage latency histogram family
+//     pprox_proxy_stage_seconds{layer,node,stage},
+//   - pprox_enclave_ecall_seconds{layer,node,ecall} per-entry-point
+//     ECALL durations,
+//   - pprox_proxy_pending_table_depth and
+//     pprox_proxy_shuffle_batch_size occupancy histograms.
+//
+// node names this instance (e.g. "ua-0"); empty defaults to the role.
+// Call before serving traffic: registration swaps the instrument set in
+// atomically, but until it runs the pipeline is simply unobserved.
+func (l *Layer) RegisterMetrics(r *metrics.Registry, node string) {
+	role := l.roleLabel()
+	if node == "" {
+		node = role
+	}
+
+	r.CounterFuncVec("pprox_proxy_requests_served_total",
+		"Requests completed successfully per layer instance.", "layer", "node").
+		With(func() float64 {
+			served, _ := l.Stats()
+			return float64(served)
+		}, role, node)
+	r.CounterFuncVec("pprox_proxy_requests_failed_total",
+		"Requests rejected or failed per layer instance.", "layer", "node").
+		With(func() float64 {
+			_, failed := l.Stats()
+			return float64(failed)
+		}, role, node)
+	if l.shuffler != nil {
+		r.CounterFuncVec("pprox_proxy_shuffle_flushes_total",
+			"Shuffle batches released (threshold or timer).", "layer", "node").
+			With(func() float64 {
+				flushes, _ := l.shuffler.Stats()
+				return float64(flushes)
+			}, role, node)
+		r.CounterFuncVec("pprox_proxy_shuffle_shed_total",
+			"Requests shed because the pending table T was full.", "layer", "node").
+			With(func() float64 {
+				_, sheds := l.shuffler.Stats()
+				return float64(sheds)
+			}, role, node)
+		r.GaugeVec("pprox_proxy_shuffle_pending",
+			"Messages currently buffered in the shuffler.", "layer", "node").
+			With(func() float64 {
+				return float64(l.shuffler.Pending())
+			}, role, node)
+	}
+	if l.cfg.Enclave != nil {
+		r.GaugeVec("pprox_enclave_epc_pages_used",
+			"Enclave Page Cache pages in use.", "layer", "node").
+			With(func() float64 {
+				used, _ := l.cfg.Enclave.EPCUsage()
+				return float64(used)
+			}, role, node)
+		r.CounterFuncVec("pprox_enclave_ecalls_total",
+			"ECALLs served by this layer's enclave.", "layer", "node").
+			With(func() float64 {
+				return float64(l.cfg.Enclave.EcallCount())
+			}, role, node)
+	}
+
+	inst := &instruments{
+		stage: make(map[string]*metrics.Histogram, len(Stages)),
+		ecall: make(map[string]*metrics.Histogram),
+	}
+	stageVec := r.HistogramVec("pprox_proxy_stage_seconds",
+		"Time spent per proxy pipeline stage.", nil, "layer", "node", "stage")
+	for _, s := range Stages {
+		inst.stage[s] = stageVec.With(role, node, s)
+	}
+	ecallVec := r.HistogramVec("pprox_enclave_ecall_seconds",
+		"ECALL handler duration per entry point.", nil, "layer", "node", "ecall")
+	for _, name := range []string{ecallUAPost, ecallUAGet, ecallIAPost, ecallIAGet, ecallIAGetResp} {
+		inst.ecall[name] = ecallVec.With(role, node, name)
+	}
+	if l.shuffler != nil {
+		inst.pendingDepth = r.HistogramVec("pprox_proxy_pending_table_depth",
+			"Pending-table occupancy sampled at each enqueue.",
+			pendingDepthBuckets, "layer", "node").With(role, node)
+		inst.batchSize = r.HistogramVec("pprox_proxy_shuffle_batch_size",
+			"Messages per released shuffle batch.",
+			pendingDepthBuckets, "layer", "node").With(role, node)
+	}
+	if l.cfg.Enclave != nil {
+		l.cfg.Enclave.SetEcallObserver(func(name string, d time.Duration, _ error) {
+			if h := inst.ecall[name]; h != nil {
+				h.Observe(d.Seconds())
+			}
+		})
+	}
+	l.obs.Store(inst)
+	l.rewireShuffler()
+}
+
+// SetTracer installs the layer's hop-local tracer. Its epoch advances on
+// every shuffle flush, so trace export can never be finer-grained than
+// the shuffle batches the privacy argument relies on; Close flushes the
+// final partial epoch.
+func (l *Layer) SetTracer(t *trace.Tracer) {
+	l.tracer.Store(t)
+	l.rewireShuffler()
+}
+
+// Tracer returns the layer's tracer (nil when tracing is off).
+func (l *Layer) Tracer() *trace.Tracer { return l.tracer.Load() }
+
+// rewireShuffler points the shuffler's hooks at the current instrument
+// set and tracer.
+func (l *Layer) rewireShuffler() {
+	if l.shuffler == nil {
+		return
+	}
+	obs := l.obs.Load()
+	tr := l.tracer.Load()
+	var onEnqueue, onFlush func(int)
+	if obs != nil && obs.pendingDepth != nil {
+		onEnqueue = func(depth int) { obs.pendingDepth.Observe(float64(depth)) }
+	}
+	if (obs != nil && obs.batchSize != nil) || tr != nil {
+		onFlush = func(batch int) {
+			if obs != nil && obs.batchSize != nil {
+				obs.batchSize.Observe(float64(batch))
+			}
+			tr.AdvanceEpoch()
+		}
+	}
+	l.shuffler.SetHooks(onEnqueue, onFlush)
+}
+
+// observeStage records one finished stage into the per-stage histogram.
+func (l *Layer) observeStage(stage string, start time.Time) {
+	if obs := l.obs.Load(); obs != nil {
+		if h := obs.stage[stage]; h != nil {
+			h.ObserveSince(start)
+		}
+	}
+}
+
+// Health implements the /healthz self-assessment: provisioning state of
+// the layer's enclave and reachability of the next hop. The next-hop
+// probe is bounded by a short timeout so a dead upstream cannot wedge
+// health checking.
+func (l *Layer) Health() metrics.Health {
+	ok := true
+	checks := make(map[string]string, 2)
+	switch {
+	case l.cfg.PassThrough:
+		checks["provisioned"] = "pass-through"
+	case l.cfg.Enclave.Provisioned():
+		checks["provisioned"] = "ok"
+	default:
+		checks["provisioned"] = "pending"
+		ok = false
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, l.cfg.Next+message.HealthPath, nil)
+	if err != nil {
+		checks["next_hop"] = "bad next-hop URL"
+		return metrics.Health{OK: false, Checks: checks}
+	}
+	resp, err := l.cfg.HTTPClient.Do(req)
+	if err != nil {
+		checks["next_hop"] = "unreachable"
+		ok = false
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			checks["next_hop"] = "ok"
+		} else {
+			checks["next_hop"] = "status " + resp.Status
+			ok = false
+		}
+	}
+	return metrics.Health{OK: ok, Checks: checks}
+}

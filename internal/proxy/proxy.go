@@ -30,7 +30,7 @@ import (
 
 	"pprox/internal/enclave"
 	"pprox/internal/message"
-	"pprox/internal/metrics"
+	"pprox/internal/trace"
 )
 
 // Role distinguishes the two proxy layers.
@@ -91,6 +91,11 @@ type Layer struct {
 	nextHandle atomic.Uint64
 	served     atomic.Uint64
 	failed     atomic.Uint64
+
+	// obs and tracer are installed by RegisterMetrics / SetTracer and
+	// read lock-free on the request path.
+	obs    atomic.Pointer[instruments]
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // New creates a layer instance from its configuration.
@@ -120,8 +125,12 @@ func New(cfg Config) (*Layer, error) {
 	return l, nil
 }
 
-// Close releases buffered messages (shutdown path).
-func (l *Layer) Close() { l.shuffler.Close() }
+// Close releases buffered messages and flushes the final partial trace
+// epoch (shutdown path).
+func (l *Layer) Close() {
+	l.shuffler.Close()
+	l.tracer.Load().AdvanceEpoch()
+}
 
 // Stats returns served and failed request counts.
 func (l *Layer) Stats() (served, failed uint64) {
@@ -135,41 +144,6 @@ func (l *Layer) Shuffler() *Shuffler { return l.shuffler }
 // Enclave exposes the layer's enclave (nil in pass-through mode), for the
 // security experiments that compromise it.
 func (l *Layer) Enclave() *enclave.Enclave { return l.cfg.Enclave }
-
-// RegisterMetrics exposes the layer's operational gauges under the given
-// prefix: request counters, shuffle-buffer behaviour, and EPC usage.
-func (l *Layer) RegisterMetrics(r *metrics.Registry, prefix string) {
-	r.Gauge(prefix+"_requests_served_total", func() float64 {
-		served, _ := l.Stats()
-		return float64(served)
-	})
-	r.Gauge(prefix+"_requests_failed_total", func() float64 {
-		_, failed := l.Stats()
-		return float64(failed)
-	})
-	if l.shuffler != nil {
-		r.Gauge(prefix+"_shuffle_flushes_total", func() float64 {
-			flushes, _ := l.shuffler.Stats()
-			return float64(flushes)
-		})
-		r.Gauge(prefix+"_shuffle_shed_total", func() float64 {
-			_, sheds := l.shuffler.Stats()
-			return float64(sheds)
-		})
-		r.Gauge(prefix+"_shuffle_pending", func() float64 {
-			return float64(l.shuffler.Pending())
-		})
-	}
-	if l.cfg.Enclave != nil {
-		r.Gauge(prefix+"_epc_pages_used", func() float64 {
-			used, _ := l.cfg.Enclave.EPCUsage()
-			return float64(used)
-		})
-		r.Gauge(prefix+"_ecalls_total", func() float64 {
-			return float64(l.cfg.Enclave.EcallCount())
-		})
-	}
-}
 
 // ServeHTTP implements the layer's REST endpoint.
 func (l *Layer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -236,16 +210,30 @@ func (l *Layer) handleUA(ctx context.Context, path string, body []byte, isGet bo
 			ecall = ecallUAGet
 		}
 		var err error
-		out, err = l.process(ecall, out)
+		out, err = l.process(StageEcallDecrypt, ecall, out)
 		if err != nil {
 			return 0, nil, err
 		}
 	}
 	// Request shuffling happens between the UA and IA layers (§4.3).
-	if _, err := l.shuffler.Wait(ctx); err != nil {
+	if err := l.shuffleWait(ctx); err != nil {
 		return 0, nil, err
 	}
 	return l.forward(ctx, path, out)
+}
+
+// shuffleWait blocks in the shuffler, timing the buffered delay as the
+// shuffle_wait stage.
+func (l *Layer) shuffleWait(ctx context.Context) error {
+	if l.shuffler == nil {
+		return nil
+	}
+	span := l.tracer.Load().Start(StageShuffleWait)
+	start := time.Now()
+	_, err := l.shuffler.Wait(ctx)
+	l.observeStage(StageShuffleWait, start)
+	span.End()
+	return err
 }
 
 // handleIA implements the IA node pipeline: pseudonymize the item (post)
@@ -262,13 +250,13 @@ func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bo
 			if err != nil {
 				return 0, nil, err
 			}
-			out, err = l.process(ecallIAGet, framed)
+			out, err = l.process(StageEcallDecrypt, ecallIAGet, framed)
 			if err != nil {
 				return 0, nil, err
 			}
 		} else {
 			var err error
-			out, err = l.process(ecallIAPost, out)
+			out, err = l.process(StageEcallDecrypt, ecallIAPost, out)
 			if err != nil {
 				return 0, nil, err
 			}
@@ -289,7 +277,7 @@ func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bo
 				l.dropHandle(handle)
 				return 0, nil, err
 			}
-			respBody, err = l.process(ecallIAGetResp, framed)
+			respBody, err = l.process(StageEcallReencrypt, ecallIAGetResp, framed)
 			if err != nil {
 				return 0, nil, err
 			}
@@ -299,7 +287,7 @@ func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bo
 	}
 
 	// Response shuffling happens between the IA and UA layers (§4.3).
-	if _, err := l.shuffler.Wait(ctx); err != nil {
+	if err := l.shuffleWait(ctx); err != nil {
 		return 0, nil, err
 	}
 	return status, respBody, nil
@@ -315,15 +303,30 @@ func (l *Layer) dropHandle(handle string) {
 
 // process runs an ECALL under the data-processing worker pool, modelling
 // the fixed pool of in-enclave threads consuming the shared queue (§5).
-func (l *Layer) process(ecall string, in []byte) ([]byte, error) {
+// The stage measurement covers the wait for a free worker plus the ECALL
+// itself — the paper's in-enclave queueing + crypto cost; the ECALL-only
+// duration is measured separately by the enclave's own observer.
+func (l *Layer) process(stage, ecall string, in []byte) ([]byte, error) {
+	span := l.tracer.Load().Start(stage)
+	start := time.Now()
+	defer func() {
+		l.observeStage(stage, start)
+		span.End()
+	}()
 	l.workers <- struct{}{}
 	defer func() { <-l.workers }()
 	return l.cfg.Enclave.Ecall(ecall, in)
 }
 
 // forward relays a transformed request to the next hop and returns its
-// status and body.
+// status and body. The whole round trip is the forward stage.
 func (l *Layer) forward(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	span := l.tracer.Load().Start(StageForward)
+	start := time.Now()
+	defer func() {
+		l.observeStage(StageForward, start)
+		span.End()
+	}()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, l.cfg.Next+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, fmt.Errorf("proxy: build forward request: %w", err)

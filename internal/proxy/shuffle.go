@@ -34,6 +34,10 @@ type Shuffler struct {
 	rng     *rand.Rand
 	flushes uint64
 	sheds   uint64
+
+	// Observability hooks (SetHooks); both run under the shuffler lock.
+	onEnqueue func(depth int)
+	onFlush   func(batch int)
 }
 
 // NewShuffler creates a shuffler with buffer size S, a flush timer, and a
@@ -59,6 +63,22 @@ func NewShuffler(size int, timeout time.Duration, table int) *Shuffler {
 // Size returns the shuffle buffer size S.
 func (s *Shuffler) Size() int { return s.size }
 
+// SetHooks installs observability callbacks: onEnqueue receives the
+// pending-table depth after each successful enqueue, onFlush the size of
+// each released batch (one flush = one shuffle epoch). Both run under the
+// shuffler lock on the request path, so they must be cheap and lock-free
+// (atomic counter increments and histogram observations qualify). Either
+// may be nil. Safe on a nil shuffler.
+func (s *Shuffler) SetHooks(onEnqueue func(depth int), onFlush func(batch int)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onEnqueue = onEnqueue
+	s.onFlush = onFlush
+	s.mu.Unlock()
+}
+
 // Wait blocks the calling message until the shuffler releases it as part
 // of a randomized batch, and returns the message's position in the
 // batch's randomized release order (0 when shuffling is disabled). It
@@ -78,6 +98,9 @@ func (s *Shuffler) Wait(ctx context.Context) (int, error) {
 		return 0, ErrTableFull
 	}
 	s.pending = append(s.pending, release)
+	if s.onEnqueue != nil {
+		s.onEnqueue(len(s.pending))
+	}
 	if len(s.pending) >= s.size {
 		s.flushLocked()
 	} else if s.timer == nil {
@@ -128,6 +151,9 @@ func (s *Shuffler) flushLocked() {
 		close(msg.ch)
 	}
 	s.flushes++
+	if s.onFlush != nil {
+		s.onFlush(len(batch))
+	}
 }
 
 // Stats returns the number of completed flushes and shed messages.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pprox/internal/message"
+	"pprox/internal/metrics"
 )
 
 // Server is the static stub LRS. It accepts the same REST API as a real
@@ -27,6 +28,11 @@ type Server struct {
 	posts    atomic.Uint64
 	gets     atomic.Uint64
 	respBody []byte
+
+	// requests holds the optional cached service-time histograms
+	// (RegisterMetrics), keyed by API path with "other" bounding the
+	// label cardinality.
+	requests atomic.Pointer[map[string]*metrics.Histogram]
 }
 
 // New creates a stub serving a static list of n generated item
@@ -68,8 +74,44 @@ func (s *Server) Counts() (posts, gets uint64) {
 	return s.posts.Load(), s.gets.Load()
 }
 
+// RegisterMetrics exposes the stub's request counters and a service-time
+// histogram. node names the instance for the labeled family; empty
+// defaults to "stub".
+func (s *Server) RegisterMetrics(r *metrics.Registry, node string) {
+	if node == "" {
+		node = "stub"
+	}
+	r.CounterFunc("pprox_stub_posts_total", "Feedback insertions acknowledged by the stub LRS.", func() float64 {
+		return float64(s.posts.Load())
+	})
+	r.CounterFunc("pprox_stub_gets_total", "Recommendation queries served by the stub LRS.", func() float64 {
+		return float64(s.gets.Load())
+	})
+	hv := r.HistogramVec("pprox_lrs_request_seconds",
+		"LRS request service time.", nil, "node", "path")
+	children := map[string]*metrics.Histogram{
+		message.EventsPath:  hv.With(node, message.EventsPath),
+		message.QueriesPath: hv.With(node, message.QueriesPath),
+		"other":             hv.With(node, "other"),
+	}
+	s.requests.Store(&children)
+}
+
+// Health reports the stub's (always-ready) provisioning state.
+func (s *Server) Health() metrics.Health {
+	return metrics.Health{OK: true, Checks: map[string]string{"static_items": fmt.Sprintf("%d", len(s.items))}}
+}
+
 // ServeHTTP implements the LRS REST API.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if m := s.requests.Load(); m != nil {
+		h, ok := (*m)[r.URL.Path]
+		if !ok {
+			h = (*m)["other"]
+		}
+		start := time.Now()
+		defer h.ObserveSince(start)
+	}
 	if s.Delay > 0 {
 		time.Sleep(s.Delay)
 	}

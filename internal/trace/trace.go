@@ -1,0 +1,230 @@
+// Package trace implements privacy-safe, hop-local tracing for the PProx
+// pipeline. Ordinary distributed tracing would destroy the unlinkability
+// the proxy layers exist to provide: a trace ID propagated from the UA
+// ingress to the IA egress is exactly the request↔request correlation the
+// shuffler randomizes away, and even without propagation, per-span
+// wall-clock timestamps let a network observer align the trace log with
+// its own packet captures (the §4.3/§6.2 timing attack, re-introduced
+// through the back door). Prochlo and X-Search make the same point for
+// shuffling/SGX systems generally: telemetry must be anonymized at least
+// as aggressively as the traffic it describes.
+//
+// This tracer therefore enforces four invariants:
+//
+//  1. Span IDs are random per hop and there is no propagation API — a
+//     UA span and the IA span of the same request share nothing.
+//  2. Records carry no wall-clock timestamps, only the shuffle-epoch
+//     number in which the span finished.
+//  3. Durations are coarsened to fixed bucket upper bounds (the same
+//     resolution the public histograms already expose).
+//  4. Records buffer until the epoch advances — driven by the layer's
+//     shuffle flush — and are exported sorted by their random IDs, i.e.
+//     in an order that is a uniformly random permutation of arrival
+//     order within the epoch.
+//
+// The observer therefore learns per-epoch stage counts and coarse
+// duration distributions (operationally useful) but cannot link any
+// record to an individual request with probability better than 1/batch —
+// the same guarantee the shuffler provides for network timing, proven by
+// the test in internal/adversary.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefBuckets are the default duration-coarsening bucket upper bounds in
+// seconds, matching the metric histogram resolution.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Record is one exported span. It deliberately contains no wall-clock
+// time, no request identity, and no cross-hop correlator.
+type Record struct {
+	// Epoch is the shuffle-epoch number in which the span finished.
+	Epoch uint64 `json:"epoch"`
+	// Node is the hop that produced the span (public topology, e.g.
+	// "ua-0"); it identifies a machine, never a request.
+	Node string `json:"node,omitempty"`
+	// Stage is the pipeline stage (e.g. "ecall_decrypt").
+	Stage string `json:"stage"`
+	// ID is the span's random identifier, drawn fresh at this hop.
+	ID string `json:"id"`
+	// DurationLE is the span duration coarsened UP to a fixed bucket
+	// bound, in seconds (+Inf is reported as the largest bound ×10).
+	DurationLE float64 `json:"duration_le_seconds"`
+}
+
+// Sink receives one epoch's records at flush time.
+type Sink func(records []Record)
+
+// Tracer buffers hop-local spans and flushes them at epoch granularity.
+// A nil *Tracer is valid and records nothing.
+type Tracer struct {
+	node   string
+	sink   Sink
+	bounds []float64
+
+	mu    sync.Mutex
+	epoch uint64
+	buf   []Record
+	rng   *mrand.Rand
+}
+
+// New creates a tracer for one hop. The sink receives each flushed epoch;
+// nil buckets select DefBuckets.
+func New(node string, sink Sink, buckets []float64) *Tracer {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		// Fall back to a time seed; trace randomness is defence in
+		// depth on top of the sort-by-random-ID export order.
+		binary.LittleEndian.PutUint64(seed[:], uint64(time.Now().UnixNano()))
+	}
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	return &Tracer{
+		node:   node,
+		sink:   sink,
+		bounds: bs,
+		rng:    mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seed[:])))),
+	}
+}
+
+// Span is one in-flight stage measurement.
+type Span struct {
+	t     *Tracer
+	stage string
+	start time.Time
+}
+
+// Start opens a span for a pipeline stage. Safe on a nil tracer.
+func (t *Tracer) Start(stage string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: stage, start: time.Now()}
+}
+
+// End finishes the span, buffering its record into the current epoch.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.start).Seconds()
+	t := s.t
+	t.mu.Lock()
+	t.buf = append(t.buf, Record{
+		Epoch:      t.epoch,
+		Node:       t.node,
+		Stage:      s.stage,
+		ID:         fmt.Sprintf("%016x", t.rng.Uint64()),
+		DurationLE: t.coarsen(d),
+	})
+	t.mu.Unlock()
+}
+
+// coarsen rounds a duration up to its bucket upper bound.
+func (t *Tracer) coarsen(seconds float64) float64 {
+	i := sort.SearchFloat64s(t.bounds, seconds)
+	if i < len(t.bounds) {
+		return t.bounds[i]
+	}
+	return t.bounds[len(t.bounds)-1] * 10 // the +Inf stand-in
+}
+
+// Epoch returns the current epoch number.
+func (t *Tracer) Epoch() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.epoch
+}
+
+// AdvanceEpoch closes the current epoch and exports its records, sorted
+// by their random IDs so the export order is a uniformly random
+// permutation of arrival order. Wire it to the layer's shuffle flush so
+// trace granularity can never be finer than shuffle granularity. Safe on
+// a nil tracer.
+func (t *Tracer) AdvanceEpoch() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	batch := t.buf
+	t.buf = nil
+	t.epoch++
+	sink := t.sink
+	t.mu.Unlock()
+
+	if len(batch) == 0 || sink == nil {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].ID < batch[j].ID })
+	sink(batch)
+}
+
+// Collector is a Sink accumulating records in memory, for tests and for
+// serving a trace dump endpoint.
+type Collector struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Sink returns the collector's sink function.
+func (c *Collector) Sink() Sink {
+	return func(recs []Record) {
+		c.mu.Lock()
+		c.records = append(c.records, recs...)
+		c.mu.Unlock()
+	}
+}
+
+// Records returns all collected records in export order.
+func (c *Collector) Records() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Record(nil), c.records...)
+}
+
+// ByEpoch groups collected records for one node by epoch.
+func (c *Collector) ByEpoch(node string) map[uint64][]Record {
+	out := make(map[uint64][]Record)
+	for _, r := range c.Records() {
+		if node == "" || r.Node == node {
+			out[r.Epoch] = append(out[r.Epoch], r)
+		}
+	}
+	return out
+}
+
+// WriterSink returns a sink writing each record as one JSON line, for the
+// -trace-log flag of the server binaries.
+func WriterSink(w io.Writer) Sink {
+	var mu sync.Mutex
+	enc := json.NewEncoder(w)
+	return func(recs []Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range recs {
+			enc.Encode(r)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"pprox/internal/trace"
+)
+
+func TestSpansBufferUntilEpochAdvance(t *testing.T) {
+	c := trace.NewCollector()
+	tr := trace.New("ua-0", c.Sink(), nil)
+
+	tr.Start("ecall_decrypt").End()
+	tr.Start("forward").End()
+	if got := len(c.Records()); got != 0 {
+		t.Fatalf("records exported before epoch advance: %d", got)
+	}
+
+	tr.AdvanceEpoch()
+	recs := c.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.Epoch != 0 {
+			t.Errorf("record epoch = %d, want 0", r.Epoch)
+		}
+		if r.Node != "ua-0" {
+			t.Errorf("record node = %q", r.Node)
+		}
+	}
+	if tr.Epoch() != 1 {
+		t.Errorf("epoch after advance = %d, want 1", tr.Epoch())
+	}
+
+	// Later spans land in the next epoch.
+	tr.Start("shuffle_wait").End()
+	tr.AdvanceEpoch()
+	if got := c.ByEpoch("ua-0"); len(got[1]) != 1 {
+		t.Errorf("epoch 1 records = %d, want 1", len(got[1]))
+	}
+}
+
+func TestDurationsCoarsenedToBucketBounds(t *testing.T) {
+	c := trace.NewCollector()
+	tr := trace.New("ua-0", c.Sink(), []float64{0.001, 0.01, 0.1})
+
+	// Spans end essentially immediately — well under the first bound.
+	tr.Start("s").End()
+	tr.AdvanceEpoch()
+	recs := c.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	allowed := map[float64]bool{0.001: true, 0.01: true, 0.1: true, 1: true}
+	if !allowed[recs[0].DurationLE] {
+		t.Errorf("duration %v is not a bucket bound", recs[0].DurationLE)
+	}
+}
+
+func TestRecordsCarryNoTimestamps(t *testing.T) {
+	c := trace.NewCollector()
+	tr := trace.New("ua-0", c.Sink(), nil)
+	tr.Start("s").End()
+	tr.AdvanceEpoch()
+
+	raw, err := json.Marshal(c.Records()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for k := range fields {
+		switch k {
+		case "epoch", "node", "stage", "id", "duration_le_seconds":
+		default:
+			t.Errorf("unexpected exported field %q — every field must be vetted for linkability", k)
+		}
+	}
+}
+
+func TestExportSortedByRandomID(t *testing.T) {
+	c := trace.NewCollector()
+	tr := trace.New("ua-0", c.Sink(), nil)
+	for i := 0; i < 64; i++ {
+		tr.Start("s").End()
+	}
+	tr.AdvanceEpoch()
+
+	recs := c.Records()
+	ids := make([]string, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Error("export not sorted by span ID")
+	}
+	uniq := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		uniq[id] = true
+	}
+	if len(uniq) != len(ids) {
+		t.Errorf("span IDs collide: %d unique of %d", len(uniq), len(ids))
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *trace.Tracer
+	tr.Start("s").End()
+	tr.AdvanceEpoch()
+	if tr.Epoch() != 0 {
+		t.Error("nil tracer epoch")
+	}
+}
+
+func TestEmptyEpochNotExported(t *testing.T) {
+	calls := 0
+	tr := trace.New("ua-0", func([]trace.Record) { calls++ }, nil)
+	tr.AdvanceEpoch()
+	tr.AdvanceEpoch()
+	if calls != 0 {
+		t.Errorf("sink called %d times for empty epochs", calls)
+	}
+	if tr.Epoch() != 2 {
+		t.Errorf("epoch = %d, want 2", tr.Epoch())
+	}
+}
+
+func TestWriterSinkEmitsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := trace.New("ia-0", trace.WriterSink(&buf), nil)
+	tr.Start("ecall_reencrypt").End()
+	tr.Start("forward").End()
+	tr.AdvanceEpoch()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2: %q", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var r trace.Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Errorf("bad JSON line %q: %v", line, err)
+		}
+	}
+}
