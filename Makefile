@@ -1,0 +1,36 @@
+# Tier-1 verification: build, vet, tests, race tests — the gate every
+# change must pass. `make verify` additionally runs staticcheck when it
+# is installed, and skips it (loudly) when it is not, so the target works
+# in offline containers without tool downloads.
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+clean:
+	rm -rf bin

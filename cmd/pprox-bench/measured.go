@@ -78,6 +78,7 @@ func runMeasuredMacro() error {
 		fmt.Printf("%-28s sent=%d failed=%d  %s\n", setup.name, res.Sent, res.Failed, res.Latencies.Candlestick())
 		if scrapeErr == nil && setup.spec.ProxyEnabled {
 			printStageBreakdown(before, after)
+			printFaultHandling(before, after)
 		}
 		if err := d.Close(); err != nil {
 			return err
@@ -128,6 +129,7 @@ func runMeasured() error {
 		}
 		if scrapeErr == nil {
 			printStageBreakdown(before, after)
+			printFaultHandling(before, after)
 		}
 		if err := d.Close(); err != nil {
 			return fmt.Errorf("close %s: %w", name, err)

@@ -183,6 +183,56 @@ func printStageBreakdown(before, after scrapeSet) {
 	}
 }
 
+// printFaultHandling renders the fault-handling counter deltas — retries,
+// breaker fail-fasts and transitions, balancer ejections, and LRS
+// idempotency dedups — so a bench run under fault injection shows the cost
+// its resilience machinery paid. Prints nothing when no counter moved.
+func printFaultHandling(before, after scrapeSet) {
+	families := []struct{ label, fam string }{
+		{"forward retries", "pprox_proxy_forward_retries_total"},
+		{"breaker fail-fasts", "pprox_proxy_fail_fast_total"},
+		{"breaker opens", "pprox_proxy_breaker_opens_total"},
+		{"breaker re-admissions", "pprox_proxy_breaker_readmissions_total"},
+		{"balancer ejections", "pprox_balancer_ejections_total"},
+		{"balancer re-admissions", "pprox_balancer_readmissions_total"},
+		{"LRS duplicate events", "pprox_lrs_dup_events_total"},
+	}
+	printed := false
+	for _, f := range families {
+		total := 0.0
+		perLayer := make(map[string]float64)
+		for series, v := range after {
+			name, labels := seriesLabels(series)
+			if name != f.fam {
+				continue
+			}
+			delta := v - before[series]
+			total += delta
+			if l := labels["layer"]; l != "" && delta != 0 {
+				perLayer[l] += delta
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println("  fault handling (scraped from /metrics):")
+			printed = true
+		}
+		var parts []string
+		for _, layer := range []string{"ua", "ia"} {
+			if n := perLayer[layer]; n != 0 {
+				parts = append(parts, fmt.Sprintf("%s %.0f", layer, n))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Printf("    %-22s %6.0f  (%s)\n", f.label, total, strings.Join(parts, ", "))
+		} else {
+			fmt.Printf("    %-22s %6.0f\n", f.label, total)
+		}
+	}
+}
+
 // bracketScrape runs fn between two scrapes of the deployment's metrics,
 // so the caller can print the candlestick first and the per-stage table
 // (from the scrape delta) underneath it.

@@ -41,6 +41,12 @@ func run(out string) error {
 	if err != nil {
 		return err
 	}
+	// The shared link key lets the UA wrap the UA→IA hop in a randomized
+	// envelope, so a retried request can be re-encrypted with a fresh IV
+	// and is unlinkable to the attempt it repeats.
+	if err := proxy.PairLinkKey(ua, ia); err != nil {
+		return err
+	}
 
 	keys, err := proxy.MarshalKeyFile(ua, ia)
 	if err != nil {

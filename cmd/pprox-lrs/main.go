@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"pprox/internal/faults"
 	"pprox/internal/lrs/engine"
 	"pprox/internal/metrics"
 	"pprox/internal/transport"
@@ -29,22 +30,35 @@ func main() {
 	trainEvery := flag.Duration("train-every", 30*time.Second, "periodic training interval (0 = manual via POST /train)")
 	snapshot := flag.String("snapshot", "", "event-log snapshot file: loaded at start-up if present, written at shutdown")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6061 (off when empty)")
+	faultSpec := flag.String("inject-fault", "", "fault injection rules, e.g. 'error:status=503:count=10' (chaos testing)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault-injection stream")
 	flag.Parse()
 
-	if err := run(*listen, *trainEvery, *snapshot, *debugAddr); err != nil {
+	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-lrs:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, trainEvery time.Duration, snapshot, debugAddr string) error {
+func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec string, faultSeed uint64) error {
 	eng, err := loadOrNewEngine(snapshot)
 	if err != nil {
 		return err
 	}
 	reg := metrics.NewRegistry()
 	instrument := eng.RegisterMetrics(reg, "lrs")
-	handler := metrics.Mux(reg, eng.Health, instrument(engine.NewHandler(eng)))
+	app := instrument(engine.NewHandler(eng))
+	if faultSpec != "" {
+		rules, err := faults.ParseSpec(faultSpec)
+		if err != nil {
+			return fmt.Errorf("-inject-fault: %w", err)
+		}
+		inj := faults.NewInjector(faultSeed, rules...)
+		defer inj.Close()
+		app = inj.Middleware(app)
+		fmt.Printf("pprox-lrs: fault injection armed: %s\n", faultSpec)
+	}
+	handler := metrics.Mux(reg, eng.Health, app)
 
 	if debugAddr != "" {
 		stopDebug, err := metrics.ServeDebug(debugAddr)

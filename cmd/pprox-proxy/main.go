@@ -7,6 +7,19 @@
 // attested provisioning handshake with the key file, and serves the LRS
 // REST API. Horizontal scaling = more processes behind a load balancer,
 // each provisioned with the same key file (§5).
+//
+// Fault handling toward the next hop is on by default (-no-resilience
+// turns it off): every forward gets a per-attempt deadline (-hop-timeout),
+// failed forwards retry with jittered exponential backoff (-retries,
+// -retry-backoff), and a circuit breaker (-breaker-threshold,
+// -breaker-cooldown) fails fast while probing the hop's /healthz. Retries
+// on a UA instance are privacy-aware: with a link key in the key file each
+// retry re-randomizes the hop envelope and re-enters the shuffler.
+//
+// -inject-fault arms deterministic fault injection on this instance's
+// application endpoints, for chaos experiments:
+//
+//	pprox-proxy ... -inject-fault 'error:status=503:count=10,latency:delay=50ms'
 package main
 
 import (
@@ -21,62 +34,109 @@ import (
 
 	"pprox/internal/enclave"
 	"pprox/internal/eventloop"
+	"pprox/internal/faults"
 	"pprox/internal/metrics"
 	"pprox/internal/proxy"
+	"pprox/internal/resilience"
 	"pprox/internal/trace"
 	"pprox/internal/transport"
 )
 
+// options collects every flag of the binary; run consumes it whole instead
+// of a dozen positional parameters.
+type options struct {
+	role           string
+	listen         string
+	next           string
+	keysPath       string
+	shuffle        int
+	shuffleTimeout time.Duration
+	workers        int
+	noItemPseudo   bool
+	passthrough    bool
+	useEventloop   bool
+	debugAddr      string
+	traceLog       string
+
+	noResilience     bool
+	hopTimeout       time.Duration
+	retries          int
+	retryBackoff     time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	faultSpec string
+	faultSeed uint64
+}
+
 func main() {
-	role := flag.String("role", "", "layer role: ua or ia")
-	listen := flag.String("listen", ":8081", "listen address")
-	next := flag.String("next", "", "next hop base URL (IA balancer for ua, LRS for ia)")
-	keysPath := flag.String("keys", "", "key file from pprox-keygen (omit with -passthrough)")
-	shuffle := flag.Int("shuffle", 0, "shuffle buffer size S (0 = off)")
-	shuffleTimeout := flag.Duration("shuffle-timeout", 500*time.Millisecond, "shuffle flush timer")
-	workers := flag.Int("workers", 2, "data-processing pool size")
-	noItemPseudo := flag.Bool("no-item-pseudonyms", false, "send item identifiers to the LRS in the clear (§6.3)")
-	passthrough := flag.Bool("passthrough", false, "forward without cryptography (baseline m1)")
-	useEventloop := flag.Bool("eventloop", false, "serve with the §5 acceptor+queue+worker-pool architecture instead of net/http")
-	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6060 (off when empty)")
-	traceLog := flag.String("trace-log", "", "append privacy-safe trace records (JSON lines) to this file")
+	var o options
+	flag.StringVar(&o.role, "role", "", "layer role: ua or ia")
+	flag.StringVar(&o.listen, "listen", ":8081", "listen address")
+	flag.StringVar(&o.next, "next", "", "next hop base URL (IA balancer for ua, LRS for ia)")
+	flag.StringVar(&o.keysPath, "keys", "", "key file from pprox-keygen (omit with -passthrough)")
+	flag.IntVar(&o.shuffle, "shuffle", 0, "shuffle buffer size S (0 = off)")
+	flag.DurationVar(&o.shuffleTimeout, "shuffle-timeout", 500*time.Millisecond, "shuffle flush timer")
+	flag.IntVar(&o.workers, "workers", 2, "data-processing pool size")
+	flag.BoolVar(&o.noItemPseudo, "no-item-pseudonyms", false, "send item identifiers to the LRS in the clear (§6.3)")
+	flag.BoolVar(&o.passthrough, "passthrough", false, "forward without cryptography (baseline m1)")
+	flag.BoolVar(&o.useEventloop, "eventloop", false, "serve with the §5 acceptor+queue+worker-pool architecture instead of net/http")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "pprof listen address, e.g. localhost:6060 (off when empty)")
+	flag.StringVar(&o.traceLog, "trace-log", "", "append privacy-safe trace records (JSON lines) to this file")
+	flag.BoolVar(&o.noResilience, "no-resilience", false, "disable retries, hop deadlines, and the circuit breaker (single attempts)")
+	flag.DurationVar(&o.hopTimeout, "hop-timeout", 10*time.Second, "per-attempt deadline toward the next hop")
+	flag.IntVar(&o.retries, "retries", 2, "retry attempts after a failed forward (0 = one attempt)")
+	flag.DurationVar(&o.retryBackoff, "retry-backoff", 50*time.Millisecond, "base of the jittered exponential retry backoff")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 5, "consecutive forward failures before the breaker opens (0 = no breaker)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 2*time.Second, "wait between breaker health probes of the next hop")
+	flag.StringVar(&o.faultSpec, "inject-fault", "", "fault injection rules, e.g. 'error:status=503:count=10,latency:delay=50ms' (chaos testing)")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", 1, "seed of the deterministic fault-injection stream")
 	flag.Parse()
 
-	if err := run(*role, *listen, *next, *keysPath, *shuffle, *shuffleTimeout, *workers, *noItemPseudo, *passthrough, *useEventloop, *debugAddr, *traceLog); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-proxy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.Duration, workers int, noItemPseudo, passthrough, useEventloop bool, debugAddr, traceLog string) error {
+func run(o options) error {
 	var r proxy.Role
-	switch role {
+	switch o.role {
 	case "ua":
 		r = proxy.RoleUA
 	case "ia":
 		r = proxy.RoleIA
 	default:
-		return fmt.Errorf("role must be ua or ia, got %q", role)
+		return fmt.Errorf("role must be ua or ia, got %q", o.role)
 	}
-	if next == "" {
+	if o.next == "" {
 		return fmt.Errorf("-next is required")
 	}
 
 	cfg := proxy.Config{
 		Role:           r,
-		Next:           next,
-		HTTPClient:     &http.Client{Timeout: 30 * time.Second},
-		ShuffleSize:    shuffle,
-		ShuffleTimeout: shuffleTimeout,
-		Workers:        workers,
-		PassThrough:    passthrough,
+		Next:           o.next,
+		HTTPClient:     transport.DefaultHTTPClient(30 * time.Second),
+		ShuffleSize:    o.shuffle,
+		ShuffleTimeout: o.shuffleTimeout,
+		Workers:        o.workers,
+		PassThrough:    o.passthrough,
+	}
+	if !o.noResilience {
+		cfg.Resilience = &resilience.Policy{
+			HopTimeout:       o.hopTimeout,
+			MaxAttempts:      o.retries + 1,
+			BackoffBase:      o.retryBackoff,
+			BreakerThreshold: o.breakerThreshold,
+			BreakerCooldown:  o.breakerCooldown,
+		}
 	}
 
-	if !passthrough {
-		if keysPath == "" {
+	if !o.passthrough {
+		if o.keysPath == "" {
 			return fmt.Errorf("-keys is required unless -passthrough")
 		}
-		data, err := os.ReadFile(keysPath)
+		data, err := os.ReadFile(o.keysPath)
 		if err != nil {
 			return err
 		}
@@ -99,7 +159,7 @@ func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.D
 			}
 			cfg.Enclave = e
 		} else {
-			opts := proxy.IAOptions{DisableItemPseudonymization: noItemPseudo}
+			opts := proxy.IAOptions{DisableItemPseudonymization: o.noItemPseudo}
 			e := proxy.NewIAEnclave(platform, opts)
 			if err := iaKeys.Provision(as, e, proxy.IAIdentityFor(opts)); err != nil {
 				return err
@@ -114,25 +174,39 @@ func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.D
 	}
 	defer layer.Close()
 
-	reg := metrics.NewRegistry()
-	layer.RegisterMetrics(reg, role)
-	handler := metrics.Mux(reg, layer.Health, layer)
+	var app http.Handler = layer
+	if o.faultSpec != "" {
+		rules, err := faults.ParseSpec(o.faultSpec)
+		if err != nil {
+			return fmt.Errorf("-inject-fault: %w", err)
+		}
+		inj := faults.NewInjector(o.faultSeed, rules...)
+		defer inj.Close()
+		// Only application traffic is injected; /metrics and /healthz
+		// stay honest so breakers and operators see the real state.
+		app = inj.Middleware(app)
+		fmt.Printf("pprox-proxy: fault injection armed: %s\n", o.faultSpec)
+	}
 
-	if traceLog != "" {
-		f, err := os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	reg := metrics.NewRegistry()
+	layer.RegisterMetrics(reg, o.role)
+	handler := metrics.Mux(reg, layer.Health, app)
+
+	if o.traceLog != "" {
+		f, err := os.OpenFile(o.traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		layer.SetTracer(trace.New(role, trace.WriterSink(f), nil))
-		if shuffle <= 0 {
+		layer.SetTracer(trace.New(o.role, trace.WriterSink(f), nil))
+		if o.shuffle <= 0 {
 			// Without a shuffler nothing flushes the trace buffer, so run
 			// the epochs on the flush timer instead. Batching still hides
 			// per-request timing, but only shuffling gives the 1/S bound.
 			stopEpochs := make(chan struct{})
 			defer close(stopEpochs)
 			go func() {
-				ticker := time.NewTicker(shuffleTimeout)
+				ticker := time.NewTicker(o.shuffleTimeout)
 				defer ticker.Stop()
 				for {
 					select {
@@ -146,23 +220,23 @@ func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.D
 		}
 	}
 
-	if debugAddr != "" {
-		stopDebug, err := metrics.ServeDebug(debugAddr)
+	if o.debugAddr != "" {
+		stopDebug, err := metrics.ServeDebug(o.debugAddr)
 		if err != nil {
 			return err
 		}
 		defer stopDebug()
-		fmt.Printf("pprox-proxy: pprof on http://%s/debug/pprof/\n", debugAddr)
+		fmt.Printf("pprox-proxy: pprof on http://%s/debug/pprof/\n", o.debugAddr)
 	}
 
-	l, err := net.Listen("tcp", listen)
+	l, err := net.Listen("tcp", o.listen)
 	if err != nil {
 		return err
 	}
 
 	var shutdown func() error
-	if useEventloop {
-		srv := &eventloop.Server{Handler: handler, Workers: workers}
+	if o.useEventloop {
+		srv := &eventloop.Server{Handler: handler, Workers: o.workers}
 		serveDone := make(chan error, 1)
 		go func() { serveDone <- srv.Serve(l) }()
 		shutdown = func() error {
@@ -174,16 +248,18 @@ func run(role, listen, next, keysPath string, shuffle int, shuffleTimeout time.D
 		shutdown = transport.Serve(l, handler)
 	}
 	mode := "net/http"
-	if useEventloop {
+	if o.useEventloop {
 		mode = "eventloop"
 	}
 	fmt.Printf("pprox-proxy: %s layer on %s → %s (S=%d, workers=%d, %s, /metrics exposed)\n",
-		role, l.Addr(), next, shuffle, workers, mode)
+		o.role, l.Addr(), o.next, o.shuffle, o.workers, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	served, failed := layer.Stats()
-	fmt.Printf("pprox-proxy: shutting down (served=%d failed=%d)\n", served, failed)
+	retried, failFast := layer.RetryStats()
+	fmt.Printf("pprox-proxy: shutting down (served=%d failed=%d retries=%d fail_fast=%d)\n",
+		served, failed, retried, failFast)
 	return shutdown()
 }

@@ -34,15 +34,16 @@ func main() {
 	bundlePath := flag.String("bundle", "", "public bundle from pprox-keygen")
 	tenant := flag.String("tenant", "", "tenant name on a multi-tenant deployment")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6062 (off when empty)")
+	getRetries := flag.Int("get-retries", 2, "extra attempts for failed gets, each freshly encrypted; posts never retry client-side (0 = off)")
 	flag.Parse()
 
-	if err := run(*listen, *target, *bundlePath, *tenant, *debugAddr); err != nil {
+	if err := run(*listen, *target, *bundlePath, *tenant, *debugAddr, *getRetries); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-sidecar:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, target, bundlePath, tenant, debugAddr string) error {
+func run(listen, target, bundlePath, tenant, debugAddr string, getRetries int) error {
 	if target == "" || bundlePath == "" {
 		return fmt.Errorf("-target and -bundle are required")
 	}
@@ -59,6 +60,12 @@ func run(listen, target, bundlePath, tenant, debugAddr string) error {
 	cl := client.New(bundle, httpClient, target)
 	if tenant != "" {
 		cl = cl.ForTenant(tenant, bundle)
+	}
+	if getRetries > 0 {
+		// Gets retry with a fresh end-to-end encryption per attempt;
+		// posts make one attempt (retried idempotently on the IA→LRS
+		// hop instead — see client.WithGetRetries).
+		cl = cl.WithGetRetries(getRetries)
 	}
 
 	reg := metrics.NewRegistry()

@@ -14,11 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"pprox/internal/faults"
 	"pprox/internal/metrics"
 	"pprox/internal/proxy"
 	"pprox/internal/stub"
@@ -31,15 +33,17 @@ func main() {
 	delay := flag.Duration("delay", 0, "artificial service time per request")
 	keysPath := flag.String("pseudonymize-with", "", "key file; serve items pseudonymized under the IA permanent key")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (off when empty)")
+	faultSpec := flag.String("inject-fault", "", "fault injection rules, e.g. 'drop:count=5,latency:delay=20ms' (chaos testing)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault-injection stream")
 	flag.Parse()
 
-	if err := run(*listen, *items, *delay, *keysPath, *debugAddr); err != nil {
+	if err := run(*listen, *items, *delay, *keysPath, *debugAddr, *faultSpec, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "pprox-stub:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, items int, delay time.Duration, keysPath, debugAddr string) error {
+func run(listen string, items int, delay time.Duration, keysPath, debugAddr, faultSpec string, faultSeed uint64) error {
 	var s *stub.Server
 	var err error
 	if keysPath != "" {
@@ -70,7 +74,18 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr stri
 
 	reg := metrics.NewRegistry()
 	s.RegisterMetrics(reg, "stub")
-	handler := metrics.Mux(reg, s.Health, s)
+	var app http.Handler = s
+	if faultSpec != "" {
+		rules, err := faults.ParseSpec(faultSpec)
+		if err != nil {
+			return fmt.Errorf("-inject-fault: %w", err)
+		}
+		inj := faults.NewInjector(faultSeed, rules...)
+		defer inj.Close()
+		app = inj.Middleware(app)
+		fmt.Printf("pprox-stub: fault injection armed: %s\n", faultSpec)
+	}
+	handler := metrics.Mux(reg, s.Health, app)
 
 	if debugAddr != "" {
 		stopDebug, err := metrics.ServeDebug(debugAddr)

@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"pprox/internal/message"
 	"pprox/internal/ppcrypto"
 	"pprox/internal/proxy"
+	"pprox/internal/resilience"
 )
 
 // Errors reported by the library.
@@ -45,6 +47,26 @@ type Client struct {
 	// plain bypasses all encryption; it exists for the paper's m1
 	// baseline configuration and for talking to an unprotected LRS.
 	plain bool
+	// getRetries is how many extra get attempts follow a retryable
+	// failure (WithGetRetries). Posts never retry client-side.
+	getRetries int
+}
+
+// WithGetRetries returns a copy of the client that retries failed get
+// calls up to n extra attempts (jittered by a doubling backoff). Only gets
+// retry: every attempt is freshly encrypted end to end — new OAEP
+// randomness on the user identifier and a brand-new temporary key — so a
+// network observer cannot link a retry to the attempt it repeats.
+//
+// Posts deliberately never retry from the client. A safe post retry needs
+// an idempotency key the LRS can deduplicate on, and a client-chosen key
+// would itself link the client-side and LRS-side observations of the
+// event across the shuffler, voiding the 1/S bound. Post retries happen
+// on the IA→LRS hop instead, where the enclave mints the key.
+func (c *Client) WithGetRetries(n int) *Client {
+	cp := *c
+	cp.getRetries = n
+	return &cp
 }
 
 // ForTenant returns a copy of the client addressing the named tenant's
@@ -127,22 +149,50 @@ func (c *Client) PostEvent(ctx context.Context, user, item, payload, eventType s
 // temporary key k_u is generated per call and encrypted for the IA layer,
 // which uses it to hide the returned list from the UA layer (Fig. 4);
 // padding pseudo-items are discarded before returning.
+//
+// With WithGetRetries, retryable failures (transport errors, 5xx/429) are
+// retried with a fresh encryption of the whole request each time.
 func (c *Client) Get(ctx context.Context, user string) ([]string, error) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		items, status, err := c.getOnce(ctx, user)
+		if err == nil || attempt >= c.getRetries || !retryableGet(status, err) || ctx.Err() != nil {
+			return items, err
+		}
+		if serr := resilience.Sleep(ctx, backoff); serr != nil {
+			return nil, err
+		}
+		backoff *= 2
+	}
+}
+
+// retryableGet decides whether a failed get is worth repeating: transport
+// errors (status 0) and overload/transient statuses are; a response the
+// service produced but the client cannot decode is a contract violation a
+// retry will not fix.
+func retryableGet(status int, err error) bool {
+	if errors.Is(err, ErrBadResponse) {
+		return false
+	}
+	return status == 0 || resilience.RetryableStatus(status)
+}
+
+func (c *Client) getOnce(ctx context.Context, user string) ([]string, int, error) {
 	if c.plain {
 		return c.getPlain(ctx, user)
 	}
 
 	encUser, err := c.encryptID(user, c.bundle.UAPublic)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ku, err := ppcrypto.NewSymmetricKey()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	encKu, err := ppcrypto.EncryptOAEP(c.bundle.IAPublic, ku)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	body, err := message.Marshal(message.GetRequest{
 		EncUser:    encUser,
@@ -150,53 +200,53 @@ func (c *Client) Get(ctx context.Context, user string) ([]string, error) {
 		Tenant:     c.tenant,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	status, respBody, err := c.do(ctx, message.QueriesPath, body)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if status != http.StatusOK {
-		return nil, fmt.Errorf("%w: %d", ErrServiceStatus, status)
+		return nil, status, fmt.Errorf("%w: %d", ErrServiceStatus, status)
 	}
 
 	var resp message.GetResponse
 	if err := message.Unmarshal(respBody, &resp); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+		return nil, status, fmt.Errorf("%w: %v", ErrBadResponse, err)
 	}
 	ct, err := message.Decode64(resp.EncItems)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+		return nil, status, fmt.Errorf("%w: %v", ErrBadResponse, err)
 	}
 	packed, err := ppcrypto.SymDecrypt(ku, ct)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+		return nil, status, fmt.Errorf("%w: %v", ErrBadResponse, err)
 	}
 	items, err := message.DecodeItemList(packed)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+		return nil, status, fmt.Errorf("%w: %v", ErrBadResponse, err)
 	}
-	return items, nil
+	return items, status, nil
 }
 
-func (c *Client) getPlain(ctx context.Context, user string) ([]string, error) {
+func (c *Client) getPlain(ctx context.Context, user string) ([]string, int, error) {
 	body, err := message.Marshal(message.LRSGet{User: user, N: message.MaxRecommendations})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	status, respBody, err := c.do(ctx, message.QueriesPath, body)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if status != http.StatusOK {
-		return nil, fmt.Errorf("%w: %d", ErrServiceStatus, status)
+		return nil, status, fmt.Errorf("%w: %d", ErrServiceStatus, status)
 	}
 	var resp message.LRSGetResponse
 	if err := message.Unmarshal(respBody, &resp); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadResponse, err)
+		return nil, status, fmt.Errorf("%w: %v", ErrBadResponse, err)
 	}
-	return resp.Items, nil
+	return resp.Items, status, nil
 }
 
 // encryptID pads an identifier to the constant block size and encrypts it

@@ -246,3 +246,114 @@ func readAll(t *testing.T, r *http.Request) []byte {
 	}
 	return body
 }
+
+func TestGetRetriesAreFreshlyEncrypted(t *testing.T) {
+	bundle, _, ia := testBundle(t)
+	var mu sync.Mutex
+	var seenUsers, seenKeys []string
+	fails := 2
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req message.GetRequest
+		if err := message.Unmarshal(readAll(t, r), &req); err != nil {
+			t.Errorf("unmarshal: %v", err)
+			return
+		}
+		mu.Lock()
+		seenUsers = append(seenUsers, req.EncUser)
+		seenKeys = append(seenKeys, req.EncTempKey)
+		mu.Unlock()
+		if fails > 0 {
+			fails--
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		ct, _ := message.Decode64(req.EncTempKey)
+		ku, err := ppcrypto.DecryptOAEP(ia.Pair.Private, ct)
+		if err != nil {
+			t.Errorf("decrypt temp key: %v", err)
+			return
+		}
+		packed, _ := message.EncodeItemList([]string{"i1"})
+		enc, _ := ppcrypto.SymEncrypt(ku, packed)
+		body, _ := message.Marshal(message.GetResponse{EncItems: message.Encode64(enc)})
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	c := New(bundle, srv.Client(), srv.URL).WithGetRetries(3)
+	items, err := c.Get(context.Background(), "u")
+	if err != nil {
+		t.Fatalf("get with retries: %v", err)
+	}
+	if len(items) != 1 || items[0] != "i1" {
+		t.Errorf("items = %v", items)
+	}
+
+	// Three attempts, each a completely fresh encryption: OAEP randomness
+	// on the user identifier and a brand-new temporary key. Identical
+	// ciphertexts would let an observer link a retry to the original.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seenUsers) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(seenUsers))
+	}
+	for i := 1; i < len(seenUsers); i++ {
+		for j := 0; j < i; j++ {
+			if seenUsers[i] == seenUsers[j] {
+				t.Error("two attempts share an enc_user ciphertext")
+			}
+			if seenKeys[i] == seenKeys[j] {
+				t.Error("two attempts share an enc_temp_key ciphertext")
+			}
+		}
+	}
+}
+
+func TestPostNeverRetries(t *testing.T) {
+	bundle, _, _ := testBundle(t)
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	// Even with get retries armed, a failing post makes exactly one
+	// attempt: the client cannot mint the idempotency key that makes a
+	// post retry safe (see WithGetRetries).
+	c := New(bundle, srv.Client(), srv.URL).WithGetRetries(3)
+	if err := c.Post(context.Background(), "u", "i", ""); !errors.Is(err, ErrServiceStatus) {
+		t.Fatalf("err = %v, want service status error", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("server saw %d post attempts, want 1", calls)
+	}
+}
+
+func TestGetDoesNotRetryBadRequests(t *testing.T) {
+	bundle, _, _ := testBundle(t)
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, "malformed", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := New(bundle, srv.Client(), srv.URL).WithGetRetries(3)
+	if _, err := c.Get(context.Background(), "u"); !errors.Is(err, ErrServiceStatus) {
+		t.Fatalf("err = %v, want service status error", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("server saw %d attempts for a 400, want 1 (not retryable)", calls)
+	}
+}

@@ -6,7 +6,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pprox/internal/metrics"
+	"pprox/internal/resilience"
 	"pprox/internal/transport"
 )
 
@@ -19,15 +22,26 @@ import (
 // It is a transport.Dialer: dialing a registered service name opens a
 // connection to the service's next backend in round-robin order;
 // unregistered names pass through to the underlying network.
+//
+// With a breaker policy set, each backend carries its own circuit breaker
+// in trial (half-open) mode — the dial itself is the cheapest possible
+// health probe. A backend whose dials keep failing is ejected from the
+// rotation; after the cooldown one dial per cooldown is admitted as a
+// trial, and a successful trial re-admits the backend.
 type Balancer struct {
 	under transport.Dialer
 
 	mu       sync.Mutex
 	services map[string]*service
+	// breaker policy applied to services registered afterwards; zero
+	// threshold disables ejection.
+	threshold int
+	cooldown  time.Duration
 }
 
 type service struct {
 	backends []string
+	breakers []*resilience.Breaker // parallel to backends; entries may be nil
 	next     atomic.Uint64
 }
 
@@ -36,17 +50,34 @@ func NewBalancer(under transport.Dialer) *Balancer {
 	return &Balancer{under: under, services: make(map[string]*service)}
 }
 
+// SetBreakerPolicy arms per-backend circuit breakers on services
+// registered from now on. threshold ≤ 0 disables ejection.
+func (b *Balancer) SetBreakerPolicy(threshold int, cooldown time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.threshold = threshold
+	b.cooldown = cooldown
+}
+
 // Register maps a service name to its backend addresses.
 func (b *Balancer) Register(name string, backends ...string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.services[name] = &service{backends: append([]string(nil), backends...)}
+	svc := &service{backends: append([]string(nil), backends...)}
+	svc.breakers = make([]*resilience.Breaker, len(svc.backends))
+	for i := range svc.breakers {
+		// Trial mode (no probe function): the next dial after the
+		// cooldown is the health probe.
+		svc.breakers[i] = resilience.NewBreaker(b.threshold, b.cooldown, nil)
+	}
+	b.services[name] = svc
 }
 
 // DialContext implements transport.Dialer with round-robin backend
 // selection per connection. A backend that refuses the connection is
 // skipped and the next one tried (kube-proxy's failure handling for dead
-// endpoints); the last error surfaces only when every backend fails.
+// endpoints); ejected backends are skipped without dialing; the last error
+// surfaces only when every backend fails.
 func (b *Balancer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
 	name := addr
 	if host, _, err := net.SplitHostPort(addr); err == nil {
@@ -62,9 +93,16 @@ func (b *Balancer) DialContext(ctx context.Context, network, addr string) (net.C
 		return nil, fmt.Errorf("cluster: service %q has no backends", name)
 	}
 	var lastErr error
+	ejected := 0
 	for attempt := 0; attempt < len(svc.backends); attempt++ {
-		backend := svc.backends[int(svc.next.Add(1)-1)%len(svc.backends)]
-		conn, err := b.under.DialContext(ctx, network, backend)
+		i := int(svc.next.Add(1)-1) % len(svc.backends)
+		br := svc.breakers[i]
+		if !br.Allow() {
+			ejected++
+			continue
+		}
+		conn, err := b.under.DialContext(ctx, network, svc.backends[i])
+		br.Report(err == nil)
 		if err == nil {
 			return conn, nil
 		}
@@ -73,7 +111,66 @@ func (b *Balancer) DialContext(ctx context.Context, network, addr string) (net.C
 			break
 		}
 	}
+	if lastErr == nil && ejected > 0 {
+		return nil, fmt.Errorf("cluster: service %q: all backends ejected", name)
+	}
 	return nil, fmt.Errorf("cluster: service %q: all backends failed: %w", name, lastErr)
+}
+
+// Ejected returns the currently ejected backends of a service, for tests
+// and operational visibility.
+func (b *Balancer) Ejected(name string) []string {
+	b.mu.Lock()
+	svc := b.services[name]
+	b.mu.Unlock()
+	if svc == nil {
+		return nil
+	}
+	var out []string
+	for i, br := range svc.breakers {
+		if br.State() == resilience.StateOpen {
+			out = append(out, svc.backends[i])
+		}
+	}
+	return out
+}
+
+// stats sums breaker counters across every backend of every service.
+func (b *Balancer) stats() (ejections, readmissions uint64, ejectedNow int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, svc := range b.services {
+		for _, br := range svc.breakers {
+			opens, readmits := br.Stats()
+			ejections += opens
+			readmissions += readmits
+			if br.State() == resilience.StateOpen {
+				ejectedNow++
+			}
+		}
+	}
+	return ejections, readmissions, ejectedNow
+}
+
+// RegisterMetrics exposes the balancer's ejection counters:
+// pprox_balancer_ejections_total, pprox_balancer_readmissions_total, and
+// the pprox_balancer_ejected_backends gauge.
+func (b *Balancer) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("pprox_balancer_ejections_total",
+		"Backends ejected from rotation after repeated dial failures.", func() float64 {
+			ejections, _, _ := b.stats()
+			return float64(ejections)
+		})
+	r.CounterFunc("pprox_balancer_readmissions_total",
+		"Ejected backends re-admitted after a successful trial dial.", func() float64 {
+			_, readmissions, _ := b.stats()
+			return float64(readmissions)
+		})
+	r.Gauge("pprox_balancer_ejected_backends",
+		"Backends currently out of rotation.", func() float64 {
+			_, _, ejectedNow := b.stats()
+			return float64(ejectedNow)
+		})
 }
 
 var _ transport.Dialer = (*Balancer)(nil)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"pprox/internal/client"
@@ -12,6 +13,7 @@ import (
 	"pprox/internal/message"
 	"pprox/internal/metrics"
 	"pprox/internal/proxy"
+	"pprox/internal/resilience"
 	"pprox/internal/stub"
 	"pprox/internal/trace"
 	"pprox/internal/transport"
@@ -50,6 +52,16 @@ type Spec struct {
 	// layer; records collect in Deployment.Traces at shuffle-epoch
 	// granularity.
 	Trace bool
+	// Resilience arms fault handling across the deployment: every proxy
+	// layer retries/breaks per the policy, and the balancer ejects
+	// backends whose dials keep failing. Nil deploys without fault
+	// handling (single attempts, no ejection).
+	Resilience *resilience.Policy
+	// NodeMiddleware, when set, wraps every node's HTTP handler (proxy
+	// instances and LRS front ends alike) with addr naming the node
+	// (e.g. "ia-1", "lrs-0"). The chaos tests use it to install fault
+	// injectors and network taps on selected nodes.
+	NodeMiddleware func(addr string, h http.Handler) http.Handler
 }
 
 // SpecFromMicro translates a Table 2 row into a deployable spec. The SGX
@@ -105,8 +117,21 @@ type Deployment struct {
 	// Traces collects the layers' trace exports when Spec.Trace is set.
 	Traces *trace.Collector
 
-	spec      Spec
-	shutdowns []func() error
+	spec Spec
+	// nodes tracks every served node by address so chaos tests can kill
+	// and restart individual instances; order preserves bring-up order
+	// for reverse shutdown.
+	nodes map[string]*runningNode
+	order []string
+}
+
+// runningNode is one HTTP server the deployment runs, restartable in
+// place for crash/recovery experiments.
+type runningNode struct {
+	handler http.Handler
+
+	mu       sync.Mutex
+	shutdown func() error // nil while killed
 }
 
 // Deploy brings the spec up on a fresh in-memory network.
@@ -123,8 +148,14 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		spec:    spec,
 		Metrics: metrics.NewRegistry(),
 		Traces:  trace.NewCollector(),
+		nodes:   make(map[string]*runningNode),
 	}
 	d.Balancer = NewBalancer(d.Net)
+	if spec.Resilience != nil {
+		pol := spec.Resilience.WithDefaults()
+		d.Balancer.SetBreakerPolicy(pol.BreakerThreshold, pol.BreakerCooldown)
+	}
+	d.Balancer.RegisterMetrics(d.Metrics)
 	defer func() {
 		if err != nil {
 			d.Close()
@@ -143,6 +174,12 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 			return nil, err
 		}
 		if d.IAKeys, err = proxy.NewLayerKeys(); err != nil {
+			return nil, err
+		}
+		// One shared hop-envelope key: the UA→IA link travels as
+		// randomized ciphertext and retried requests can be re-wrapped
+		// so they are unlinkable to the attempt they repeat.
+		if err = proxy.PairLinkKey(d.UAKeys, d.IAKeys); err != nil {
 			return nil, err
 		}
 	}
@@ -274,6 +311,7 @@ func (d *Deployment) newLayer(role proxy.Role, spec Spec, platform *enclave.Plat
 		ShuffleTimeout: spec.ShuffleTimeout,
 		Workers:        spec.Workers,
 		PassThrough:    !spec.Encryption,
+		Resilience:     spec.Resilience,
 	}
 	if spec.Encryption {
 		if role == proxy.RoleUA {
@@ -294,11 +332,55 @@ func (d *Deployment) newLayer(role proxy.Role, spec Spec, platform *enclave.Plat
 }
 
 func (d *Deployment) serve(addr string, h http.Handler) error {
+	if d.spec.NodeMiddleware != nil {
+		h = d.spec.NodeMiddleware(addr, h)
+	}
 	l, err := d.Net.Listen(addr)
 	if err != nil {
 		return err
 	}
-	d.shutdowns = append(d.shutdowns, transport.Serve(l, h))
+	n := &runningNode{handler: h, shutdown: transport.Serve(l, h)}
+	d.nodes[addr] = n
+	d.order = append(d.order, addr)
+	return nil
+}
+
+// Kill stops one node's server and unbinds its address: dials to it are
+// refused, exactly as after a process crash. The chaos experiments use it
+// together with Restart.
+func (d *Deployment) Kill(addr string) error {
+	n := d.nodes[addr]
+	if n == nil {
+		return fmt.Errorf("cluster: no node %q", addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.shutdown == nil {
+		return nil // already down
+	}
+	shutdown := n.shutdown
+	n.shutdown = nil
+	return shutdown()
+}
+
+// Restart brings a killed node back up on its address with its original
+// handler — the crashed process rejoining the deployment. Balancer
+// breakers re-admit it on their next trial dial.
+func (d *Deployment) Restart(addr string) error {
+	n := d.nodes[addr]
+	if n == nil {
+		return fmt.Errorf("cluster: no node %q", addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.shutdown != nil {
+		return nil // already up
+	}
+	l, err := d.Net.Listen(addr)
+	if err != nil {
+		return err
+	}
+	n.shutdown = transport.Serve(l, n.handler)
 	return nil
 }
 
@@ -321,8 +403,8 @@ func (d *Deployment) Client(timeout time.Duration) *client.Client {
 // Close shuts every server down and closes the network.
 func (d *Deployment) Close() error {
 	var firstErr error
-	for i := len(d.shutdowns) - 1; i >= 0; i-- {
-		if err := d.shutdowns[i](); err != nil && firstErr == nil {
+	for i := len(d.order) - 1; i >= 0; i-- {
+		if err := d.Kill(d.order[i]); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -1,0 +1,278 @@
+// Package faults is the fault-injection harness for the chaos experiments:
+// an HTTP middleware that makes a node misbehave on demand — returning
+// errors, adding latency, hanging until the caller gives up, or dropping
+// the connection without a response. Probabilistic rules draw from a
+// seeded deterministic source, so a chaos run replays bit-identically.
+//
+// The injector is wired per node through cluster.Spec (in-process testbed)
+// and through the -inject-fault flag of the cmd/ binaries (TCP
+// deployments), which is how the resilience substrate's retries, breakers
+// and balancer ejection are exercised end to end.
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault behaviours.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindError responds with Rule.Status without running the handler
+	// (or after it, with After).
+	KindError Kind = iota + 1
+	// KindLatency delays the request by Rule.Delay, then serves it.
+	KindLatency
+	// KindHang never responds: the request blocks until the client
+	// departs or the injector is closed — a wedged-process model.
+	KindHang
+	// KindDrop aborts the connection without writing a response — a
+	// crashed-process / cut-cable model.
+	KindDrop
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindLatency:
+		return "latency"
+	case KindHang:
+		return "hang"
+	case KindDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Rule arms one fault. The zero value of every selector matches
+// everything, so Rule{Kind: KindDrop} drops every request.
+type Rule struct {
+	// Kind selects the behaviour.
+	Kind Kind
+	// Path restricts the rule to one URL path ("" = any).
+	Path string
+	// Status is the response code for KindError (default 500).
+	Status int
+	// Delay is the added latency for KindLatency.
+	Delay time.Duration
+	// Probability fires the rule on each matching request with this
+	// chance; 0 means always (a probability-1 deterministic rule).
+	Probability float64
+	// Count limits how many times the rule fires (0 = unlimited); used
+	// for "fail the first N requests" scenarios.
+	Count int
+	// After runs the inner handler first and then injects the fault in
+	// place of its response. This is how a "request processed but reply
+	// lost" failure is modelled — the scenario idempotency keys exist
+	// for.
+	After bool
+}
+
+// Injector decides per request whether a fault fires. It is safe for
+// concurrent use and may be re-armed while serving.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*armedRule
+	rng   *rand.Rand
+	stop  chan struct{}
+	once  sync.Once
+
+	fired map[Kind]uint64
+}
+
+type armedRule struct {
+	Rule
+	fired int
+}
+
+// NewInjector creates an injector with deterministic randomness drawn
+// from seed, armed with the given rules.
+func NewInjector(seed uint64, rules ...Rule) *Injector {
+	inj := &Injector{
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		stop:  make(chan struct{}),
+		fired: make(map[Kind]uint64),
+	}
+	for _, r := range rules {
+		inj.Arm(r)
+	}
+	return inj
+}
+
+// Arm adds a rule.
+func (inj *Injector) Arm(r Rule) {
+	if r.Kind == KindError && r.Status == 0 {
+		r.Status = http.StatusInternalServerError
+	}
+	inj.mu.Lock()
+	inj.rules = append(inj.rules, &armedRule{Rule: r})
+	inj.mu.Unlock()
+}
+
+// Disarm removes every rule; in-flight hangs keep hanging until Close.
+func (inj *Injector) Disarm() {
+	inj.mu.Lock()
+	inj.rules = nil
+	inj.mu.Unlock()
+}
+
+// Close releases hanging requests and disarms the injector.
+func (inj *Injector) Close() {
+	inj.once.Do(func() { close(inj.stop) })
+	inj.Disarm()
+}
+
+// Fired returns how many times faults of the kind have fired.
+func (inj *Injector) Fired(k Kind) uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired[k]
+}
+
+// match picks the first armed rule that fires for the request, consuming
+// one firing from its budget.
+func (inj *Injector) match(r *http.Request) *Rule {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, ar := range inj.rules {
+		if ar.Path != "" && ar.Path != r.URL.Path {
+			continue
+		}
+		if ar.Count > 0 && ar.fired >= ar.Count {
+			continue
+		}
+		if ar.Probability > 0 && inj.rng.Float64() >= ar.Probability {
+			continue
+		}
+		ar.fired++
+		inj.fired[ar.Kind]++
+		rule := ar.Rule
+		return &rule
+	}
+	return nil
+}
+
+// Middleware wraps a handler with the injector. A nil injector returns
+// the handler unchanged, so call sites can wire it unconditionally.
+func (inj *Injector) Middleware(next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rule := inj.match(r)
+		if rule == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if rule.After {
+			// Serve for real, then discard the response and fail:
+			// the upstream effect happened but the caller never
+			// learns — the double-count scenario.
+			rec := &discardResponse{header: make(http.Header)}
+			next.ServeHTTP(rec, r)
+		}
+		switch rule.Kind {
+		case KindError:
+			http.Error(w, "injected fault", rule.Status)
+		case KindLatency:
+			select {
+			case <-time.After(rule.Delay):
+			case <-r.Context().Done():
+			case <-inj.stop:
+			}
+			if !rule.After {
+				next.ServeHTTP(w, r)
+			}
+		case KindHang:
+			select {
+			case <-r.Context().Done():
+			case <-inj.stop:
+			}
+			panic(http.ErrAbortHandler)
+		case KindDrop:
+			panic(http.ErrAbortHandler)
+		}
+	})
+}
+
+// discardResponse swallows the inner handler's response when a fault is
+// injected after processing.
+type discardResponse struct {
+	header http.Header
+	body   bytes.Buffer
+}
+
+func (d *discardResponse) Header() http.Header         { return d.header }
+func (d *discardResponse) Write(p []byte) (int, error) { return d.body.Write(p) }
+func (d *discardResponse) WriteHeader(int)             {}
+
+// ParseSpec parses the -inject-fault flag syntax: a comma-separated list
+// of faults, each "kind[:key=value...]" with keys path, status, delay,
+// p (probability), count, after. Examples:
+//
+//	error:status=503:count=10
+//	latency:delay=200ms:p=0.1
+//	hang:path=/queries
+//	drop:count=1:after=true
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		var r Rule
+		switch fields[0] {
+		case "error":
+			r.Kind = KindError
+		case "latency":
+			r.Kind = KindLatency
+		case "hang":
+			r.Kind = KindHang
+		case "drop":
+			r.Kind = KindDrop
+		default:
+			return nil, fmt.Errorf("faults: unknown kind %q", fields[0])
+		}
+		for _, kv := range fields[1:] {
+			key, value, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: malformed option %q", kv)
+			}
+			var err error
+			switch key {
+			case "path":
+				r.Path = value
+			case "status":
+				r.Status, err = strconv.Atoi(value)
+			case "delay":
+				r.Delay, err = time.ParseDuration(value)
+			case "p":
+				r.Probability, err = strconv.ParseFloat(value, 64)
+			case "count":
+				r.Count, err = strconv.Atoi(value)
+			case "after":
+				r.After, err = strconv.ParseBool(value)
+			default:
+				err = fmt.Errorf("unknown option %q", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faults: option %q: %v", kv, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

@@ -1,0 +1,221 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okHandler(served *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served != nil {
+			served.Add(1)
+		}
+		io.WriteString(w, "ok")
+	})
+}
+
+func TestErrorFaultCountBudget(t *testing.T) {
+	var served atomic.Int64
+	inj := NewInjector(1, Rule{Kind: KindError, Status: 503, Count: 2})
+	h := inj.Middleware(okHandler(&served))
+
+	for i := 0; i < 5; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/queries", nil))
+		wantStatus := http.StatusOK
+		if i < 2 {
+			wantStatus = http.StatusServiceUnavailable
+		}
+		if rec.Code != wantStatus {
+			t.Errorf("request %d: status %d, want %d", i, rec.Code, wantStatus)
+		}
+	}
+	if served.Load() != 3 {
+		t.Errorf("handler served %d, want 3", served.Load())
+	}
+	if inj.Fired(KindError) != 2 {
+		t.Errorf("fired = %d, want 2", inj.Fired(KindError))
+	}
+}
+
+func TestPathSelector(t *testing.T) {
+	inj := NewInjector(1, Rule{Kind: KindError, Path: "/events"})
+	h := inj.Middleware(okHandler(nil))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/queries", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/queries hit by /events rule (status %d)", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/events", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("/events not hit: status %d", rec.Code)
+	}
+}
+
+func TestLatencyFault(t *testing.T) {
+	inj := NewInjector(1, Rule{Kind: KindLatency, Delay: 50 * time.Millisecond})
+	h := inj.Middleware(okHandler(nil))
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("latency fault added only %v", d)
+	}
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Errorf("latency fault corrupted the response: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHangReleasedByClientDeparture(t *testing.T) {
+	inj := NewInjector(1, Rule{Kind: KindHang})
+	h := inj.Middleware(okHandler(nil))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if recover() != http.ErrAbortHandler {
+				t.Error("hang did not abort the handler")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hang not released by context cancellation")
+	}
+}
+
+func TestHangReleasedByClose(t *testing.T) {
+	inj := NewInjector(1, Rule{Kind: KindHang})
+	h := inj.Middleware(okHandler(nil))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	inj.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("hang not released by Close")
+	}
+}
+
+func TestDropAbortsConnectionOverRealServer(t *testing.T) {
+	inj := NewInjector(1, Rule{Kind: KindDrop, Count: 1})
+	srv := httptest.NewServer(inj.Middleware(okHandler(nil)))
+	defer srv.Close()
+
+	if _, err := srv.Client().Get(srv.URL); err == nil {
+		t.Error("dropped connection produced a response")
+	}
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("second request after drop budget: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestAfterRunsHandlerThenFails(t *testing.T) {
+	var served atomic.Int64
+	inj := NewInjector(1, Rule{Kind: KindError, Status: 502, Count: 1, After: true})
+	h := inj.Middleware(okHandler(&served))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/events", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Errorf("status %d, want 502", rec.Code)
+	}
+	if served.Load() != 1 {
+		t.Errorf("inner handler ran %d times, want 1 (After must process first)", served.Load())
+	}
+}
+
+func TestProbabilisticRuleIsSeededDeterministic(t *testing.T) {
+	run := func() []int {
+		inj := NewInjector(42, Rule{Kind: KindError, Probability: 0.5})
+		h := inj.Middleware(okHandler(nil))
+		var codes []int
+		for i := 0; i < 64; i++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+			codes = append(codes, rec.Code)
+		}
+		return codes
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] != http.StatusOK {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.5 rule fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestNilInjectorPassesThrough(t *testing.T) {
+	var inj *Injector
+	h := inj.Middleware(okHandler(nil))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status %d", rec.Code)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("error:status=503:count=10, latency:delay=200ms:p=0.1, hang:path=/queries, drop:after=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	if rules[0].Kind != KindError || rules[0].Status != 503 || rules[0].Count != 10 {
+		t.Errorf("rule 0: %+v", rules[0])
+	}
+	if rules[1].Kind != KindLatency || rules[1].Delay != 200*time.Millisecond || rules[1].Probability != 0.1 {
+		t.Errorf("rule 1: %+v", rules[1])
+	}
+	if rules[2].Kind != KindHang || rules[2].Path != "/queries" {
+		t.Errorf("rule 2: %+v", rules[2])
+	}
+	if rules[3].Kind != KindDrop || !rules[3].After {
+		t.Errorf("rule 3: %+v", rules[3])
+	}
+
+	for _, bad := range []string{"explode", "error:status", "error:status=abc", "latency:wat=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if rules, err := ParseSpec(""); err != nil || len(rules) != 0 {
+		t.Errorf("empty spec: %v, %v", rules, err)
+	}
+	for _, k := range []Kind{KindError, KindLatency, KindHang, KindDrop} {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}

@@ -68,6 +68,45 @@ type Engine struct {
 	posts   atomic.Uint64
 	queries atomic.Uint64
 	trains  atomic.Uint64
+	dups    atomic.Uint64
+
+	idem idemRegistry
+}
+
+// idemRegistry remembers recently seen idempotency keys so a retried
+// insertion (the proxy resent an event whose reply was lost) is dropped
+// instead of double-counted. It is a fixed-size FIFO window, not a durable
+// log: retries arrive within seconds, the window holds the last
+// idemWindow keys, and an unbounded map would be a memory leak with the
+// same name.
+type idemRegistry struct {
+	mu   sync.Mutex
+	seen map[string]struct{}
+	ring []string
+	next int
+}
+
+// idemWindow is how many recent keys the registry remembers.
+const idemWindow = 1 << 16
+
+// claim records a key, reporting false when it was already seen.
+func (ir *idemRegistry) claim(key string) bool {
+	ir.mu.Lock()
+	defer ir.mu.Unlock()
+	if ir.seen == nil {
+		ir.seen = make(map[string]struct{}, idemWindow)
+		ir.ring = make([]string, idemWindow)
+	}
+	if _, dup := ir.seen[key]; dup {
+		return false
+	}
+	if old := ir.ring[ir.next]; old != "" {
+		delete(ir.seen, old)
+	}
+	ir.ring[ir.next] = key
+	ir.next = (ir.next + 1) % len(ir.ring)
+	ir.seen[key] = struct{}{}
+	return true
 }
 
 // New creates an engine with an empty model.
@@ -124,14 +163,31 @@ func (e *Engine) InsertEvent(user, item, payload string) {
 // InsertTypedEvent records feedback with an explicit indicator type for
 // Correlated Cross-Occurrence; the empty type is the primary indicator.
 func (e *Engine) InsertTypedEvent(user, item, payload, eventType string) {
+	e.InsertTypedEventIdem(user, item, payload, eventType, "")
+}
+
+// InsertTypedEventIdem records feedback carrying an idempotency key. A
+// repeated key within the dedup window reports false and stores nothing —
+// the retried delivery of an event the store already has. The empty key
+// always stores (legacy clients and proxies without the feature).
+func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem string) bool {
 	e.posts.Add(1)
+	if idem != "" && !e.idem.claim(idem) {
+		e.dups.Add(1)
+		return false
+	}
 	e.events.Insert(map[string]string{
 		"user":    user,
 		"item":    item,
 		"payload": payload,
 		"type":    eventType,
 	})
+	return true
 }
+
+// DupEvents reports how many insertions were dropped as idempotent
+// duplicates.
+func (e *Engine) DupEvents() uint64 { return e.dups.Load() }
 
 // EventCount returns the number of stored feedback events.
 func (e *Engine) EventCount() int { return e.events.Count() }

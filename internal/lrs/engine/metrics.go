@@ -29,6 +29,10 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry, node string) func(http.Han
 		_, _, trains := e.Stats()
 		return float64(trains)
 	})
+	r.CounterFunc("pprox_lrs_dup_events_total",
+		"Insertions dropped as idempotent duplicates of a retried event.", func() float64 {
+			return float64(e.DupEvents())
+		})
 	r.Gauge("pprox_lrs_events", "Events in the store.", func() float64 {
 		return float64(e.EventCount())
 	})

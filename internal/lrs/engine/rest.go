@@ -104,7 +104,9 @@ func (h *Handler) postEvent(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "user and item are required", http.StatusBadRequest)
 		return
 	}
-	h.engine.InsertTypedEvent(req.User, req.Item, req.Payload, req.Event)
+	// A duplicate idempotency key still answers "ok": the event IS
+	// stored, just by the earlier delivery this one retried.
+	h.engine.InsertTypedEventIdem(req.User, req.Item, req.Payload, req.Event, req.Idem)
 	writeJSON(w, message.OK{Status: "ok"})
 }
 

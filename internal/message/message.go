@@ -65,6 +65,13 @@ type PostRequest struct {
 	// and travels in the clear: the application identity is public, the
 	// user's is not. Empty selects the single-tenant keys.
 	Tenant string `json:"tenant,omitempty"`
+	// Idem is the idempotency key under which the LRS deduplicates this
+	// feedback event when a proxy hop retries it. It is minted by the UA
+	// enclave — never by the client — because a client-chosen key would
+	// appear both on the edge link and in the cleartext LRS request,
+	// handing a network observer a correlator that bypasses shuffling.
+	// Any client-supplied value is overwritten.
+	Idem string `json:"idem,omitempty"`
 }
 
 // GetRequest is the encrypted form of get(u) (Fig. 4). EncTempKey carries
@@ -96,6 +103,10 @@ type LRSPost struct {
 	// Tenant routes to the application's engine on a multi-tenant LRS
 	// (Harness hosts one engine per application).
 	Tenant string `json:"tenant,omitempty"`
+	// Idem is the enclave-minted idempotency key copied through from
+	// PostRequest.Idem; the LRS drops a repeated key instead of
+	// double-counting the event when a proxy hop retried the insertion.
+	Idem string `json:"idem,omitempty"`
 }
 
 // LRSGet is the pseudonymized query the LRS receives:

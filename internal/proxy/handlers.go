@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"crypto/rand"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,15 +20,25 @@ const (
 	// SecretPermanentKey is kUA / kIA: the permanent symmetric key
 	// deterministically pseudonymizing identifiers for the LRS.
 	SecretPermanentKey = "k"
+	// SecretLinkKey is the optional hop-envelope key shared by the UA and
+	// IA enclaves. When present, the UA enclave wraps every outbound body
+	// in a randomized AES-CTR envelope (fresh IV per encryption), and a
+	// retried request is re-wrapped before leaving again — so an observer
+	// of the UA→IA link never sees the same ciphertext twice and cannot
+	// link a retry to the attempt it repeats. It is deployment-wide, not
+	// per-tenant: the IA must strip the envelope before it can read which
+	// tenant a message belongs to.
+	SecretLinkKey = "link"
 )
 
 // ECALL entry points registered by each layer's enclave code.
 const (
-	ecallUAPost    = "ua/post"
-	ecallUAGet     = "ua/get"
-	ecallIAPost    = "ia/post"
-	ecallIAGet     = "ia/get"
-	ecallIAGetResp = "ia/get-response"
+	ecallUAPost     = "ua/post"
+	ecallUAGet      = "ua/get"
+	ecallIAPost     = "ia/post"
+	ecallIAGet      = "ia/get"
+	ecallIAGetResp  = "ia/get-response"
+	ecallLinkRewrap = "link/rewrap"
 )
 
 // Code identities measured at attestation time. Version changes (e.g. the
@@ -72,6 +83,80 @@ func getSecret(s enclave.Secrets, base, tenant string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: secret %q missing", errEnclave, name)
 	}
 	return v, nil
+}
+
+// linkEnvelope is the hop-encrypted form of a message on the UA→IA link:
+// the inner JSON encrypted under the shared link key with ppcrypto's
+// randomized (fresh-IV) symmetric path, in base64. Its presence is
+// detectable by the host — that is fine, every message on the link looks
+// the same — but its content and the relation between two envelopes are
+// not.
+type linkEnvelope struct {
+	Link string `json:"link"`
+}
+
+// wrapLink seals plain into a fresh envelope. Each call draws a fresh IV,
+// so wrapping the same plaintext twice yields unrelated ciphertexts.
+func wrapLink(key, plain []byte) ([]byte, error) {
+	ct, err := ppcrypto.SymEncrypt(key, plain)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errEnclave, err)
+	}
+	return message.Marshal(linkEnvelope{Link: message.Encode64(ct)})
+}
+
+// unwrapLink opens an envelope produced by wrapLink.
+func unwrapLink(key, data []byte) ([]byte, error) {
+	var env linkEnvelope
+	if err := message.Unmarshal(data, &env); err != nil || env.Link == "" {
+		return nil, fmt.Errorf("%w: not a link envelope", errEnclave)
+	}
+	ct, err := message.Decode64(env.Link)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errEnclave, err)
+	}
+	plain, err := ppcrypto.SymDecrypt(key, ct)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errEnclave, err)
+	}
+	return plain, nil
+}
+
+// maybeWrapLink seals an outbound UA body when the enclave holds the link
+// key; without one (legacy deployments) the body passes unchanged.
+func maybeWrapLink(s enclave.Secrets, out []byte) ([]byte, error) {
+	key, ok := s.Get(SecretLinkKey)
+	if !ok {
+		return out, nil
+	}
+	return wrapLink(key, out)
+}
+
+// maybeUnwrapLink opens an inbound IA body if it is an envelope; plain
+// bodies (deployments without a link key) pass unchanged. An envelope
+// arriving at an enclave without the key is rejected rather than parsed as
+// a request.
+func maybeUnwrapLink(s enclave.Secrets, data []byte) ([]byte, error) {
+	var env linkEnvelope
+	if err := message.Unmarshal(data, &env); err != nil || env.Link == "" {
+		return data, nil
+	}
+	key, ok := s.Get(SecretLinkKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: link-wrapped message but no link key provisioned", errEnclave)
+	}
+	return unwrapLink(key, data)
+}
+
+// mintIdem draws a fresh idempotency key for a feedback event. Minted
+// inside the UA enclave so it first exists *after* the edge link: the
+// client never sees it and cannot be linked to it.
+func mintIdem() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("%w: %v", errEnclave, err)
+	}
+	return message.Encode64(b[:]), nil
 }
 
 func privateKey(s enclave.Secrets, tenant string) (*ppcrypto.KeyPair, error) {
@@ -131,7 +216,17 @@ func NewUAEnclave(p *enclave.Platform) *enclave.Enclave {
 			return nil, err
 		}
 		req.EncUser = pseudo
-		return message.Marshal(req)
+		// Replace whatever the client put in Idem: only an enclave-minted
+		// key is safe — a client-chosen one would be visible on both the
+		// edge link and the LRS link, linking the two across the shuffler.
+		if req.Idem, err = mintIdem(); err != nil {
+			return nil, err
+		}
+		out, err := message.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		return maybeWrapLink(s, out)
 	})
 
 	e.Register(ecallUAGet, func(s enclave.Secrets, _ *enclave.KV, in []byte) ([]byte, error) {
@@ -144,7 +239,27 @@ func NewUAEnclave(p *enclave.Platform) *enclave.Enclave {
 			return nil, err
 		}
 		req.EncUser = pseudo
-		return message.Marshal(req)
+		out, err := message.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		return maybeWrapLink(s, out)
+	})
+
+	// link/rewrap re-randomizes a hop envelope before a retry leaves the
+	// UA again: decrypt, re-encrypt with a fresh IV. The retried request
+	// is byte-wise unrelated to the failed attempt, so an observer of the
+	// UA→IA link cannot tell a retry from a new request.
+	e.Register(ecallLinkRewrap, func(s enclave.Secrets, _ *enclave.KV, in []byte) ([]byte, error) {
+		key, ok := s.Get(SecretLinkKey)
+		if !ok {
+			return nil, fmt.Errorf("%w: no link key provisioned", errEnclave)
+		}
+		plain, err := unwrapLink(key, in)
+		if err != nil {
+			return nil, err
+		}
+		return wrapLink(key, plain)
 	})
 
 	return e
@@ -196,6 +311,10 @@ func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 	}
 
 	e.Register(ecallIAPost, func(s enclave.Secrets, _ *enclave.KV, in []byte) ([]byte, error) {
+		in, err := maybeUnwrapLink(s, in)
+		if err != nil {
+			return nil, err
+		}
 		var req message.PostRequest
 		if err := message.Unmarshal(in, &req); err != nil {
 			return nil, fmt.Errorf("%w: %v", errEnclave, err)
@@ -222,6 +341,7 @@ func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 			Payload: req.Payload,
 			Event:   req.Event,
 			Tenant:  req.Tenant,
+			Idem:    req.Idem, // UA-minted; the LRS dedups retried events
 		})
 	})
 
@@ -230,8 +350,12 @@ func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 		if err := message.Unmarshal(in, &call); err != nil {
 			return nil, fmt.Errorf("%w: %v", errEnclave, err)
 		}
+		body, err := maybeUnwrapLink(s, call.Body)
+		if err != nil {
+			return nil, err
+		}
 		var req message.GetRequest
-		if err := message.Unmarshal(call.Body, &req); err != nil {
+		if err := message.Unmarshal(body, &req); err != nil {
 			return nil, fmt.Errorf("%w: %v", errEnclave, err)
 		}
 		kp, err := privateKey(s, req.Tenant)

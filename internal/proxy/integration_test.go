@@ -13,11 +13,13 @@ import (
 
 	"pprox/internal/client"
 	"pprox/internal/enclave"
+	"pprox/internal/faults"
 	"pprox/internal/lrs/engine"
 	"pprox/internal/lrs/store"
 	"pprox/internal/message"
 	"pprox/internal/ppcrypto"
 	"pprox/internal/proxy"
+	"pprox/internal/resilience"
 	"pprox/internal/stub"
 	"pprox/internal/transport"
 )
@@ -425,6 +427,91 @@ func TestGetRequiresTempKey(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEPCHandleClearedOnMalformedLRSResponse is the regression test for
+// the EPC handle leak: when the LRS answered a get with a body the
+// re-encrypt ECALL rejects, the parked temporary key k_u stayed in the IA
+// enclave's KV forever — a slow EPC exhaustion an adversarial or broken
+// LRS could drive. Every failed response transformation must release the
+// handle.
+func TestEPCHandleClearedOnMalformedLRSResponse(t *testing.T) {
+	st := newStack(t, stackOptions{useStub: true})
+	ctx := ctxT(t)
+
+	st.serve(t, "lrs-garbage", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("] not a recommendation list ["))
+	}))
+	httpClient := transport.HTTPClient(st.net, 5*time.Second)
+	ia, err := proxy.New(proxy.Config{
+		Role: proxy.RoleIA, Enclave: st.iaEncl, Next: "http://lrs-garbage", HTTPClient: httpClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.serve(t, "ia-garbage", ia)
+	ua, err := proxy.New(proxy.Config{
+		Role: proxy.RoleUA, Enclave: st.uaEncl, Next: "http://ia-garbage", HTTPClient: httpClient,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.serve(t, "ua-garbage", ua)
+	cl := client.New(proxy.Bundle(st.uaKeys, st.iaKeys), httpClient, "http://ua-garbage")
+
+	usedBefore, _ := st.iaEncl.EPCUsage()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Get(ctx, fmt.Sprintf("u%d", i)); err == nil {
+			t.Fatal("get against a garbage LRS succeeded")
+		}
+	}
+	if used, _ := st.iaEncl.EPCUsage(); used != usedBefore {
+		t.Errorf("EPC pages %d → %d: parked temp keys leaked on failed re-encrypts", usedBefore, used)
+	}
+	if n := st.iaEncl.KV().Len(); n != 0 {
+		t.Errorf("%d handles left in the IA enclave KV", n)
+	}
+}
+
+// TestHangingUpstreamBoundedByHopTimeout points a layer at a next hop that
+// accepts connections and never answers. The per-attempt deadline must
+// bound every attempt so the client gets an error in bounded time instead
+// of hanging for the full client timeout.
+func TestHangingUpstreamBoundedByHopTimeout(t *testing.T) {
+	st := newStack(t, stackOptions{useStub: true})
+	ctx := ctxT(t)
+
+	inj := faults.NewInjector(1, faults.Rule{Kind: faults.KindHang})
+	defer inj.Close()
+	st.serve(t, "hung", inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})))
+
+	httpClient := transport.HTTPClient(st.net, 30*time.Second)
+	ua, err := proxy.New(proxy.Config{
+		Role: proxy.RoleUA, Enclave: st.uaEncl, Next: "http://hung", HTTPClient: httpClient,
+		Resilience: &resilience.Policy{
+			HopTimeout:  100 * time.Millisecond,
+			MaxAttempts: 2,
+			BackoffBase: 5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.serve(t, "ua-hung", ua)
+	cl := client.New(proxy.Bundle(st.uaKeys, st.iaKeys), httpClient, "http://ua-hung")
+
+	start := time.Now()
+	err = cl.Post(ctx, "u", "i", "")
+	elapsed := time.Since(start)
+	if !errors.Is(err, client.ErrServiceStatus) {
+		t.Fatalf("err = %v, want a service status error", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("hung next hop held the request for %v; hop deadline did not bound it", elapsed)
+	}
+	if retries, _ := ua.RetryStats(); retries != 1 {
+		t.Errorf("retries = %d, want 1 (second attempt also timed out)", retries)
 	}
 }
 

@@ -19,6 +19,10 @@ import (
 type KeyFile struct {
 	UA LayerKeyJSON `json:"ua"`
 	IA LayerKeyJSON `json:"ia"`
+	// LinkKey is the shared hop-envelope key (base64, optional). It sits
+	// at the top level rather than per layer because it is one key held
+	// by both enclaves; see LayerKeys.LinkKey.
+	LinkKey string `json:"link_key,omitempty"`
 }
 
 // LayerKeyJSON is one layer's key material in serialized form.
@@ -37,7 +41,8 @@ type BundleFile struct {
 	IAPublicDER string `json:"ia_public_der"`
 }
 
-// MarshalKeyFile serializes both layers' keys.
+// MarshalKeyFile serializes both layers' keys. A link key is taken from
+// either layer (they hold the same one; PairLinkKey guarantees it).
 func MarshalKeyFile(ua, ia *LayerKeys) ([]byte, error) {
 	uaJSON, err := layerToJSON(ua)
 	if err != nil {
@@ -47,7 +52,20 @@ func MarshalKeyFile(ua, ia *LayerKeys) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.MarshalIndent(KeyFile{UA: uaJSON, IA: iaJSON}, "", "  ")
+	kf := KeyFile{UA: uaJSON, IA: iaJSON}
+	if link := firstKey(ua.LinkKey, ia.LinkKey); len(link) > 0 {
+		kf.LinkKey = base64.StdEncoding.EncodeToString(link)
+	}
+	return json.MarshalIndent(kf, "", "  ")
+}
+
+func firstKey(keys ...[]byte) []byte {
+	for _, k := range keys {
+		if len(k) > 0 {
+			return k
+		}
+	}
+	return nil
 }
 
 func layerToJSON(lk *LayerKeys) (LayerKeyJSON, error) {
@@ -72,6 +90,17 @@ func UnmarshalKeyFile(data []byte) (ua, ia *LayerKeys, err error) {
 	}
 	if ia, err = layerFromJSON(kf.IA); err != nil {
 		return nil, nil, fmt.Errorf("IA keys: %w", err)
+	}
+	if kf.LinkKey != "" {
+		link, err := base64.StdEncoding.DecodeString(kf.LinkKey)
+		if err != nil {
+			return nil, nil, fmt.Errorf("decode link key: %w", err)
+		}
+		if len(link) != ppcrypto.SymmetricKeySize {
+			return nil, nil, fmt.Errorf("link key is %d bytes, want %d", len(link), ppcrypto.SymmetricKeySize)
+		}
+		ua.LinkKey = link
+		ia.LinkKey = append([]byte(nil), link...)
 	}
 	return ua, ia, nil
 }

@@ -26,6 +26,10 @@ const (
 	// StageForward is the next-hop round trip (IA balancer for UA
 	// instances, LRS for IA instances).
 	StageForward = "forward"
+	// StageEcallRewrap is the UA retry-path ECALL re-randomizing the hop
+	// envelope before a retried request leaves again; it only appears
+	// when retries run against a link-key deployment.
+	StageEcallRewrap = "ecall_rewrap"
 	// StageEcallReencrypt is the IA response-path ECALL that
 	// de-pseudonymizes the list and re-encrypts it under k_u.
 	StageEcallReencrypt = "ecall_reencrypt"
@@ -33,7 +37,7 @@ const (
 
 // Stages lists every stage label in pipeline order, for consumers that
 // render breakdown tables.
-var Stages = []string{StageEcallDecrypt, StageShuffleWait, StageForward, StageEcallReencrypt}
+var Stages = []string{StageEcallDecrypt, StageShuffleWait, StageForward, StageEcallRewrap, StageEcallReencrypt}
 
 // pendingDepthBuckets bound occupancy histograms (table depths, batch
 // sizes) rather than latencies.
@@ -131,8 +135,39 @@ func (l *Layer) RegisterMetrics(r *metrics.Registry, node string) {
 	}
 	ecallVec := r.HistogramVec("pprox_enclave_ecall_seconds",
 		"ECALL handler duration per entry point.", nil, "layer", "node", "ecall")
-	for _, name := range []string{ecallUAPost, ecallUAGet, ecallIAPost, ecallIAGet, ecallIAGetResp} {
+	for _, name := range []string{ecallUAPost, ecallUAGet, ecallIAPost, ecallIAGet, ecallIAGetResp, ecallLinkRewrap} {
 		inst.ecall[name] = ecallVec.With(role, node, name)
+	}
+	r.CounterFuncVec("pprox_proxy_forward_retries_total",
+		"Forward attempts beyond the first (resilience retries).", "layer", "node").
+		With(func() float64 {
+			retries, _ := l.RetryStats()
+			return float64(retries)
+		}, role, node)
+	r.CounterFuncVec("pprox_proxy_fail_fast_total",
+		"Requests refused while the next-hop breaker was open.", "layer", "node").
+		With(func() float64 {
+			_, failFast := l.RetryStats()
+			return float64(failFast)
+		}, role, node)
+	if l.breaker != nil {
+		r.GaugeVec("pprox_proxy_breaker_state",
+			"Next-hop circuit breaker state (0 closed, 1 open).", "layer", "node").
+			With(func() float64 {
+				return float64(l.breaker.State())
+			}, role, node)
+		r.CounterFuncVec("pprox_proxy_breaker_opens_total",
+			"Times the next-hop breaker opened.", "layer", "node").
+			With(func() float64 {
+				opens, _ := l.breaker.Stats()
+				return float64(opens)
+			}, role, node)
+		r.CounterFuncVec("pprox_proxy_breaker_readmissions_total",
+			"Times a passed health probe re-admitted the next hop.", "layer", "node").
+			With(func() float64 {
+				_, readmits := l.breaker.Stats()
+				return float64(readmits)
+			}, role, node)
 	}
 	if l.shuffler != nil {
 		inst.pendingDepth = r.HistogramVec("pprox_proxy_pending_table_depth",

@@ -20,6 +20,7 @@ package proxy
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -30,7 +31,9 @@ import (
 
 	"pprox/internal/enclave"
 	"pprox/internal/message"
+	"pprox/internal/resilience"
 	"pprox/internal/trace"
+	"pprox/internal/transport"
 )
 
 // Role distinguishes the two proxy layers.
@@ -79,6 +82,13 @@ type Config struct {
 	// PassThrough forwards bodies untouched (micro-benchmark m1: no
 	// encryption). Shuffling still applies if configured.
 	PassThrough bool
+	// Resilience bounds this layer's fault handling toward the next hop:
+	// per-attempt deadline, retries, and the circuit breaker probing the
+	// hop's /healthz. Nil means a single attempt, bounded only by the
+	// HTTP client, with no breaker. Retries on the UA layer are
+	// privacy-aware: each retry re-randomizes the hop envelope (when a
+	// link key is provisioned) and re-enters the shuffler.
+	Resilience *resilience.Policy
 }
 
 // Layer is one proxy instance (one node of one layer). It serves the same
@@ -87,10 +97,14 @@ type Layer struct {
 	cfg      Config
 	shuffler *Shuffler
 	workers  chan struct{}
+	policy   resilience.Policy
+	breaker  *resilience.Breaker
 
 	nextHandle atomic.Uint64
 	served     atomic.Uint64
 	failed     atomic.Uint64
+	retries    atomic.Uint64
+	failFast   atomic.Uint64
 
 	// obs and tracer are installed by RegisterMetrics / SetTracer and
 	// read lock-free on the request path.
@@ -110,20 +124,33 @@ func New(cfg Config) (*Layer, error) {
 		return nil, errors.New("proxy: next hop required")
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = http.DefaultClient
+		// Never http.DefaultClient: it has no timeout, so one hung next
+		// hop would pin request goroutines forever.
+		cfg.HTTPClient = transport.DefaultHTTPClient(defaultClientTimeout)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
+	pol := resilience.Policy{MaxAttempts: 1}
+	if cfg.Resilience != nil {
+		pol = cfg.Resilience.WithDefaults()
+	}
 	l := &Layer{
 		cfg:     cfg,
 		workers: make(chan struct{}, cfg.Workers),
+		policy:  pol,
 	}
+	l.breaker = resilience.NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown,
+		resilience.HTTPHealthProbe(cfg.HTTPClient, cfg.Next+message.HealthPath, pol.HopTimeout))
 	if cfg.ShuffleSize > 1 {
 		l.shuffler = NewShuffler(cfg.ShuffleSize, cfg.ShuffleTimeout, cfg.TableSize)
 	}
 	return l, nil
 }
+
+// defaultClientTimeout bounds next-hop requests when no HTTP client is
+// injected.
+const defaultClientTimeout = 30 * time.Second
 
 // Close releases buffered messages and flushes the final partial trace
 // epoch (shutdown path).
@@ -140,6 +167,16 @@ func (l *Layer) Stats() (served, failed uint64) {
 // Shuffler exposes the layer's shuffler (nil when disabled), for tests and
 // operational metrics.
 func (l *Layer) Shuffler() *Shuffler { return l.shuffler }
+
+// RetryStats returns how many forward retries ran and how many requests
+// failed fast on an open next-hop breaker.
+func (l *Layer) RetryStats() (retries, failFast uint64) {
+	return l.retries.Load(), l.failFast.Load()
+}
+
+// Breaker exposes the next-hop circuit breaker (nil when disabled), for
+// metrics and tests.
+func (l *Layer) Breaker() *resilience.Breaker { return l.breaker }
 
 // Enclave exposes the layer's enclave (nil in pass-through mode), for the
 // security experiments that compromise it.
@@ -180,6 +217,8 @@ func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
 			// No detail: the untrusted host must not relay why the
 			// enclave rejected a ciphertext.
 			l.fail(w, http.StatusBadRequest, "request rejected")
+		case errors.Is(err, resilience.ErrBreakerOpen):
+			l.fail(w, http.StatusServiceUnavailable, "next hop unavailable")
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			l.fail(w, http.StatusGatewayTimeout, "timeout")
 		default:
@@ -219,7 +258,34 @@ func (l *Layer) handleUA(ctx context.Context, path string, body []byte, isGet bo
 	if err := l.shuffleWait(ctx); err != nil {
 		return 0, nil, err
 	}
-	return l.forward(ctx, path, out)
+	return l.forwardResilient(ctx, path, out, l.uaRetryPrep)
+}
+
+// uaRetryPrep re-establishes a retry's unlinkability before it leaves the
+// UA again: the hop envelope is re-encrypted with a fresh IV (so the
+// retried bytes are unrelated to the failed attempt's), and the request
+// re-enters the shuffler so it departs inside a fresh batch instead of
+// alone right after the failure it repeats.
+func (l *Layer) uaRetryPrep(ctx context.Context, body []byte) ([]byte, error) {
+	if !l.cfg.PassThrough && isLinkWrapped(body) {
+		out, err := l.process(StageEcallRewrap, ecallLinkRewrap, body)
+		if err != nil {
+			return nil, err
+		}
+		body = out
+	}
+	if err := l.shuffleWait(ctx); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// isLinkWrapped is the host-side envelope probe. The *presence* of an
+// envelope is plain wire format — every message on the link has one when a
+// link key is deployed — only its content is protected.
+func isLinkWrapped(body []byte) bool {
+	var env linkEnvelope
+	return json.Unmarshal(body, &env) == nil && env.Link != ""
 }
 
 // shuffleWait blocks in the shuffler, timing the buffered delay as the
@@ -263,7 +329,10 @@ func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bo
 		}
 	}
 
-	status, lrsBody, err := l.forward(ctx, path, out)
+	// IA→LRS retries need no rewrap/reshuffle prep: the request leaving
+	// the IA is the pseudonymized cleartext the LRS expects, and the
+	// shuffle the IA owns is on the *response* path below.
+	status, lrsBody, err := l.forwardResilient(ctx, path, out, nil)
 	if err != nil {
 		l.dropHandle(handle)
 		return 0, nil, err
@@ -279,6 +348,10 @@ func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bo
 			}
 			respBody, err = l.process(StageEcallReencrypt, ecallIAGetResp, framed)
 			if err != nil {
+				// The re-encrypt ECALL consumes the parked key with
+				// KV.Take only on success; clear it here or every
+				// malformed LRS response leaks one EPC entry.
+				l.dropHandle(handle)
 				return 0, nil, err
 			}
 		} else {
@@ -316,6 +389,62 @@ func (l *Layer) process(stage, ecall string, in []byte) ([]byte, error) {
 	l.workers <- struct{}{}
 	defer func() { <-l.workers }()
 	return l.cfg.Enclave.Ecall(ecall, in)
+}
+
+// forwardResilient drives forward attempts under the layer's resilience
+// policy: breaker gating, jittered backoff, a per-attempt deadline, and a
+// per-retry prep callback that re-establishes the privacy properties of
+// the attempt before it leaves again (UA layer only; nil for the IA→LRS
+// hop). The breaker is fed transport outcomes only — an HTTP error status
+// still proves the hop alive.
+func (l *Layer) forwardResilient(ctx context.Context, path string, body []byte, prep func(context.Context, []byte) ([]byte, error)) (int, []byte, error) {
+	pol := l.policy
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	lastErr := errors.New("proxy: no forward attempt ran")
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := resilience.Sleep(ctx, pol.Backoff(attempt)); err != nil {
+				return 0, nil, err
+			}
+		}
+		if !l.breaker.Allow() {
+			l.failFast.Add(1)
+			lastErr = resilience.ErrBreakerOpen
+			continue
+		}
+		if attempt > 0 {
+			l.retries.Add(1)
+			if prep != nil {
+				var err error
+				if body, err = prep(ctx, body); err != nil {
+					return 0, nil, err
+				}
+			}
+		}
+		actx, cancel := pol.AttemptContext(ctx)
+		status, respBody, err := l.forward(actx, path, body)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				// The caller departed; that says nothing about the hop
+				// and there is nobody left to retry for.
+				return 0, nil, err
+			}
+			l.breaker.Report(false)
+			lastErr = err
+			continue
+		}
+		l.breaker.Report(true)
+		if resilience.RetryableStatus(status) && attempt+1 < attempts {
+			lastErr = fmt.Errorf("proxy: upstream status %d", status)
+			continue
+		}
+		return status, respBody, nil
+	}
+	return 0, nil, lastErr
 }
 
 // forward relays a transformed request to the next hop and returns its

@@ -2,8 +2,9 @@ package proxy
 
 import (
 	"context"
+	crand "crypto/rand"
 	"errors"
-	"math/rand"
+	mrand "math/rand/v2"
 	"sync"
 	"time"
 )
@@ -31,7 +32,7 @@ type Shuffler struct {
 	mu      sync.Mutex
 	pending []*pendingMsg
 	timer   *time.Timer
-	rng     *rand.Rand
+	rng     *mrand.Rand
 	flushes uint64
 	sheds   uint64
 
@@ -45,7 +46,24 @@ type Shuffler struct {
 // timeout 500 ms, table 4×S). Per §5 the table must be larger than S; a
 // smaller table is honored as a hard cap and sheds the excess, which is
 // exactly the drop behaviour the paper sizes T to avoid.
+// The permutation stream is ChaCha8 seeded from crypto/rand. The seed must
+// be unpredictable: an adversary who can reconstruct it (e.g. from a
+// boot-time-based seed) can replay every permutation and undo the 1/S
+// unlinkability bound entirely.
 func NewShuffler(size int, timeout time.Duration, table int) *Shuffler {
+	var seed [32]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		// Without entropy the shuffler cannot meet its privacy contract;
+		// refusing to start is the only safe behaviour.
+		panic("proxy: seeding shuffler from crypto/rand: " + err.Error())
+	}
+	return NewShufflerSeeded(size, timeout, table, seed)
+}
+
+// NewShufflerSeeded is NewShuffler with a caller-chosen seed, for
+// deterministic tests. Production code must use NewShuffler: a fixed or
+// guessable seed makes every permutation reconstructable.
+func NewShufflerSeeded(size int, timeout time.Duration, table int, seed [32]byte) *Shuffler {
 	if timeout <= 0 {
 		timeout = 500 * time.Millisecond
 	}
@@ -56,7 +74,7 @@ func NewShuffler(size int, timeout time.Duration, table int) *Shuffler {
 		size:    size,
 		timeout: timeout,
 		table:   table,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:     mrand.New(mrand.NewChaCha8(seed)),
 	}
 }
 

@@ -28,9 +28,15 @@ func runBatch(t *testing.T, sh *Shuffler, n int) []int {
 	positions := make([]int, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		// Arrivals strictly ordered: wait for the previous message to
-		// be buffered before enqueueing the next.
+		// Arrivals strictly ordered: wait for this message to be
+		// buffered (pending reaches want) — or for the batch to flush,
+		// when this message was the one that completed it — before
+		// enqueueing the next. Checking the flush counter rather than
+		// Pending()==0 matters: pending is also 0 *before* the message
+		// arrives, and exiting early there would let two goroutines
+		// race into Wait in arbitrary slot order.
 		want := sh.Pending() + 1
+		flushed, _ := sh.Stats()
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -42,7 +48,13 @@ func runBatch(t *testing.T, sh *Shuffler, n int) []int {
 			positions[i] = pos
 		}(i)
 		deadline := time.Now().Add(2 * time.Second)
-		for sh.Pending() != want && sh.Pending() != 0 && time.Now().Before(deadline) {
+		for time.Now().Before(deadline) {
+			if sh.Pending() == want {
+				break
+			}
+			if f, _ := sh.Stats(); f != flushed {
+				break
+			}
 			time.Sleep(50 * time.Microsecond)
 		}
 	}
@@ -219,6 +231,108 @@ func TestShufflerCloseReleasesPending(t *testing.T) {
 func TestShufflerSizeAccessor(t *testing.T) {
 	if got := NewShuffler(7, 0, 0).Size(); got != 7 {
 		t.Errorf("Size = %d", got)
+	}
+}
+
+// TestShufflerSeedUnpredictable is the regression test for the predictable
+// permutation bug: the shuffler used to seed math/rand with the boot
+// timestamp, letting an adversary who recovers the start time replay every
+// permutation. Two production shufflers must draw from independent streams,
+// while the test-only seeded constructor must be reproducible.
+func TestShufflerSeedUnpredictable(t *testing.T) {
+	const s = 8
+	seq := func(sh *Shuffler) []int {
+		var out []int
+		for b := 0; b < 4; b++ {
+			out = append(out, runBatch(t, sh, s)...)
+		}
+		return out
+	}
+	equal := func(a, b []int) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var seed [32]byte
+	seed[0] = 42
+	if !equal(seq(NewShufflerSeeded(s, time.Minute, 0, seed)),
+		seq(NewShufflerSeeded(s, time.Minute, 0, seed))) {
+		t.Error("seeded shuffler is not deterministic for a fixed seed")
+	}
+
+	// Back-to-back production shufflers: under correct crypto seeding the
+	// streams collide with probability (1/8!)⁴ ≈ 0; under the old
+	// time-based seeding, shufflers born in the same clock tick shared
+	// the stream.
+	if equal(seq(NewShuffler(s, time.Minute, 0)), seq(NewShuffler(s, time.Minute, 0))) {
+		t.Error("two production shufflers produced identical permutation streams")
+	}
+}
+
+// TestShufflerDepartedCallersAdvanceFlush covers the cancellation path: a
+// caller that gives up leaves its slot in the buffer, so later arrivals
+// still reach the flush threshold instead of waiting for the timer.
+func TestShufflerDepartedCallersAdvanceFlush(t *testing.T) {
+	sh := NewShuffler(3, time.Minute, 0)
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := sh.Wait(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait with departed caller: err = %v", err)
+		}
+	}
+	if sh.Pending() != 2 {
+		t.Fatalf("pending = %d after two departures, want 2", sh.Pending())
+	}
+	// A third, live caller completes the batch: it must release right
+	// away (the timer is a minute out), at a position drawn over the full
+	// 3-slot batch including the departed slots.
+	start := time.Now()
+	pos, err := sh.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("live caller released after %v; departed slots did not advance the flush", elapsed)
+	}
+	if pos < 0 || pos >= 3 {
+		t.Errorf("release position %d outside the 3-message batch", pos)
+	}
+	if flushes, _ := sh.Stats(); flushes != 1 {
+		t.Errorf("flushes = %d, want 1", flushes)
+	}
+}
+
+// TestShufflerTimerRearmsAfterClose: Close flushes and clears the timer; a
+// shuffler that keeps serving afterwards must re-arm it, or a lone message
+// in the next partial batch hangs forever.
+func TestShufflerTimerRearmsAfterClose(t *testing.T) {
+	sh := NewShuffler(10, 30*time.Millisecond, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := sh.Wait(context.Background()); err != nil {
+			t.Errorf("Wait before Close: %v", err)
+		}
+	}()
+	for i := 0; i < 1000 && sh.Pending() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	sh.Close()
+	<-done
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := sh.Wait(ctx); err != nil {
+		t.Fatalf("Wait after Close never released: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("post-Close message released after %v, before the re-armed timer", elapsed)
 	}
 }
 

@@ -1,0 +1,312 @@
+// Package resilience is the fault-tolerance substrate under the UA→IA→LRS
+// forwarding pipeline: per-hop attempt deadlines, bounded
+// jittered-exponential-backoff retries, and a per-next-hop circuit breaker
+// with half-open probing against the hop's /healthz endpoint.
+//
+// The package deliberately contains no privacy logic — it only decides
+// *whether* and *when* another attempt may be made. The privacy rules for
+// retries (re-entering the shuffler, re-randomizing hop ciphertexts,
+// idempotency keys for feedback events) live with the proxy layers, which
+// call back into this package for pacing and gating. Splitting the two
+// keeps the unlinkability argument reviewable in one place while every
+// component (proxy layers, the cluster balancer, the cmd/ binaries)
+// shares one behaviour for deadlines and breaker state.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports that the next hop's circuit breaker is open: the
+// hop failed repeatedly and has not yet passed a health probe, so the
+// request is failed fast instead of queuing behind a dead upstream.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Policy bounds one hop's fault handling. The zero value disables
+// everything (single attempt, no deadline, no breaker); WithDefaults fills
+// the production defaults the cmd/ binaries use.
+type Policy struct {
+	// HopTimeout is the per-attempt deadline layered under the caller's
+	// context. Zero leaves attempts bounded only by the caller.
+	HopTimeout time.Duration
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values ≤ 1 disable retries.
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it, capped at BackoffMax. Every delay is jittered uniformly
+	// over [delay/2, delay) so synchronized failures do not re-arrive in
+	// lockstep.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth (default 10×BackoffBase).
+	BackoffMax time.Duration
+	// BreakerThreshold is the number of consecutive transport failures
+	// that opens the hop's breaker; ≤ 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before probing
+	// the hop's /healthz again.
+	BreakerCooldown time.Duration
+}
+
+// DefaultPolicy is the production default: bounded hops, a few paced
+// retries, and a breaker that probes every couple of seconds.
+func DefaultPolicy() Policy {
+	return Policy{
+		HopTimeout:       10 * time.Second,
+		MaxAttempts:      3,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  2 * time.Second,
+	}
+}
+
+// WithDefaults fills unset pacing fields so a partially specified policy
+// (e.g. from flags) behaves sanely. MaxAttempts and BreakerThreshold are
+// left alone: zero there means "disabled", not "default".
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts > 1 && p.BackoffBase <= 0 {
+		p.BackoffBase = 50 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 10 * p.BackoffBase
+	}
+	if p.BreakerThreshold > 0 && p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 2 * time.Second
+	}
+	return p
+}
+
+// AttemptContext derives one attempt's context: the caller's context
+// bounded by the per-hop deadline.
+func (p Policy) AttemptContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.HopTimeout <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, p.HopTimeout)
+}
+
+// Backoff returns the jittered delay before retry number retry (1 = first
+// retry). The exponential base delay is halved-and-jittered so concurrent
+// failed requests spread out instead of stampeding the recovering hop.
+func (p Policy) Backoff(retry int) time.Duration {
+	if p.BackoffBase <= 0 || retry <= 0 {
+		return 0
+	}
+	d := p.BackoffBase << (retry - 1)
+	if max := p.BackoffMax; max > 0 && (d > max || d <= 0) {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int64N(int64(half)+1))
+}
+
+// Sleep waits out a backoff delay unless the caller's context ends first,
+// in which case it returns the context error.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryableStatus reports whether an HTTP status from the next hop is
+// worth another attempt: gateway-class errors and load shedding (502, 503,
+// 504, 429). Application-level rejections (4xx) are final — retrying a
+// ciphertext the enclave rejected only re-emits it for an observer.
+func RetryableStatus(status int) bool {
+	switch status {
+	case http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout, http.StatusTooManyRequests:
+		return true
+	}
+	return false
+}
+
+// State is a circuit breaker's position.
+type State int
+
+// Breaker states. The exposition-friendly numeric values are stable:
+// metrics export State() as a gauge.
+const (
+	// StateClosed admits traffic.
+	StateClosed State = 0
+	// StateOpen fails fast until a health probe passes.
+	StateOpen State = 1
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == StateOpen {
+		return "open"
+	}
+	return "closed"
+}
+
+// Breaker is a per-next-hop circuit breaker. Consecutive transport
+// failures open it; while open, callers fail fast and the breaker probes
+// the hop's health (the Probe function — normally a GET of the existing
+// /healthz endpoint) at most once per cooldown until a probe passes and
+// the breaker closes again. Probes run on their own short-lived goroutine
+// so no user request ever pays for one.
+//
+// Without a Probe function the breaker degrades to classic half-open
+// behaviour: after the cooldown, exactly one caller is admitted as the
+// trial and its outcome decides. The cluster balancer uses this mode —
+// there the dial itself is the cheapest possible probe.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	// Probe checks the hop's health while open; see type comment.
+	probe func() bool
+	now   func() time.Time
+
+	mu       sync.Mutex
+	state    State
+	fails    int       // consecutive failures while closed
+	retryAt  time.Time // earliest next probe / trial while open
+	probing  bool      // a probe goroutine or trial request is in flight
+	opens    uint64
+	readmits uint64
+}
+
+// NewBreaker creates a closed breaker. threshold ≤ 0 returns nil, which
+// every method treats as "always closed" — callers can wire a breaker
+// unconditionally and let the policy decide.
+func NewBreaker(threshold int, cooldown time.Duration, probe func() bool) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, probe: probe, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. While open it schedules (or
+// admits, in trial mode) at most one probe per cooldown.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateClosed {
+		return true
+	}
+	if b.probing || b.now().Before(b.retryAt) {
+		return false
+	}
+	b.probing = true
+	if b.probe == nil {
+		// Trial mode: this caller is the probe; Report settles it.
+		return true
+	}
+	go b.runProbe()
+	return false
+}
+
+// runProbe executes the health probe and settles the breaker.
+func (b *Breaker) runProbe() {
+	ok := b.probe()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.settleLocked(ok)
+}
+
+// Report records the outcome of an admitted request (transport-level
+// success or failure; HTTP application errors should count as success —
+// the hop is alive).
+func (b *Breaker) Report(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		// Only the trial caller reaches here (probe mode reports via
+		// runProbe); its outcome settles the breaker.
+		b.probing = false
+		b.settleLocked(ok)
+		return
+	}
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.state = StateOpen
+		b.opens++
+		b.retryAt = b.now().Add(b.cooldown)
+	}
+}
+
+// settleLocked applies a probe/trial outcome while open.
+func (b *Breaker) settleLocked(ok bool) {
+	if b.state != StateOpen {
+		return
+	}
+	if ok {
+		b.state = StateClosed
+		b.fails = 0
+		b.readmits++
+		return
+	}
+	b.retryAt = b.now().Add(b.cooldown)
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() State {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns how many times the breaker opened and how many times a
+// passed probe re-admitted the hop.
+func (b *Breaker) Stats() (opens, readmissions uint64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.readmits
+}
+
+// HTTPHealthProbe builds a Probe function GETting url (normally the next
+// hop's /healthz) with a bounded timeout, for use with NewBreaker.
+func HTTPHealthProbe(client *http.Client, url string, timeout time.Duration) func() bool {
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return func() bool {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+}

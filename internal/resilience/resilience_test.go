@@ -1,0 +1,238 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPolicyBackoffBoundsAndJitter(t *testing.T) {
+	p := Policy{BackoffBase: 40 * time.Millisecond, BackoffMax: 100 * time.Millisecond}
+	for retry := 1; retry <= 6; retry++ {
+		for i := 0; i < 50; i++ {
+			d := p.Backoff(retry)
+			if d <= 0 {
+				t.Fatalf("retry %d: non-positive backoff %v", retry, d)
+			}
+			if d > p.BackoffMax {
+				t.Fatalf("retry %d: backoff %v exceeds max %v", retry, d, p.BackoffMax)
+			}
+		}
+	}
+	if d := p.Backoff(0); d != 0 {
+		t.Errorf("retry 0 backoff = %v, want 0", d)
+	}
+	if d := (Policy{}).Backoff(3); d != 0 {
+		t.Errorf("zero policy backoff = %v, want 0", d)
+	}
+}
+
+func TestPolicyBackoffGrows(t *testing.T) {
+	p := Policy{BackoffBase: 10 * time.Millisecond, BackoffMax: time.Hour}
+	// Jitter is within [d/2, d], so retry 4's floor (40ms) clears retry
+	// 1's ceiling (10ms).
+	if lo, hi := p.Backoff(4), p.Backoff(1); lo <= hi {
+		t.Errorf("backoff(4)=%v not beyond backoff(1)=%v", lo, hi)
+	}
+}
+
+func TestAttemptContextAppliesDeadline(t *testing.T) {
+	p := Policy{HopTimeout: 10 * time.Millisecond}
+	ctx, cancel := p.AttemptContext(context.Background())
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("attempt context has no deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("attempt context never expired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Errorf("ctx error = %v", ctx.Err())
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep on canceled ctx = %v", err)
+	}
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Errorf("Sleep = %v", err)
+	}
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for _, s := range []int{502, 503, 504, 429} {
+		if !RetryableStatus(s) {
+			t.Errorf("status %d should be retryable", s)
+		}
+	}
+	for _, s := range []int{200, 400, 401, 404, 500} {
+		if RetryableStatus(s) {
+			t.Errorf("status %d should not be retryable", s)
+		}
+	}
+}
+
+func TestBreakerOpensAfterThresholdAndFailsFast(t *testing.T) {
+	b := NewBreaker(3, time.Hour, func() bool { return false })
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Report(false)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state after %d failures = %v, want open", 3, b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker admitted a request before cooldown")
+	}
+	opens, readmits := b.Stats()
+	if opens != 1 || readmits != 0 {
+		t.Errorf("stats = %d opens, %d readmissions", opens, readmits)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(3, time.Hour, nil)
+	b.Report(false)
+	b.Report(false)
+	b.Report(true)
+	b.Report(false)
+	b.Report(false)
+	if b.State() != StateClosed {
+		t.Error("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHealthProbeReadmits(t *testing.T) {
+	healthy := atomic.Bool{}
+	probed := make(chan struct{}, 16)
+	b := NewBreaker(1, time.Millisecond, func() bool {
+		select {
+		case probed <- struct{}{}:
+		default:
+		}
+		return healthy.Load()
+	})
+	b.Report(false)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+
+	// Unhealthy: probes run but the breaker stays open.
+	deadline := time.After(2 * time.Second)
+waitProbe:
+	for {
+		b.Allow() // schedules a probe once the cooldown has passed
+		select {
+		case <-probed:
+			break waitProbe
+		case <-deadline:
+			t.Fatal("no probe fired")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if b.State() != StateOpen {
+		t.Fatal("failed probe closed the breaker")
+	}
+
+	healthy.Store(true)
+	for b.State() != StateClosed {
+		b.Allow() // schedule further probes once the cooldown passes
+		select {
+		case <-deadline:
+			t.Fatal("healthy hop never re-admitted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if !b.Allow() {
+		t.Error("re-admitted breaker rejected a request")
+	}
+	if _, readmits := b.Stats(); readmits != 1 {
+		t.Errorf("readmissions = %d, want 1", readmits)
+	}
+}
+
+func TestBreakerTrialModeHalfOpen(t *testing.T) {
+	b := NewBreaker(1, time.Millisecond, nil) // no probe: dial-as-trial mode
+	b.Report(false)
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no trial admitted after cooldown")
+	}
+	if b.Allow() {
+		t.Error("second caller admitted during the trial")
+	}
+	b.Report(false) // trial fails: stay open
+	if b.State() != StateOpen {
+		t.Fatal("failed trial closed the breaker")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no second trial admitted")
+	}
+	b.Report(true)
+	if b.State() != StateClosed {
+		t.Error("passed trial did not close the breaker")
+	}
+}
+
+func TestNilBreakerIsAlwaysClosed(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Error("nil breaker rejected")
+	}
+	b.Report(false)
+	if b.State() != StateClosed {
+		t.Error("nil breaker not closed")
+	}
+	if NewBreaker(0, time.Second, nil) != nil {
+		t.Error("threshold 0 should build a nil (disabled) breaker")
+	}
+}
+
+func TestHTTPHealthProbe(t *testing.T) {
+	status := atomic.Int32{}
+	status.Store(http.StatusOK)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer srv.Close()
+
+	probe := HTTPHealthProbe(srv.Client(), srv.URL+"/healthz", time.Second)
+	if !probe() {
+		t.Error("probe failed against healthy endpoint")
+	}
+	status.Store(http.StatusServiceUnavailable)
+	if probe() {
+		t.Error("probe passed against 503 endpoint")
+	}
+	srv.Close()
+	if probe() {
+		t.Error("probe passed against dead endpoint")
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	p := (Policy{MaxAttempts: 3, BreakerThreshold: 2}).WithDefaults()
+	if p.BackoffBase <= 0 || p.BackoffMax <= 0 || p.BreakerCooldown <= 0 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+	// Disabled knobs stay disabled.
+	z := (Policy{}).WithDefaults()
+	if z.MaxAttempts != 0 || z.BreakerThreshold != 0 {
+		t.Errorf("WithDefaults enabled disabled features: %+v", z)
+	}
+}
