@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench clean
+.PHONY: all build vet test race verify bench audit-smoke clean
 
 all: verify
 
@@ -31,6 +31,12 @@ verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Privacy-SLO smoke test: boot an in-process cluster, inject one
+# under-filled shuffle epoch, and fail unless the auditor reports the
+# violation. Writes the /privacy report to audit-report.json.
+audit-smoke:
+	$(GO) run ./cmd/pprox-audit -smoke -out audit-report.json
 
 clean:
 	rm -rf bin

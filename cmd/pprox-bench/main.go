@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"time"
 
+	"pprox/internal/obslog"
 	"pprox/internal/sim"
 )
 
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	if err := run(flag.Arg(0), opts); err != nil {
-		fmt.Fprintln(os.Stderr, "pprox-bench:", err)
+		obslog.New(os.Stderr, "pprox-bench", nil).Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
@@ -150,7 +151,7 @@ func printFigure(title string, rows []sim.Row) {
 	}
 	if csvOut != "" && len(rows) > 0 {
 		if err := writeCSV(csvOut, rows); err != nil {
-			fmt.Fprintln(os.Stderr, "pprox-bench: csv:", err)
+			obslog.New(os.Stderr, "pprox-bench", nil).Error("csv write failed", "error", err.Error())
 		}
 	}
 }

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +10,7 @@ import (
 	"time"
 
 	"pprox/internal/cluster"
+	"pprox/internal/metrics"
 	"pprox/internal/proxy"
 )
 
@@ -21,31 +21,10 @@ import (
 // round trip through the exposition format is deliberate: the benchmark
 // exercises the observability path it reports on.
 
-// scrapeSet maps a full series identity (name plus rendered label block)
-// to its sampled value.
-type scrapeSet map[string]float64
-
-// parseExposition parses Prometheus text-format lines into a scrapeSet.
-func parseExposition(body string) scrapeSet {
-	out := make(scrapeSet)
-	sc := bufio.NewScanner(strings.NewReader(body))
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		i := strings.LastIndexByte(line, ' ')
-		if i < 0 {
-			continue
-		}
-		v, err := strconv.ParseFloat(line[i+1:], 64)
-		if err != nil {
-			continue
-		}
-		out[line[:i]] = v
-	}
-	return out
-}
+// scrapeSet aliases the shared exposition-format reader in
+// internal/metrics, which the registry's own tests round-trip against
+// the render side (escaped labels, NaN/Inf samples).
+type scrapeSet = metrics.ScrapeSet
 
 // scrapeDeployment reads the deployment's metrics. All nodes share the
 // deployment registry, so one node suffices; scraping by node address
@@ -60,28 +39,12 @@ func scrapeDeployment(d *cluster.Deployment, httpClient *http.Client) (scrapeSet
 	if err != nil {
 		return nil, err
 	}
-	return parseExposition(string(body)), nil
+	return metrics.ParseExposition(string(body)), nil
 }
 
-// seriesLabels extracts the label map from a series identity like
-// `name{a="x",b="y"}`. Label values in the proxy families never contain
-// escaped quotes, so splitting on `",` is safe here.
+// seriesLabels aliases the shared series-identity decomposer.
 func seriesLabels(series string) (name string, labels map[string]string) {
-	labels = make(map[string]string)
-	open := strings.IndexByte(series, '{')
-	if open < 0 {
-		return series, labels
-	}
-	name = series[:open]
-	body := strings.TrimSuffix(series[open+1:], "}")
-	for _, pair := range strings.Split(body, `",`) {
-		eq := strings.IndexByte(pair, '=')
-		if eq < 0 {
-			continue
-		}
-		labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
-	}
-	return name, labels
+	return metrics.ParseSeries(series)
 }
 
 // stageDist is one (layer, stage) cell of the breakdown: the histogram

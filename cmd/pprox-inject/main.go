@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pprox/internal/client"
+	"pprox/internal/obslog"
 	"pprox/internal/proxy"
 	"pprox/internal/workload"
 )
@@ -36,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*target, *bundlePath, *plain, *rps, *duration, *trim, *mode, *users, *itemsN, *reps, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "pprox-inject:", err)
+		obslog.New(os.Stderr, "pprox-inject", nil).Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }

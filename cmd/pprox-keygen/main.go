@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pprox/internal/obslog"
 	"pprox/internal/proxy"
 )
 
@@ -24,7 +25,7 @@ func main() {
 	flag.Parse()
 
 	if err := run(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "pprox-keygen:", err)
+		obslog.New(os.Stderr, "pprox-keygen", nil).Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }

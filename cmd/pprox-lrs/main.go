@@ -12,7 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -22,6 +22,7 @@ import (
 	"pprox/internal/faults"
 	"pprox/internal/lrs/engine"
 	"pprox/internal/metrics"
+	"pprox/internal/obslog"
 	"pprox/internal/transport"
 )
 
@@ -32,19 +33,22 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6061 (off when empty)")
 	faultSpec := flag.String("inject-fault", "", "fault injection rules, e.g. 'error:status=503:count=10' (chaos testing)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault-injection stream")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
-	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed); err != nil {
-		fmt.Fprintln(os.Stderr, "pprox-lrs:", err)
+	logger := obslog.New(os.Stderr, "pprox-lrs", obslog.ParseLevel(*logLevel))
+	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed, logger); err != nil {
+		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec string, faultSeed uint64) error {
-	eng, err := loadOrNewEngine(snapshot)
+func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec string, faultSeed uint64, logger *slog.Logger) error {
+	eng, err := loadOrNewEngine(snapshot, logger)
 	if err != nil {
 		return err
 	}
+	eng.SetLogger(logger)
 	reg := metrics.NewRegistry()
 	instrument := eng.RegisterMetrics(reg, "lrs")
 	app := instrument(engine.NewHandler(eng))
@@ -56,17 +60,18 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 		inj := faults.NewInjector(faultSeed, rules...)
 		defer inj.Close()
 		app = inj.Middleware(app)
-		fmt.Printf("pprox-lrs: fault injection armed: %s\n", faultSpec)
+		logger.Info("fault injection armed", "spec", faultSpec)
 	}
 	handler := metrics.Mux(reg, eng.Health, app)
 
+	stopDebug := func() error { return nil }
 	if debugAddr != "" {
-		stopDebug, err := metrics.ServeDebug(debugAddr)
+		stopDebug, err = metrics.ServeDebug(debugAddr)
 		if err != nil {
 			return err
 		}
 		defer stopDebug()
-		fmt.Printf("pprox-lrs: pprof on http://%s/debug/pprof/\n", debugAddr)
+		logger.Info("pprof serving", "addr", debugAddr)
 	}
 
 	l, err := net.Listen("tcp", listen)
@@ -74,7 +79,7 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 		return err
 	}
 	shutdown := transport.Serve(l, handler)
-	fmt.Printf("pprox-lrs: serving on %s (train every %v)\n", l.Addr(), trainEvery)
+	logger.Info("serving", "listen", l.Addr().String(), "train_every", trainEvery.String())
 
 	stopTrainer := make(chan struct{})
 	trainerDone := make(chan struct{})
@@ -89,10 +94,10 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 			select {
 			case <-ticker.C:
 				if err := eng.TrainNow(); err != nil {
-					log.Printf("training failed: %v", err)
+					logger.Warn("training failed", "error", err.Error())
 					continue
 				}
-				log.Printf("model trained: %s (%d events)", eng.ModelInfo(), eng.EventCount())
+				logger.Info("model trained", "model", eng.ModelInfo(), "events", eng.EventCount())
 			case <-stopTrainer:
 				return
 			}
@@ -106,19 +111,22 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 	<-trainerDone
 	if snapshot != "" {
 		if err := saveSnapshot(eng, snapshot); err != nil {
-			log.Printf("snapshot save failed: %v", err)
+			logger.Warn("snapshot save failed", "error", err.Error())
 		} else {
-			fmt.Printf("pprox-lrs: snapshot written to %s\n", snapshot)
+			logger.Info("snapshot written", "path", snapshot)
 		}
 	}
 	posts, queries, trains := eng.Stats()
-	fmt.Printf("pprox-lrs: shutting down (posts=%d queries=%d trains=%d)\n", posts, queries, trains)
+	logger.Info("shutting down", "posts", posts, "queries", queries, "trains", trains)
+	if err := stopDebug(); err != nil {
+		logger.Warn("debug server shutdown", "error", err.Error())
+	}
 	return shutdown()
 }
 
 // loadOrNewEngine restores from the snapshot file when it exists and
 // retrains, mirroring a Harness restart against its persisted MongoDB.
-func loadOrNewEngine(snapshot string) (*engine.Engine, error) {
+func loadOrNewEngine(snapshot string, logger *slog.Logger) (*engine.Engine, error) {
 	if snapshot == "" {
 		return engine.New(engine.DefaultConfig()), nil
 	}
@@ -137,7 +145,7 @@ func loadOrNewEngine(snapshot string) (*engine.Engine, error) {
 	if err := eng.TrainNow(); err != nil {
 		return nil, err
 	}
-	fmt.Printf("pprox-lrs: restored %d events from %s\n", eng.EventCount(), snapshot)
+	logger.Info("snapshot restored", "events", eng.EventCount(), "path", snapshot)
 	return eng, nil
 }
 

@@ -25,17 +25,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"pprox/internal/audit"
 	"pprox/internal/enclave"
 	"pprox/internal/eventloop"
 	"pprox/internal/faults"
 	"pprox/internal/metrics"
+	"pprox/internal/obslog"
 	"pprox/internal/proxy"
 	"pprox/internal/resilience"
 	"pprox/internal/trace"
@@ -57,6 +61,9 @@ type options struct {
 	useEventloop   bool
 	debugAddr      string
 	traceLog       string
+	logLevel       string
+	auditSLO       bool
+	auditObjective float64
 
 	noResilience     bool
 	hopTimeout       time.Duration
@@ -83,6 +90,9 @@ func main() {
 	flag.BoolVar(&o.useEventloop, "eventloop", false, "serve with the §5 acceptor+queue+worker-pool architecture instead of net/http")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "pprof listen address, e.g. localhost:6060 (off when empty)")
 	flag.StringVar(&o.traceLog, "trace-log", "", "append privacy-safe trace records (JSON lines) to this file")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
+	flag.BoolVar(&o.auditSLO, "audit", false, "run the privacy-SLO auditor and serve its report on /privacy")
+	flag.Float64Var(&o.auditObjective, "audit-objective", 0.99, "fraction of shuffle epochs that must be fully occupied")
 	flag.BoolVar(&o.noResilience, "no-resilience", false, "disable retries, hop deadlines, and the circuit breaker (single attempts)")
 	flag.DurationVar(&o.hopTimeout, "hop-timeout", 10*time.Second, "per-attempt deadline toward the next hop")
 	flag.IntVar(&o.retries, "retries", 2, "retry attempts after a failed forward (0 = one attempt)")
@@ -93,13 +103,14 @@ func main() {
 	flag.Uint64Var(&o.faultSeed, "fault-seed", 1, "seed of the deterministic fault-injection stream")
 	flag.Parse()
 
-	if err := run(o); err != nil {
-		fmt.Fprintln(os.Stderr, "pprox-proxy:", err)
+	logger := obslog.New(os.Stderr, "pprox-proxy", obslog.ParseLevel(o.logLevel))
+	if err := run(o, logger); err != nil {
+		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
+func run(o options, logger *slog.Logger) error {
 	var r proxy.Role
 	switch o.role {
 	case "ua":
@@ -173,6 +184,7 @@ func run(o options) error {
 		return err
 	}
 	defer layer.Close()
+	layer.SetLogger(logger.With("node", o.role))
 
 	var app http.Handler = layer
 	if o.faultSpec != "" {
@@ -185,12 +197,27 @@ func run(o options) error {
 		// Only application traffic is injected; /metrics and /healthz
 		// stay honest so breakers and operators see the real state.
 		app = inj.Middleware(app)
-		fmt.Printf("pprox-proxy: fault injection armed: %s\n", o.faultSpec)
+		logger.Info("fault injection armed", "spec", o.faultSpec)
 	}
 
 	reg := metrics.NewRegistry()
 	layer.RegisterMetrics(reg, o.role)
-	handler := metrics.Mux(reg, layer.Health, app)
+	var routes map[string]http.Handler
+	if o.auditSLO {
+		auditor := audit.New(audit.Config{TargetS: o.shuffle, Objective: o.auditObjective})
+		auditor.SetLogger(logger.With("node", o.role))
+		auditor.SetKeyBaseline(strings.ToUpper(o.role))
+		layer.SetEpochObserver(func(batch int) { auditor.ObserveEpoch(o.role, batch) })
+		if br := layer.Breaker(); br != nil {
+			auditor.AddCheck("next-hop breaker open", func() bool { return br.State() != 0 })
+		}
+		if e := layer.Enclave(); e != nil {
+			auditor.AddViolationCheck("enclave compromised", e.Compromised)
+		}
+		auditor.RegisterMetrics(reg)
+		routes = map[string]http.Handler{audit.PrivacyPath: auditor.Handler()}
+	}
+	handler := metrics.MuxRoutes(reg, layer.Health, routes, app)
 
 	if o.traceLog != "" {
 		f, err := os.OpenFile(o.traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -220,13 +247,16 @@ func run(o options) error {
 		}
 	}
 
+	stopDebug := func() error { return nil }
 	if o.debugAddr != "" {
-		stopDebug, err := metrics.ServeDebug(o.debugAddr)
+		stopDebug, err = metrics.ServeDebug(o.debugAddr)
 		if err != nil {
 			return err
 		}
+		// Idempotent: the SIGTERM path below drains it first; this only
+		// covers error returns between here and there.
 		defer stopDebug()
-		fmt.Printf("pprox-proxy: pprof on http://%s/debug/pprof/\n", o.debugAddr)
+		logger.Info("pprof serving", "addr", o.debugAddr)
 	}
 
 	l, err := net.Listen("tcp", o.listen)
@@ -251,15 +281,19 @@ func run(o options) error {
 	if o.useEventloop {
 		mode = "eventloop"
 	}
-	fmt.Printf("pprox-proxy: %s layer on %s → %s (S=%d, workers=%d, %s, /metrics exposed)\n",
-		o.role, l.Addr(), o.next, o.shuffle, o.workers, mode)
+	logger.Info("layer serving",
+		"role", o.role, "listen", l.Addr().String(), "next", o.next,
+		"shuffle", o.shuffle, "workers", o.workers, "mode", mode, "audit", o.auditSLO)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	served, failed := layer.Stats()
 	retried, failFast := layer.RetryStats()
-	fmt.Printf("pprox-proxy: shutting down (served=%d failed=%d retries=%d fail_fast=%d)\n",
-		served, failed, retried, failFast)
+	logger.Info("shutting down",
+		"served", served, "failed", failed, "retries", retried, "fail_fast", failFast)
+	if err := stopDebug(); err != nil {
+		logger.Warn("debug server shutdown", "error", err.Error())
+	}
 	return shutdown()
 }

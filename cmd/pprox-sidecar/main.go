@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"pprox/internal/client"
 	"pprox/internal/message"
 	"pprox/internal/metrics"
+	"pprox/internal/obslog"
 	"pprox/internal/proxy"
 	"pprox/internal/transport"
 )
@@ -35,15 +37,17 @@ func main() {
 	tenant := flag.String("tenant", "", "tenant name on a multi-tenant deployment")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6062 (off when empty)")
 	getRetries := flag.Int("get-retries", 2, "extra attempts for failed gets, each freshly encrypted; posts never retry client-side (0 = off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
-	if err := run(*listen, *target, *bundlePath, *tenant, *debugAddr, *getRetries); err != nil {
-		fmt.Fprintln(os.Stderr, "pprox-sidecar:", err)
+	logger := obslog.New(os.Stderr, "pprox-sidecar", obslog.ParseLevel(*logLevel))
+	if err := run(*listen, *target, *bundlePath, *tenant, *debugAddr, *getRetries, logger); err != nil {
+		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(listen, target, bundlePath, tenant, debugAddr string, getRetries int) error {
+func run(listen, target, bundlePath, tenant, debugAddr string, getRetries int, logger *slog.Logger) error {
 	if target == "" || bundlePath == "" {
 		return fmt.Errorf("-target and -bundle are required")
 	}
@@ -103,13 +107,14 @@ func run(listen, target, bundlePath, tenant, debugAddr string, getRetries int) e
 	handler := metrics.Mux(reg, health,
 		metrics.InstrumentHandler(intercepted, label, client.NewInterceptor(cl)))
 
+	stopDebug := func() error { return nil }
 	if debugAddr != "" {
-		stopDebug, err := metrics.ServeDebug(debugAddr)
+		stopDebug, err = metrics.ServeDebug(debugAddr)
 		if err != nil {
 			return err
 		}
 		defer stopDebug()
-		fmt.Printf("pprox-sidecar: pprof on http://%s/debug/pprof/\n", debugAddr)
+		logger.Info("pprof serving", "addr", debugAddr)
 	}
 
 	l, err := net.Listen("tcp", listen)
@@ -117,11 +122,14 @@ func run(listen, target, bundlePath, tenant, debugAddr string, getRetries int) e
 		return err
 	}
 	shutdown := transport.Serve(l, handler)
-	fmt.Printf("pprox-sidecar: intercepting LRS API on %s → %s\n", l.Addr(), target)
+	logger.Info("intercepting", "listen", l.Addr().String(), "target", target)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("pprox-sidecar: shutting down")
+	logger.Info("shutting down")
+	if err := stopDebug(); err != nil {
+		logger.Warn("debug server shutdown", "error", err.Error())
+	}
 	return shutdown()
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"pprox/internal/faults"
 	"pprox/internal/metrics"
+	"pprox/internal/obslog"
 	"pprox/internal/proxy"
 	"pprox/internal/stub"
 	"pprox/internal/transport"
@@ -35,15 +37,17 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (off when empty)")
 	faultSpec := flag.String("inject-fault", "", "fault injection rules, e.g. 'drop:count=5,latency:delay=20ms' (chaos testing)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault-injection stream")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
-	if err := run(*listen, *items, *delay, *keysPath, *debugAddr, *faultSpec, *faultSeed); err != nil {
-		fmt.Fprintln(os.Stderr, "pprox-stub:", err)
+	logger := obslog.New(os.Stderr, "pprox-stub", obslog.ParseLevel(*logLevel))
+	if err := run(*listen, *items, *delay, *keysPath, *debugAddr, *faultSpec, *faultSeed, logger); err != nil {
+		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(listen string, items int, delay time.Duration, keysPath, debugAddr, faultSpec string, faultSeed uint64) error {
+func run(listen string, items int, delay time.Duration, keysPath, debugAddr, faultSpec string, faultSeed uint64, logger *slog.Logger) error {
 	var s *stub.Server
 	var err error
 	if keysPath != "" {
@@ -83,17 +87,18 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr, fau
 		inj := faults.NewInjector(faultSeed, rules...)
 		defer inj.Close()
 		app = inj.Middleware(app)
-		fmt.Printf("pprox-stub: fault injection armed: %s\n", faultSpec)
+		logger.Info("fault injection armed", "spec", faultSpec)
 	}
 	handler := metrics.Mux(reg, s.Health, app)
 
+	stopDebug := func() error { return nil }
 	if debugAddr != "" {
-		stopDebug, err := metrics.ServeDebug(debugAddr)
+		stopDebug, err = metrics.ServeDebug(debugAddr)
 		if err != nil {
 			return err
 		}
 		defer stopDebug()
-		fmt.Printf("pprox-stub: pprof on http://%s/debug/pprof/\n", debugAddr)
+		logger.Info("pprof serving", "addr", debugAddr)
 	}
 
 	l, err := net.Listen("tcp", listen)
@@ -101,12 +106,15 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr, fau
 		return err
 	}
 	shutdown := transport.Serve(l, handler)
-	fmt.Printf("pprox-stub: serving %d static items on %s\n", items, l.Addr())
+	logger.Info("serving", "items", items, "listen", l.Addr().String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	posts, gets := s.Counts()
-	fmt.Printf("pprox-stub: shutting down (posts=%d gets=%d)\n", posts, gets)
+	logger.Info("shutting down", "posts", posts, "gets", gets)
+	if err := stopDebug(); err != nil {
+		logger.Warn("debug server shutdown", "error", err.Error())
+	}
 	return shutdown()
 }

@@ -1,0 +1,215 @@
+package audit
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+
+	"pprox/internal/metrics"
+)
+
+// Report is the /privacy payload: the auditor's full assessment at epoch
+// granularity. Everything in it is either configuration, a coarse
+// aggregate, or a per-EPOCH quantity (batch sizes are visible on the
+// wire as message bursts, so exporting them adds nothing an on-path
+// adversary lacks). It contains no per-request records, no identifiers,
+// no pseudonyms, and no fine-grained timestamps — the adversary test
+// asserts all of that mechanically.
+type Report struct {
+	// TargetS is the configured shuffle size S.
+	TargetS int `json:"target_s"`
+	// Objective is the occupancy SLO objective.
+	Objective float64 `json:"objective"`
+	// State is the SLO state ("ok", "warn", "violated").
+	State string `json:"state"`
+	// StateSeconds is how long the auditor has been in this state,
+	// coarsened to whole seconds.
+	StateSeconds int64 `json:"state_seconds"`
+	// EffectiveAnonymity is the smallest batch any epoch released within
+	// the shortest window — the worst 1/batch linking bound any request
+	// recently got (0 when no epochs observed).
+	EffectiveAnonymity int `json:"effective_anonymity"`
+	// WorstEpochBatch is the lifetime worst-epoch watermark.
+	WorstEpochBatch int `json:"worst_epoch_batch"`
+	// EpochsTotal / UnderfilledTotal are lifetime counters.
+	EpochsTotal      uint64 `json:"epochs_total"`
+	UnderfilledTotal uint64 `json:"underfilled_total"`
+	// Violations / Warns count state transitions.
+	Violations uint64 `json:"violations_total"`
+	Warns      uint64 `json:"warns_total"`
+	// Windows are the burn-rate evaluations, shortest first.
+	Windows []windowEval `json:"windows"`
+	// Nodes are per-node epoch aggregates, sorted by name.
+	Nodes []NodeReport `json:"nodes"`
+	// KeyAges reports seconds since each layer's last rotation (or
+	// baseline), coarsened to whole seconds.
+	KeyAges map[string]int64 `json:"key_age_seconds,omitempty"`
+	// Breached lists layers with detected, unremediated compromises.
+	Breached []string `json:"breached,omitempty"`
+	// DegradedChecks lists registered checks currently firing.
+	DegradedChecks []string `json:"degraded_checks,omitempty"`
+}
+
+// NodeReport is one node's epoch aggregate.
+type NodeReport struct {
+	Node        string `json:"node"`
+	Epochs      uint64 `json:"epochs"`
+	Underfilled uint64 `json:"underfilled"`
+	WorstBatch  int    `json:"worst_batch"`
+	LastBatch   int    `json:"last_batch"`
+	// RecentEpochs is the node's bounded epoch history (one entry per
+	// shuffle flush, never per request), oldest first.
+	RecentEpochs []EpochRecord `json:"recent_epochs"`
+}
+
+// Report assembles the current assessment.
+func (a *Auditor) Report() Report {
+	now := a.cfg.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pruneLocked(now)
+	a.recomputeLocked(now)
+
+	r := Report{
+		TargetS:          a.cfg.TargetS,
+		Objective:        a.cfg.Objective,
+		State:            a.state.String(),
+		StateSeconds:     int64(now.Sub(a.stateSince) / time.Second),
+		EpochsTotal:      a.epochsTotal,
+		UnderfilledTotal: a.underfilledTotal,
+		Violations:       a.violations,
+		Warns:            a.warns,
+	}
+	for _, w := range a.cfg.Windows {
+		r.Windows = append(r.Windows, a.evalWindowLocked(w, now))
+	}
+	if len(r.Windows) > 0 {
+		r.EffectiveAnonymity = r.Windows[0].MinBatch
+	}
+	for name, ns := range a.nodes {
+		if r.WorstEpochBatch == 0 || ns.worstBatch < r.WorstEpochBatch {
+			r.WorstEpochBatch = ns.worstBatch
+		}
+		r.Nodes = append(r.Nodes, NodeReport{
+			Node:         name,
+			Epochs:       ns.epochs,
+			Underfilled:  ns.underfilled,
+			WorstBatch:   ns.worstBatch,
+			LastBatch:    ns.lastBatch,
+			RecentEpochs: append([]EpochRecord(nil), ns.recent...),
+		})
+	}
+	sort.Slice(r.Nodes, func(i, j int) bool { return r.Nodes[i].Node < r.Nodes[j].Node })
+	if len(a.rotations) > 0 {
+		r.KeyAges = make(map[string]int64, len(a.rotations))
+		for layer, at := range a.rotations {
+			r.KeyAges[layer] = int64(now.Sub(at) / time.Second)
+		}
+	}
+	for layer := range a.breaches {
+		r.Breached = append(r.Breached, layer)
+	}
+	sort.Strings(r.Breached)
+	for _, c := range a.checks {
+		if c.fn() {
+			r.DegradedChecks = append(r.DegradedChecks, c.name)
+		}
+	}
+	return r
+}
+
+// PrivacyPath is the debug endpoint the report is served on.
+const PrivacyPath = "/privacy"
+
+// Handler serves the JSON report (GET /privacy).
+func (a *Auditor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(a.Report())
+	})
+}
+
+// RegisterMetrics exposes the auditor on the registry:
+//
+//   - pprox_audit_slo_state gauge (0 ok, 1 warn, 2 violated),
+//   - pprox_audit_effective_anonymity_set gauge (shortest-window min
+//     batch) and pprox_audit_worst_epoch_batch gauge (lifetime),
+//   - pprox_audit_epochs_total / pprox_audit_underfilled_epochs_total /
+//     pprox_audit_violations_total / pprox_audit_warns_total counters,
+//   - pprox_audit_burn_rate{window} gauges,
+//   - pprox_audit_key_age_seconds{layer} gauges (when rotation is wired),
+//   - pprox_audit_breached_layers gauge.
+func (a *Auditor) RegisterMetrics(r *metrics.Registry) {
+	r.Gauge("pprox_audit_slo_state",
+		"Privacy SLO state: 0 ok, 1 warn, 2 violated.", func() float64 {
+			return float64(a.State())
+		})
+	r.Gauge("pprox_audit_effective_anonymity_set",
+		"Smallest shuffle batch released within the shortest burn window.", func() float64 {
+			rep := a.Report()
+			return float64(rep.EffectiveAnonymity)
+		})
+	r.Gauge("pprox_audit_worst_epoch_batch",
+		"Lifetime worst-epoch watermark (smallest batch ever released).", func() float64 {
+			return float64(a.Report().WorstEpochBatch)
+		})
+	r.CounterFunc("pprox_audit_epochs_total",
+		"Shuffle epochs observed by the auditor.", func() float64 {
+			epochs, _, _, _ := a.Stats()
+			return float64(epochs)
+		})
+	r.CounterFunc("pprox_audit_underfilled_epochs_total",
+		"Epochs released with fewer than S messages.", func() float64 {
+			_, under, _, _ := a.Stats()
+			return float64(under)
+		})
+	r.CounterFunc("pprox_audit_violations_total",
+		"Transitions into the violated state.", func() float64 {
+			_, _, violations, _ := a.Stats()
+			return float64(violations)
+		})
+	r.CounterFunc("pprox_audit_warns_total",
+		"Transitions into the warn state.", func() float64 {
+			_, _, _, warns := a.Stats()
+			return float64(warns)
+		})
+	burn := r.GaugeVec("pprox_audit_burn_rate",
+		"Occupancy error-budget burn rate per evaluation window.", "window")
+	for _, w := range a.cfg.Windows {
+		w := w
+		burn.With(func() float64 {
+			now := a.cfg.Now()
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			a.pruneLocked(now)
+			return a.evalWindowLocked(w, now).BurnRate
+		}, w.Name)
+	}
+	r.Gauge("pprox_audit_breached_layers",
+		"Layers with a detected, unremediated enclave compromise.", func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(len(a.breaches))
+		})
+	ages := r.GaugeVec("pprox_audit_key_age_seconds",
+		"Seconds since each layer's pseudonymization key was rotated or baselined.", "layer")
+	a.mu.Lock()
+	for layer := range a.rotations {
+		layer := layer
+		ages.With(func() float64 {
+			a.mu.Lock()
+			at, ok := a.rotations[layer]
+			a.mu.Unlock()
+			if !ok {
+				return 0
+			}
+			return a.cfg.Now().Sub(at).Seconds()
+		}, layer)
+	}
+	a.mu.Unlock()
+}

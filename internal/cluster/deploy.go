@@ -3,10 +3,12 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
+	"pprox/internal/audit"
 	"pprox/internal/client"
 	"pprox/internal/enclave"
 	"pprox/internal/lrs/engine"
@@ -62,6 +64,18 @@ type Spec struct {
 	// (e.g. "ia-1", "lrs-0"). The chaos tests use it to install fault
 	// injectors and network taps on selected nodes.
 	NodeMiddleware func(addr string, h http.Handler) http.Handler
+	// Audit deploys the privacy-SLO auditor: every proxy layer feeds it
+	// shuffle-epoch releases, breaker/ejection/compromise state is
+	// sampled as checks, its metrics join the deployment registry, and
+	// every node additionally serves the /privacy report. A zero-valued
+	// Config is usable — TargetS defaults to Spec.Shuffle.
+	Audit *audit.Config
+	// Logger, when set, is the deployment-wide structured logger
+	// (obslog-redacted by construction at the callers): layers log
+	// request failures, the engine logs redacted ingest/training events,
+	// and the auditor logs SLO transitions, each under a "node"
+	// attribute.
+	Logger *slog.Logger
 }
 
 // SpecFromMicro translates a Table 2 row into a deployable spec. The SGX
@@ -116,6 +130,9 @@ type Deployment struct {
 	Metrics *metrics.Registry
 	// Traces collects the layers' trace exports when Spec.Trace is set.
 	Traces *trace.Collector
+	// Auditor is the deployment's privacy-SLO engine (nil unless
+	// Spec.Audit is set). Every node serves its report on /privacy.
+	Auditor *audit.Auditor
 
 	spec Spec
 	// nodes tracks every served node by address so chaos tests can kill
@@ -184,6 +201,25 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		}
 	}
 
+	// Privacy-SLO auditor: baselines the key ages now (provisioning
+	// time) so MaxKeyAge measures from a known point, then exposes its
+	// instruments on the shared registry.
+	if spec.Audit != nil {
+		acfg := *spec.Audit
+		if acfg.TargetS == 0 {
+			acfg.TargetS = spec.Shuffle
+		}
+		d.Auditor = audit.New(acfg)
+		if spec.Logger != nil {
+			d.Auditor.SetLogger(spec.Logger.With("node", "auditor"))
+		}
+		if spec.ProxyEnabled && spec.Encryption {
+			d.Auditor.SetKeyBaseline("UA")
+			d.Auditor.SetKeyBaseline("IA")
+		}
+		d.Auditor.RegisterMetrics(d.Metrics)
+	}
+
 	// LRS backends.
 	if err := d.deployLRS(spec); err != nil {
 		return nil, err
@@ -227,6 +263,17 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 	}
 	d.Balancer.Register("ua", uaBackends...)
 
+	// Backend ejection starves the surviving shufflers' buffers, so it is
+	// a degraded-path SLO signal in its own right.
+	if d.Auditor != nil {
+		for _, svc := range []string{"ua", "ia", "lrs"} {
+			svc := svc
+			d.Auditor.AddCheck("backends ejected from "+svc, func() bool {
+				return len(d.Balancer.Ejected(svc)) > 0
+			})
+		}
+	}
+
 	d.Entry = "http://ua"
 	return d, nil
 }
@@ -258,6 +305,9 @@ func (d *Deployment) deployLRS(spec Spec) error {
 			cfg = *spec.EngineConfig
 		}
 		d.Engine = engine.New(cfg)
+		if spec.Logger != nil {
+			d.Engine.SetLogger(spec.Logger.With("node", "lrs"))
+		}
 		handler = engine.NewHandler(d.Engine)
 	}
 
@@ -274,7 +324,7 @@ func (d *Deployment) deployLRS(spec Spec) error {
 	if spec.LRSMiddleware != nil {
 		handler = spec.LRSMiddleware(handler)
 	}
-	handler = metrics.Mux(d.Metrics, health, handler)
+	handler = metrics.MuxRoutes(d.Metrics, health, d.auditRoutes(), handler)
 	backends := make([]string, spec.LRSFrontends)
 	for i := range backends {
 		addr := fmt.Sprintf("lrs-%d", i)
@@ -290,13 +340,38 @@ func (d *Deployment) deployLRS(spec Spec) error {
 // serveLayer registers the layer's instruments (and tracer, when the spec
 // asks for one) under its node name and serves it behind the standard
 // operational mux, so scraping "http://ua-0/metrics" over the in-memory
-// network works exactly like against a real instance.
+// network works exactly like against a real instance. With auditing on,
+// the layer also feeds every shuffle-epoch release to the auditor, and
+// its breaker / balancer-ejection / enclave-compromise state becomes
+// sampled SLO checks.
 func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) error {
 	layer.RegisterMetrics(d.Metrics, addr)
 	if spec.Trace {
 		layer.SetTracer(trace.New(addr, d.Traces.Sink(), nil))
 	}
-	return d.serve(addr, metrics.Mux(d.Metrics, layer.Health, layer))
+	if spec.Logger != nil {
+		layer.SetLogger(spec.Logger.With("node", addr))
+	}
+	if d.Auditor != nil {
+		a, node := d.Auditor, addr
+		layer.SetEpochObserver(func(batch int) { a.ObserveEpoch(node, batch) })
+		if br := layer.Breaker(); br != nil {
+			a.AddCheck("breaker open on "+addr, func() bool { return br.State() != 0 })
+		}
+		if e := layer.Enclave(); e != nil {
+			a.AddViolationCheck("enclave compromised on "+addr, e.Compromised)
+		}
+	}
+	return d.serve(addr, metrics.MuxRoutes(d.Metrics, layer.Health, d.auditRoutes(), layer))
+}
+
+// auditRoutes returns the extra operational routes every node serves —
+// the auditor's /privacy report when auditing is deployed, nil otherwise.
+func (d *Deployment) auditRoutes() map[string]http.Handler {
+	if d.Auditor == nil {
+		return nil
+	}
+	return map[string]http.Handler{audit.PrivacyPath: d.Auditor.Handler()}
 }
 
 // newLayer builds one provisioned proxy instance. Every instance of a

@@ -15,13 +15,16 @@ package engine
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pprox/internal/lrs/cco"
 	"pprox/internal/lrs/search"
 	"pprox/internal/lrs/store"
 	"pprox/internal/message"
+	"pprox/internal/obslog"
 )
 
 // Config parameterizes the engine.
@@ -71,7 +74,18 @@ type Engine struct {
 	dups    atomic.Uint64
 
 	idem idemRegistry
+
+	logger atomic.Pointer[slog.Logger]
 }
+
+// SetLogger installs the engine's structured logger. Ingest records wrap
+// the pseudonymized identifiers in obslog typed secrets, so even the
+// already-opaque det_enc pseudonyms render as salted hashes — log lines
+// can never be joined against the LRS database or a network capture.
+// Nil disables logging.
+func (e *Engine) SetLogger(l *slog.Logger) { e.logger.Store(l) }
+
+func (e *Engine) log() *slog.Logger { return e.logger.Load() }
 
 // idemRegistry remembers recently seen idempotency keys so a retried
 // insertion (the proxy resent an event whose reply was lost) is dropped
@@ -174,6 +188,9 @@ func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem strin
 	e.posts.Add(1)
 	if idem != "" && !e.idem.claim(idem) {
 		e.dups.Add(1)
+		if l := e.log(); l != nil {
+			l.Debug("duplicate event dropped", "idem", idem)
+		}
 		return false
 	}
 	e.events.Insert(map[string]string{
@@ -182,6 +199,11 @@ func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem strin
 		"payload": payload,
 		"type":    eventType,
 	})
+	if l := e.log(); l != nil {
+		l.Debug("event ingested",
+			"user", obslog.Pseudonym(user), "item", obslog.Pseudonym(item),
+			"type", eventType)
+	}
 	return true
 }
 
@@ -199,6 +221,7 @@ func (e *Engine) EventCount() int { return e.events.Count() }
 func (e *Engine) TrainNow() error {
 	e.trainMu.Lock()
 	defer e.trainMu.Unlock()
+	start := time.Now()
 
 	events := make([]cco.TypedEvent, 0, e.events.Count())
 	e.events.Scan(func(d store.Document) bool {
@@ -249,6 +272,11 @@ func (e *Engine) TrainNow() error {
 	e.model.Store(model)
 	e.index.Store(idx)
 	e.trains.Add(1)
+	if l := e.log(); l != nil {
+		l.Info("model trained",
+			"events", len(events), "items", len(docs),
+			"duration_ms", time.Since(start).Milliseconds())
+	}
 	return nil
 }
 

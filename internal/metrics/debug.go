@@ -1,9 +1,11 @@
 package metrics
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -11,7 +13,12 @@ import (
 // net/http/pprof endpoints (/debug/pprof/, .../profile, .../heap, ...).
 // It is served on a dedicated listener, never on the traffic port: the
 // profile endpoints are operator-only and must not be reachable from the
-// request path. The returned function stops the server.
+// request path.
+//
+// The returned stop function drains the server gracefully (bounded by a
+// short timeout, then force-closed) and is idempotent, so binaries can
+// both defer it and call it from their SIGTERM path — whichever runs
+// first does the work, the second is a no-op.
 func ServeDebug(addr string) (stop func() error, err error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -25,10 +32,19 @@ func ServeDebug(addr string) (stop func() error, err error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(l)
+	var once sync.Once
+	var stopErr error
 	return func() error {
-		err := srv.Close()
-		l.Close()
-		return err
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			stopErr = srv.Shutdown(ctx)
+			if stopErr != nil {
+				srv.Close()
+			}
+			l.Close()
+		})
+		return stopErr
 	}, nil
 }
 

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// render serves the registry once and returns the text exposition.
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	return rec.Body.String()
+}
+
+func TestRoundTripEscapedLabelValues(t *testing.T) {
+	values := []string{
+		`plain`,
+		`with space`,
+		`quote " inside`,
+		`backslash \ inside`,
+		"newline\ninside",
+		`all "three" \ of` + "\nthem",
+		`trailing backslash \`,
+		`{braces}and,commas=`,
+	}
+	r := NewRegistry()
+	vec := r.GaugeVec("pprox_test_escapes", "escape round-trip", "v")
+	for i, val := range values {
+		i, val := i, val
+		vec.With(func() float64 { return float64(i) }, val)
+	}
+
+	scraped := ParseExposition(render(t, r))
+	found := make(map[string]float64)
+	for series, sample := range scraped {
+		name, labels := ParseSeries(series)
+		if name != "pprox_test_escapes" {
+			continue
+		}
+		found[labels["v"]] = sample
+	}
+	for i, val := range values {
+		got, ok := found[val]
+		if !ok {
+			t.Errorf("label value %q lost in the exposition round trip (got %v)", val, found)
+			continue
+		}
+		if got != float64(i) {
+			t.Errorf("label value %q: sample = %g, want %d", val, got, i)
+		}
+	}
+}
+
+func TestNaNAndInfHistogramSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pprox_test_hist", "hist with pathological observations", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(math.Inf(1))
+	g := math.NaN()
+	r.Gauge("pprox_test_nan_gauge", "NaN gauge", func() float64 { return g })
+	r.Gauge("pprox_test_inf_gauge", "-Inf gauge", func() float64 { return math.Inf(-1) })
+
+	scraped := ParseExposition(render(t, r))
+	if v := scraped["pprox_test_hist_sum"]; !math.IsInf(v, 1) {
+		t.Errorf("histogram sum = %v, want +Inf to survive the round trip", v)
+	}
+	if v := scraped["pprox_test_hist_count"]; v != 2 {
+		t.Errorf("histogram count = %v, want 2", v)
+	}
+	if v := scraped[`pprox_test_hist_bucket{le="+Inf"}`]; v != 2 {
+		t.Errorf("+Inf bucket = %v, want 2", v)
+	}
+	if v, ok := scraped["pprox_test_nan_gauge"]; !ok || !math.IsNaN(v) {
+		t.Errorf("NaN gauge = %v (present %v), want NaN", v, ok)
+	}
+	if v := scraped["pprox_test_inf_gauge"]; !math.IsInf(v, -1) {
+		t.Errorf("-Inf gauge = %v, want -Inf", v)
+	}
+
+	// A NaN *sum* (one NaN observation poisons the accumulator) must
+	// still render a line the scraper keeps.
+	h.Observe(math.NaN())
+	scraped = ParseExposition(render(t, r))
+	if v, ok := scraped["pprox_test_hist_sum"]; !ok || !math.IsNaN(v) {
+		t.Errorf("NaN histogram sum = %v (present %v), want NaN", v, ok)
+	}
+	if v := scraped["pprox_test_hist_count"]; v != 3 {
+		t.Errorf("histogram count after NaN = %v, want 3", v)
+	}
+}
+
+func TestEmptyFamiliesRenderHeaderOnly(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("pprox_test_lazy_total", "no children yet", "who")
+	r.HistogramVec("pprox_test_lazy_seconds", "no children yet", nil, "who")
+	body := render(t, r)
+	if !strings.Contains(body, "# TYPE pprox_test_lazy_total counter") {
+		t.Errorf("empty counter family lost its TYPE header:\n%s", body)
+	}
+	scraped := ParseExposition(body)
+	if len(scraped) != 0 {
+		t.Errorf("empty families produced samples: %v", scraped)
+	}
+}
+
+func TestParseExpositionToleratesJunk(t *testing.T) {
+	body := strings.Join([]string{
+		"# HELP x y",
+		"",
+		"no_value_here",
+		"bad_value{a=\"b\"} not-a-number",
+		"unterminated{a=\"b 1",
+		`good{a="b"} 1 1712345678901`, // timestamped sample
+		"bare 2",
+		"  padded 3  ",
+	}, "\n")
+	got := ParseExposition(body)
+	want := ScrapeSet{`good{a="b"}`: 1, "bare": 2, "padded": 3}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("series %q = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestParseSeriesWithoutLabels(t *testing.T) {
+	name, labels := ParseSeries("pprox_plain_total")
+	if name != "pprox_plain_total" || labels == nil || len(labels) != 0 {
+		t.Errorf("ParseSeries(plain) = %q, %v", name, labels)
+	}
+}
+
+func FuzzParseExposition(f *testing.F) {
+	f.Add("pprox_x{a=\"b\"} 1\n# HELP\nbad")
+	f.Add("x{le=\"+Inf\"} NaN")
+	f.Add("y 2 123456")
+	f.Fuzz(func(t *testing.T, body string) {
+		for series := range ParseExposition(body) {
+			ParseSeries(series) // must not panic on anything parsed out
+		}
+	})
+}
+
+func FuzzLabelRoundTrip(f *testing.F) {
+	f.Add("plain", "x")
+	f.Add(`q"uote`, `back\slash`)
+	f.Add("new\nline", "sp ace")
+	f.Fuzz(func(t *testing.T, v1, v2 string) {
+		if !utf8.ValidString(v1) || !utf8.ValidString(v2) ||
+			strings.ContainsRune(v1, '\r') || strings.ContainsRune(v2, '\r') {
+			t.Skip() // the exposition format is line- and UTF-8-based
+		}
+		series := "fam" + renderLabels([]string{"a", "b"}, []string{v1, v2}, "", "")
+		line := series + " 1"
+		scraped := ParseExposition(line)
+		if len(scraped) != 1 {
+			t.Fatalf("rendered line %q did not parse: %v", line, scraped)
+		}
+		for got := range scraped {
+			name, labels := ParseSeries(got)
+			if name != "fam" {
+				t.Fatalf("name = %q from %q", name, got)
+			}
+			if labels["a"] != v1 || labels["b"] != v2 {
+				t.Fatalf("labels %v, want a=%q b=%q (series %q)", labels, v1, v2, got)
+			}
+		}
+	})
+}

@@ -364,6 +364,13 @@ type HealthFunc func() Health
 // falls through to the application), and everything else from the
 // handler.
 func Mux(r *Registry, health HealthFunc, app http.Handler) http.Handler {
+	return MuxRoutes(r, health, nil, app)
+}
+
+// MuxRoutes is Mux with extra operator routes (e.g. the privacy
+// auditor's /privacy report) dispatched by exact path before the
+// application handler. Routes never shadow /metrics or /healthz.
+func MuxRoutes(r *Registry, health HealthFunc, routes map[string]http.Handler, app http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		switch {
 		case req.Method == http.MethodGet && req.URL.Path == "/metrics":
@@ -382,6 +389,10 @@ func Mux(r *Registry, health HealthFunc, app http.Handler) http.Handler {
 			}
 			json.NewEncoder(w).Encode(h)
 		default:
+			if extra, ok := routes[req.URL.Path]; ok {
+				extra.ServeHTTP(w, req)
+				return
+			}
 			app.ServeHTTP(w, req)
 		}
 	})

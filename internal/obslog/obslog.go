@@ -1,0 +1,220 @@
+// Package obslog is the deployment's structured logger. It wraps
+// log/slog with one non-negotiable rule: no log line ever carries a raw
+// user identifier, item identifier, pseudonym, or key byte. PProx's
+// privacy argument covers the wire (encryption), the proxy interior
+// (enclaves), and telemetry (epoch-granular traces/metrics) — an
+// operator log that prints "user=alice" would re-open the exact channel
+// those layers close, and X-Search/Prochlo both call out log pipelines
+// as the place SGX deployments habitually leak.
+//
+// Two mechanisms enforce the rule:
+//
+//  1. Typed secrets. Call sites wrap sensitive values in UserID, ItemID,
+//     Pseudonym, or Key. These implement slog.LogValuer, so the value is
+//     replaced before any handler sees it: identifiers render as a
+//     salted hash (stable within one process, useless across processes
+//     or against a dictionary), key material as "[redacted]".
+//  2. A redaction handler. Defence in depth for call sites that forget
+//     the types: any attribute whose key names a sensitive field
+//     ("user", "item", "pseudonym", "key", ...) has its string value
+//     hashed by the handler itself, recursively through groups.
+//
+// Everything else — levels, grouping, JSON output — is plain slog, so
+// the logger composes with any slog tooling.
+package obslog
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// salt is drawn once per process. Hashes are therefore joinable within
+// one process's log stream (an operator can count distinct users in a
+// burst) but carry nothing across restarts and cannot be brute-forced
+// from a candidate identifier list without the salt.
+var salt = func() []byte {
+	b := make([]byte, 32)
+	if _, err := rand.Read(b); err != nil {
+		// A logger must not take the process down; an unseeded hash
+		// still never reveals the raw value, only weakens cross-run
+		// unlinkability to the strength of HMAC with a known key.
+		copy(b, "pprox-obslog-fallback-salt------")
+	}
+	return b
+}()
+
+// Hash returns the redacted rendering of an identifier: the first 8 hex
+// characters of HMAC-SHA256(salt, v). Exported so tests can compute the
+// expected rendering; the salt itself stays private to the package.
+func Hash(v string) string {
+	m := hmac.New(sha256.New, salt)
+	m.Write([]byte(v))
+	return hex.EncodeToString(m.Sum(nil))[:8]
+}
+
+// Redacted is the rendering of values that must not appear even hashed
+// (key material, ciphertext bodies).
+const Redacted = "[redacted]"
+
+// UserID is a raw user identifier. It logs as "user:<hash>".
+type UserID string
+
+// LogValue implements slog.LogValuer.
+func (u UserID) LogValue() slog.Value { return slog.StringValue("user:" + Hash(string(u))) }
+
+// ItemID is a raw item identifier. It logs as "item:<hash>".
+type ItemID string
+
+// LogValue implements slog.LogValuer.
+func (i ItemID) LogValue() slog.Value { return slog.StringValue("item:" + Hash(string(i))) }
+
+// Pseudonym is a pseudonymized identifier (det_enc output in base64).
+// Pseudonyms are already opaque to anyone without the permanent key, but
+// logging them raw would let a log reader join log lines against the LRS
+// database or network captures — so they hash like everything else.
+type Pseudonym string
+
+// LogValue implements slog.LogValuer.
+func (p Pseudonym) LogValue() slog.Value { return slog.StringValue("pseudo:" + Hash(string(p))) }
+
+// Key is key material or any other value that must render without even a
+// hash. It logs as "[redacted]".
+type Key []byte
+
+// LogValue implements slog.LogValuer.
+func (Key) LogValue() slog.Value { return slog.StringValue(Redacted) }
+
+// sensitiveKeys are attribute names whose raw string values the handler
+// hashes even when the call site forgot the typed wrappers. Matching is
+// case-insensitive on the final path element of the key.
+var sensitiveKeys = map[string]bool{
+	"user":      true,
+	"user_id":   true,
+	"item":      true,
+	"item_id":   true,
+	"pseudonym": true,
+	"pseudo":    true,
+	"idem":      true,
+	"key":       true,
+	"secret":    true,
+	"token":     true,
+}
+
+// sensitive reports whether an attribute key names a protected field.
+func sensitive(key string) bool {
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		key = key[i+1:]
+	}
+	return sensitiveKeys[strings.ToLower(key)]
+}
+
+// scrubValue redacts a resolved slog value reached through a sensitive
+// key: strings hash, byte slices and anything else redact outright.
+func scrubValue(v slog.Value) slog.Value {
+	v = v.Resolve()
+	switch v.Kind() {
+	case slog.KindString:
+		return slog.StringValue("redacted:" + Hash(v.String()))
+	case slog.KindGroup:
+		return scrubGroup(v.Group())
+	default:
+		return slog.StringValue(Redacted)
+	}
+}
+
+func scrubGroup(attrs []slog.Attr) slog.Value {
+	out := make([]slog.Attr, len(attrs))
+	for i, a := range attrs {
+		out[i] = scrubAttr(a)
+	}
+	return slog.GroupValue(out...)
+}
+
+// scrubAttr applies the key-based redaction rule to one attribute,
+// recursing into groups so "request.user" is as protected as "user".
+func scrubAttr(a slog.Attr) slog.Attr {
+	if sensitive(a.Key) {
+		return slog.Attr{Key: a.Key, Value: scrubValue(a.Value)}
+	}
+	if v := a.Value.Resolve(); v.Kind() == slog.KindGroup {
+		return slog.Attr{Key: a.Key, Value: scrubGroup(v.Group())}
+	}
+	return a
+}
+
+// Handler wraps a slog.Handler with the key-based redaction pass. The
+// typed secrets do not need it — they self-redact via LogValue — but it
+// catches plain attributes whose key marks them sensitive.
+type Handler struct {
+	inner slog.Handler
+}
+
+// NewHandler wraps inner with redaction.
+func NewHandler(inner slog.Handler) *Handler { return &Handler{inner: inner} }
+
+// Enabled implements slog.Handler.
+func (h *Handler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler, scrubbing record attributes.
+func (h *Handler) Handle(ctx context.Context, r slog.Record) error {
+	out := slog.NewRecord(r.Time, r.Level, r.Message, r.PC)
+	r.Attrs(func(a slog.Attr) bool {
+		out.AddAttrs(scrubAttr(a))
+		return true
+	})
+	return h.inner.Handle(ctx, out)
+}
+
+// WithAttrs implements slog.Handler, scrubbing pre-bound attributes.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	scrubbed := make([]slog.Attr, len(attrs))
+	for i, a := range attrs {
+		scrubbed[i] = scrubAttr(a)
+	}
+	return &Handler{inner: h.inner.WithAttrs(scrubbed)}
+}
+
+// WithGroup implements slog.Handler.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	return &Handler{inner: h.inner.WithGroup(name)}
+}
+
+// New builds the standard component logger: JSON lines on w, filtered at
+// level (nil means slog.LevelInfo), redaction on, and a "component"
+// attribute identifying the binary or subsystem.
+func New(w io.Writer, component string, level slog.Leveler) *slog.Logger {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	h := NewHandler(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+	return slog.New(h).With(slog.String("component", component))
+}
+
+// Nop returns a logger that discards everything, for components whose
+// logger field was never set.
+func Nop() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// ParseLevel maps the -log-level flag values to slog levels; unknown
+// strings select Info.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

@@ -1,0 +1,116 @@
+package obslog
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// logLine runs fn against a fresh logger and returns the raw output plus
+// the decoded first JSON record.
+func logLine(t *testing.T, fn func(l *slog.Logger)) (string, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	fn(New(&buf, "test", slog.LevelDebug))
+	out := buf.String()
+	var rec map[string]any
+	line := out
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	if line != "" {
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("output is not JSON: %v (%q)", err, line)
+		}
+	}
+	return out, rec
+}
+
+func TestTypedSecretsRedact(t *testing.T) {
+	out, rec := logLine(t, func(l *slog.Logger) {
+		l.Info("event ingested",
+			"who", UserID("alice"),
+			"what", ItemID("war-and-peace"),
+			"as", Pseudonym("cGFzc3dvcmQ="),
+			"with", Key([]byte("super-secret-key-bytes")))
+	})
+	for _, raw := range []string{"alice", "war-and-peace", "cGFzc3dvcmQ=", "super-secret"} {
+		if strings.Contains(out, raw) {
+			t.Errorf("raw secret %q leaked into log output: %s", raw, out)
+		}
+	}
+	if got := rec["who"]; got != "user:"+Hash("alice") {
+		t.Errorf("UserID rendered %v, want salted hash", got)
+	}
+	if got := rec["what"]; got != "item:"+Hash("war-and-peace") {
+		t.Errorf("ItemID rendered %v, want salted hash", got)
+	}
+	if got := rec["as"]; got != "pseudo:"+Hash("cGFzc3dvcmQ=") {
+		t.Errorf("Pseudonym rendered %v, want salted hash", got)
+	}
+	if got := rec["with"]; got != Redacted {
+		t.Errorf("Key rendered %v, want %q", got, Redacted)
+	}
+}
+
+func TestSensitiveKeysScrubbedWithoutTypes(t *testing.T) {
+	// A forgetful call site logs raw strings under sensitive keys; the
+	// handler must still redact them.
+	out, rec := logLine(t, func(l *slog.Logger) {
+		l.Warn("sloppy", "user", "alice", "Item", "tolstoy", "secret", []byte{1, 2})
+	})
+	if strings.Contains(out, "alice") || strings.Contains(out, "tolstoy") {
+		t.Fatalf("key-based redaction failed: %s", out)
+	}
+	if got := rec["user"]; got != "redacted:"+Hash("alice") {
+		t.Errorf("user rendered %v", got)
+	}
+	if got := rec["Item"]; got != "redacted:"+Hash("tolstoy") {
+		t.Errorf("case-insensitive match failed: %v", got)
+	}
+	if got := rec["secret"]; got != Redacted {
+		t.Errorf("non-string sensitive value rendered %v, want %q", got, Redacted)
+	}
+}
+
+func TestGroupsAndWithAttrsScrubbed(t *testing.T) {
+	out, _ := logLine(t, func(l *slog.Logger) {
+		l.With("user", "bound-user").WithGroup("req").Info("handled",
+			slog.Group("inner", slog.String("pseudonym", "raw-pseudo")),
+			"node", "ua-0")
+	})
+	if strings.Contains(out, "bound-user") {
+		t.Errorf("WithAttrs-bound sensitive value leaked: %s", out)
+	}
+	if strings.Contains(out, "raw-pseudo") {
+		t.Errorf("group-nested sensitive value leaked: %s", out)
+	}
+	if !strings.Contains(out, "ua-0") {
+		t.Errorf("benign attribute was over-redacted: %s", out)
+	}
+}
+
+func TestHashStableWithinProcessAndNeverRaw(t *testing.T) {
+	if Hash("x") != Hash("x") {
+		t.Error("hash not stable within process")
+	}
+	if Hash("x") == Hash("y") {
+		t.Error("distinct values collide (astronomically unlikely)")
+	}
+	if strings.Contains(Hash("alice"), "alice") {
+		t.Error("hash contains the raw value")
+	}
+	if len(Hash("alice")) != 8 {
+		t.Errorf("hash length = %d, want 8", len(Hash("alice")))
+	}
+}
+
+func TestNopAndLevels(t *testing.T) {
+	Nop().Error("goes nowhere") // must not panic
+	if ParseLevel("debug") != slog.LevelDebug || ParseLevel("WARN") != slog.LevelWarn ||
+		ParseLevel("error") != slog.LevelError || ParseLevel("bogus") != slog.LevelInfo {
+		t.Error("ParseLevel mapping wrong")
+	}
+}

@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -200,6 +201,36 @@ func (l *Layer) SetTracer(t *trace.Tracer) {
 // Tracer returns the layer's tracer (nil when tracing is off).
 func (l *Layer) Tracer() *trace.Tracer { return l.tracer.Load() }
 
+// SetEpochObserver installs a callback receiving every shuffle-epoch
+// release with the batch size the shuffler actually let go — the
+// effective anonymity set of the requests in that epoch. This is the
+// privacy auditor's feed (audit.Auditor.ObserveEpoch). The callback runs
+// on the flush path, so it must be cheap and must not call back into the
+// shuffler. Nil uninstalls.
+func (l *Layer) SetEpochObserver(fn func(batch int)) {
+	if fn == nil {
+		l.epochFn.Store(nil)
+	} else {
+		l.epochFn.Store(&fn)
+	}
+	l.rewireShuffler()
+}
+
+// SetLogger installs the layer's structured logger (request failures,
+// shutdown). The proxy interior only ever handles ciphertext, so log
+// records here carry status classes and stage names, never payload
+// content. Nil disables logging.
+func (l *Layer) SetLogger(lg *slog.Logger) {
+	l.logger.Store(lg)
+}
+
+// logWarn emits one warning when a logger is installed.
+func (l *Layer) logWarn(msg string, args ...any) {
+	if lg := l.logger.Load(); lg != nil {
+		lg.Warn(msg, args...)
+	}
+}
+
 // rewireShuffler points the shuffler's hooks at the current instrument
 // set and tracer.
 func (l *Layer) rewireShuffler() {
@@ -208,14 +239,18 @@ func (l *Layer) rewireShuffler() {
 	}
 	obs := l.obs.Load()
 	tr := l.tracer.Load()
+	epochFn := l.epochFn.Load()
 	var onEnqueue, onFlush func(int)
 	if obs != nil && obs.pendingDepth != nil {
 		onEnqueue = func(depth int) { obs.pendingDepth.Observe(float64(depth)) }
 	}
-	if (obs != nil && obs.batchSize != nil) || tr != nil {
+	if (obs != nil && obs.batchSize != nil) || tr != nil || epochFn != nil {
 		onFlush = func(batch int) {
 			if obs != nil && obs.batchSize != nil {
 				obs.batchSize.Observe(float64(batch))
+			}
+			if epochFn != nil {
+				(*epochFn)(batch)
 			}
 			tr.AdvanceEpoch()
 		}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -110,6 +111,9 @@ type Layer struct {
 	// read lock-free on the request path.
 	obs    atomic.Pointer[instruments]
 	tracer atomic.Pointer[trace.Tracer]
+	// epochFn and logger are installed by SetEpochObserver / SetLogger.
+	epochFn atomic.Pointer[func(int)]
+	logger  atomic.Pointer[slog.Logger]
 }
 
 // New creates a layer instance from its configuration.
@@ -215,7 +219,8 @@ func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
 			l.fail(w, http.StatusServiceUnavailable, "shuffling table full")
 		case errors.Is(err, errEnclave):
 			// No detail: the untrusted host must not relay why the
-			// enclave rejected a ciphertext.
+			// enclave rejected a ciphertext. The log record is equally
+			// blind — a failure class, not a reason.
 			l.fail(w, http.StatusBadRequest, "request rejected")
 		case errors.Is(err, resilience.ErrBreakerOpen):
 			l.fail(w, http.StatusServiceUnavailable, "next hop unavailable")
@@ -224,6 +229,8 @@ func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
 		default:
 			l.fail(w, http.StatusBadGateway, "upstream error")
 		}
+		l.logWarn("request failed",
+			"layer", l.roleLabel(), "path", r.URL.Path, "class", failClass(err))
 		return
 	}
 
@@ -236,6 +243,25 @@ func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
 func (l *Layer) fail(w http.ResponseWriter, status int, msg string) {
 	l.failed.Add(1)
 	http.Error(w, msg, status)
+}
+
+// failClass maps a pipeline error to a bounded-cardinality label for log
+// records. It deliberately never renders err.Error(): upstream errors
+// wrap URLs and transport detail that belong in metrics dimensions, not
+// free text.
+func failClass(err error) string {
+	switch {
+	case errors.Is(err, ErrTableFull):
+		return "table_full"
+	case errors.Is(err, errEnclave):
+		return "enclave_reject"
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return "breaker_open"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		return "upstream"
+	}
 }
 
 // handleUA implements the UA node pipeline: pseudonymize the user

@@ -134,6 +134,17 @@ type Responder struct {
 	OnRotated func(*Result)
 	// OnError receives rotation failures.
 	OnError func(error)
+	// Audit, when set, receives the breach and the rotation outcome so
+	// the privacy-SLO auditor can hold the deployment in the violated
+	// state for exactly the window where stolen keys were in service.
+	Audit Auditor
+}
+
+// Auditor is the subset of the privacy auditor the responder feeds:
+// a breach opens a violation window, a completed rotation closes it.
+type Auditor interface {
+	ObserveBreach(layer string)
+	ObserveRotation(layer string)
 }
 
 // NewResponder builds the breach-response hook.
@@ -156,6 +167,9 @@ func (r *Responder) Countermeasure(e *enclave.Enclave) {
 		}
 		return
 	}
+	if r.Audit != nil {
+		r.Audit.ObserveBreach(layer.String())
+	}
 	res, err := RotateKeys(layer, keys, r.eng)
 	if err != nil {
 		if r.OnError != nil {
@@ -170,6 +184,9 @@ func (r *Responder) Countermeasure(e *enclave.Enclave) {
 		r.uaKeys = res.Fresh
 	case LayerIA:
 		r.iaKeys = res.Fresh
+	}
+	if r.Audit != nil {
+		r.Audit.ObserveRotation(layer.String())
 	}
 	if r.OnRotated != nil {
 		r.OnRotated(res)
