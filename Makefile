@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench audit-smoke clean
+.PHONY: all build vet test race verify bench audit-smoke cache-smoke clean
 
 all: verify
 
@@ -37,6 +37,14 @@ bench:
 # violation. Writes the /privacy report to audit-report.json.
 audit-smoke:
 	$(GO) run ./cmd/pprox-audit -smoke -out audit-report.json
+
+# Recommendation-cache smoke test: run the pprox-bench cache scenario
+# (Zipf get stream, cache off vs on). The scenario exits non-zero unless
+# the hit rate is positive, the privacy auditor stays ok, and the cached
+# run sends fewer gets to the LRS than the uncached one. Output is kept
+# in cache-smoke.txt for CI artifact upload.
+cache-smoke:
+	$(GO) run ./cmd/pprox-bench -quick cache | tee cache-smoke.txt
 
 clean:
 	rm -rf bin

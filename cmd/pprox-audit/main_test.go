@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pprox/internal/audit"
+	"pprox/internal/obslog"
+)
+
+func TestSmokeModeDetectsInjectedViolation(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	if err := runSmoke(out, obslog.Nop()); err != nil {
+		t.Fatalf("smoke run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep audit.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report artifact is not valid JSON: %v", err)
+	}
+	if rep.State != audit.StateViolated.String() {
+		t.Errorf("artifact state = %q, want violated", rep.State)
+	}
+	if rep.WorstEpochBatch != smokeShuffle-smokeDropped {
+		t.Errorf("artifact worst epoch = %d, want %d", rep.WorstEpochBatch, smokeShuffle-smokeDropped)
+	}
+}
+
+func TestScrapeModeAgainstFakeNode(t *testing.T) {
+	rep := audit.Report{
+		TargetS:            8,
+		Objective:          0.99,
+		State:              audit.StateViolated.String(),
+		EffectiveAnonymity: 5,
+		WorstEpochBatch:    5,
+		EpochsTotal:        12,
+		UnderfilledTotal:   2,
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case audit.PrivacyPath:
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(rep)
+		case "/metrics":
+			w.Write([]byte("pprox_audit_slo_state 2\n"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "cluster.json")
+	violated, err := runScrape([]string{srv.URL + "/"}, 5*time.Second, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Error("scrape of a violated node did not report violation")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"violated"`) {
+		t.Errorf("cluster artifact missing node state: %s", data)
+	}
+
+	if _, err := runScrape([]string{srv.URL + "/missing", ""}, time.Second, ""); err == nil {
+		t.Error("scrape of a dead endpoint did not fail")
+	}
+}

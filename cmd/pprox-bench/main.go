@@ -9,6 +9,7 @@
 //	pprox-bench fig9            # Harness LRS baseline
 //	pprox-bench fig10           # full integrated system
 //	pprox-bench shuffle         # §6.2 adversary linking probability
+//	pprox-bench cache           # in-enclave recommendation cache, Zipf gets
 //	pprox-bench measured        # real-plane latency spot-check (in-process stack)
 //	pprox-bench all             # everything above
 //
@@ -68,7 +69,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: pprox-bench [-quick] [-duration D] [-reps N] <experiment>
 
 experiments:
-  table2 table3 fig6 fig7 fig8 fig9 fig10 shuffle elastic measured measured-macro all
+  table2 table3 fig6 fig7 fig8 fig9 fig10 shuffle cache elastic measured measured-macro all
 `)
 	flag.PrintDefaults()
 }
@@ -91,6 +92,8 @@ func run(what string, opts sim.RunOptions) error {
 		printFigure("Figure 10 — PProx + Harness integrated", sim.Figure10(opts))
 	case "shuffle":
 		return runShuffleExperiment()
+	case "cache":
+		return runCacheScenario(opts)
 	case "elastic":
 		printElastic(opts)
 	case "measured":
@@ -106,6 +109,9 @@ func run(what string, opts sim.RunOptions) error {
 		printFigure("Figure 9 — Harness LRS baseline", sim.Figure9(opts))
 		printFigure("Figure 10 — PProx + Harness integrated", sim.Figure10(opts))
 		if err := runShuffleExperiment(); err != nil {
+			return err
+		}
+		if err := runCacheScenario(opts); err != nil {
 			return err
 		}
 		printElastic(opts)

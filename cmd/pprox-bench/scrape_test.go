@@ -1,0 +1,73 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pprox/internal/metrics"
+)
+
+// exposition is a hand-written scrape in the exact shape the registry
+// renders pprox_proxy_stage_seconds, including an escaped label value
+// and NaN/Inf samples the scraper must not choke on.
+const exposition = `# HELP pprox_proxy_stage_seconds Time spent per proxy pipeline stage.
+# TYPE pprox_proxy_stage_seconds histogram
+pprox_proxy_stage_seconds_bucket{layer="ua",node="ua-0",stage="forward",le="0.005"} 8
+pprox_proxy_stage_seconds_bucket{layer="ua",node="ua-0",stage="forward",le="+Inf"} 10
+pprox_proxy_stage_seconds_sum{layer="ua",node="ua-0",stage="forward"} 0.042
+pprox_proxy_stage_seconds_count{layer="ua",node="ua-0",stage="forward"} 10
+pprox_weird{path="with \"quotes\" and \\ space"} 1
+pprox_nan_sum NaN
+pprox_inf_sum +Inf
+`
+
+func TestParseExpositionAndSeriesLabels(t *testing.T) {
+	set := metrics.ParseExposition(exposition)
+	if v := set[`pprox_proxy_stage_seconds_count{layer="ua",node="ua-0",stage="forward"}`]; v != 10 {
+		t.Fatalf("count sample = %v, want 10", v)
+	}
+	if !math.IsNaN(set["pprox_nan_sum"]) || !math.IsInf(set["pprox_inf_sum"], 1) {
+		t.Fatalf("NaN/Inf samples mangled: %v", set)
+	}
+
+	for series := range set {
+		if !strings.HasPrefix(series, "pprox_weird") {
+			continue
+		}
+		name, labels := seriesLabels(series)
+		if name != "pprox_weird" {
+			t.Errorf("name = %q", name)
+		}
+		if labels["path"] != `with "quotes" and \ space` {
+			t.Errorf("escaped label value = %q", labels["path"])
+		}
+	}
+}
+
+func TestStageBreakdownDeltas(t *testing.T) {
+	before := metrics.ParseExposition(exposition)
+	after := metrics.ParseExposition(strings.NewReplacer(
+		"} 8", "} 20", "} 10", "} 25", " 0.042", " 0.125",
+	).Replace(exposition))
+
+	dist := stageBreakdown(before, after)
+	cell := dist["ua"]["forward"]
+	if cell == nil {
+		t.Fatalf("no ua/forward cell: %v", dist)
+	}
+	if cell.count != 15 {
+		t.Errorf("count delta = %v, want 15", cell.count)
+	}
+	if math.Abs(cell.sum-0.083) > 1e-9 {
+		t.Errorf("sum delta = %v, want 0.083", cell.sum)
+	}
+	// 12 of 15 new observations landed in the 5ms bucket; p50 must
+	// resolve to that bound, p95 to the +Inf stand-in.
+	if q := cell.quantile(0.5); q != 0.005 {
+		t.Errorf("p50 = %v, want 0.005", q)
+	}
+	if q := cell.quantile(0.95); q < 1e307 {
+		t.Errorf("p95 = %v, want the +Inf stand-in", q)
+	}
+}

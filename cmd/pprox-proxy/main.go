@@ -41,6 +41,7 @@ import (
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
 	"pprox/internal/proxy"
+	"pprox/internal/reccache"
 	"pprox/internal/resilience"
 	"pprox/internal/trace"
 	"pprox/internal/transport"
@@ -64,6 +65,10 @@ type options struct {
 	logLevel       string
 	auditSLO       bool
 	auditObjective float64
+
+	cache         bool
+	cacheTTL      time.Duration
+	cacheEPCPages int
 
 	noResilience     bool
 	hopTimeout       time.Duration
@@ -93,6 +98,9 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
 	flag.BoolVar(&o.auditSLO, "audit", false, "run the privacy-SLO auditor and serve its report on /privacy")
 	flag.Float64Var(&o.auditObjective, "audit-objective", 0.99, "fraction of shuffle epochs that must be fully occupied")
+	flag.BoolVar(&o.cache, "cache", false, "enable the in-enclave recommendation cache (IA role only)")
+	flag.DurationVar(&o.cacheTTL, "cache-ttl", reccache.DefaultTTL, "per-entry TTL of the recommendation cache")
+	flag.IntVar(&o.cacheEPCPages, "cache-epc-pages", reccache.DefaultMaxPages, "EPC page budget of the recommendation cache")
 	flag.BoolVar(&o.noResilience, "no-resilience", false, "disable retries, hop deadlines, and the circuit breaker (single attempts)")
 	flag.DurationVar(&o.hopTimeout, "hop-timeout", 10*time.Second, "per-attempt deadline toward the next hop")
 	flag.IntVar(&o.retries, "retries", 2, "retry attempts after a failed forward (0 = one attempt)")
@@ -143,6 +151,10 @@ func run(o options, logger *slog.Logger) error {
 		}
 	}
 
+	if o.cache && (r != proxy.RoleIA || o.passthrough) {
+		return fmt.Errorf("-cache requires -role ia without -passthrough")
+	}
+
 	if !o.passthrough {
 		if o.keysPath == "" {
 			return fmt.Errorf("-keys is required unless -passthrough")
@@ -171,6 +183,11 @@ func run(o options, logger *slog.Logger) error {
 			cfg.Enclave = e
 		} else {
 			opts := proxy.IAOptions{DisableItemPseudonymization: o.noItemPseudo}
+			if o.cache {
+				c := reccache.New(reccache.Config{TTL: o.cacheTTL, MaxPages: o.cacheEPCPages})
+				opts.Cache = c
+				cfg.RecCache = c
+			}
 			e := proxy.NewIAEnclave(platform, opts)
 			if err := iaKeys.Provision(as, e, proxy.IAIdentityFor(opts)); err != nil {
 				return err
@@ -213,6 +230,9 @@ func run(o options, logger *slog.Logger) error {
 		}
 		if e := layer.Enclave(); e != nil {
 			auditor.AddViolationCheck("enclave compromised", e.Compromised)
+		}
+		if c := layer.RecCache(); c != nil {
+			auditor.RegisterCacheCheck(o.role, c)
 		}
 		auditor.RegisterMetrics(reg)
 		routes = map[string]http.Handler{audit.PrivacyPath: auditor.Handler()}

@@ -18,6 +18,7 @@ import (
 	"pprox/internal/message"
 	"pprox/internal/ppcrypto"
 	"pprox/internal/proxy"
+	"pprox/internal/reccache"
 	"pprox/internal/transport"
 )
 
@@ -38,6 +39,12 @@ type tappedStack struct {
 }
 
 func newTappedStack(t *testing.T, shuffleSize int) *tappedStack {
+	return newTappedStackWithCache(t, shuffleSize, nil)
+}
+
+// newTappedStackWithCache optionally equips the IA layer with the
+// in-enclave recommendation cache, for the cache-specific attacks.
+func newTappedStackWithCache(t *testing.T, shuffleSize int, cache *reccache.Cache) *tappedStack {
 	t.Helper()
 	st := &tappedStack{rec: adversary.NewRecorder(), net: transport.NewNetwork()}
 	t.Cleanup(func() { st.net.Close() })
@@ -46,9 +53,10 @@ func newTappedStack(t *testing.T, shuffleSize int) *tappedStack {
 	if err != nil {
 		t.Fatal(err)
 	}
+	iaOpts := proxy.IAOptions{Cache: cache}
 	platform := enclave.NewPlatform(as)
 	st.uaEncl = proxy.NewUAEnclave(platform)
-	st.iaEncl = proxy.NewIAEnclave(platform, proxy.IAOptions{})
+	st.iaEncl = proxy.NewIAEnclave(platform, iaOpts)
 	if st.uaKeys, err = proxy.NewLayerKeys(); err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +66,7 @@ func newTappedStack(t *testing.T, shuffleSize int) *tappedStack {
 	if err := st.uaKeys.Provision(as, st.uaEncl, proxy.UAIdentity); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.iaKeys.Provision(as, st.iaEncl, proxy.IAIdentity); err != nil {
+	if err := st.iaKeys.Provision(as, st.iaEncl, proxy.IAIdentityFor(iaOpts)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -82,6 +90,7 @@ func newTappedStack(t *testing.T, shuffleSize int) *tappedStack {
 	ia, err := proxy.New(proxy.Config{
 		Role: proxy.RoleIA, Enclave: st.iaEncl, Next: "http://lrs",
 		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 200 * time.Millisecond,
+		RecCache: cache,
 	})
 	if err != nil {
 		t.Fatal(err)

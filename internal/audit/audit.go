@@ -172,9 +172,10 @@ type Auditor struct {
 	violations       uint64
 	warns            uint64
 
-	rotations map[string]time.Time // layer → last rotation (or start)
-	breaches  map[string]time.Time // layer → unremediated breach time
-	checks    []check
+	rotations    map[string]time.Time // layer → last rotation (or start)
+	breaches     map[string]time.Time // layer → unremediated breach time
+	checks       []check
+	cacheWatches []*cacheWatch
 
 	logger *slog.Logger
 
@@ -271,6 +272,12 @@ func (a *Auditor) ObserveBreach(layer string) {
 	now := a.cfg.Now()
 	a.mu.Lock()
 	a.breaches[layer] = now
+	// Every registered recommendation cache now owes a wholesale flush,
+	// whichever layer leaked: cached lists derive from the pre-breach
+	// key world (see RegisterCacheCheck).
+	for _, w := range a.cacheWatches {
+		w.noteBreach()
+	}
 	a.recomputeLocked(now)
 	a.mu.Unlock()
 }

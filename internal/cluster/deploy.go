@@ -15,6 +15,7 @@ import (
 	"pprox/internal/message"
 	"pprox/internal/metrics"
 	"pprox/internal/proxy"
+	"pprox/internal/reccache"
 	"pprox/internal/resilience"
 	"pprox/internal/stub"
 	"pprox/internal/trace"
@@ -38,6 +39,13 @@ type Spec struct {
 	ShuffleTimeout time.Duration
 	// Workers sizes each proxy instance's data-processing pool.
 	Workers int
+	// Cache enables the in-enclave recommendation cache on every IA
+	// instance (requires Encryption: lookups and fills are ECALLs).
+	// CacheTTL and CachePages override the reccache defaults when set;
+	// CachePages bounds each cache's share of its enclave's EPC budget.
+	Cache      bool
+	CacheTTL   time.Duration
+	CachePages int
 	// UseStub serves the nginx-style static stub instead of the real
 	// engine (micro-benchmarks); StubDelay models its service time.
 	UseStub   bool
@@ -133,6 +141,9 @@ type Deployment struct {
 	// Auditor is the deployment's privacy-SLO engine (nil unless
 	// Spec.Audit is set). Every node serves its report on /privacy.
 	Auditor *audit.Auditor
+	// RecCaches are the per-IA-instance recommendation caches, indexed
+	// like IALayers (nil without Spec.Cache).
+	RecCaches []*reccache.Cache
 
 	spec Spec
 	// nodes tracks every served node by address so chaos tests can kill
@@ -158,6 +169,9 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 	}
 	if spec.ProxyEnabled && (spec.UA <= 0 || spec.IA <= 0) {
 		return nil, errors.New("cluster: proxy deployment needs at least one instance per layer")
+	}
+	if spec.Cache && !(spec.ProxyEnabled && spec.Encryption) {
+		return nil, errors.New("cluster: recommendation cache needs the encrypted proxy path")
 	}
 
 	d = &Deployment{
@@ -237,7 +251,15 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 	for i := 0; i < spec.IA; i++ {
 		addr := fmt.Sprintf("ia-%d", i)
 		iaBackends[i] = addr
-		layer, err := d.newLayer(proxy.RoleIA, spec, platform, as, iaOpts, "http://lrs", interClient)
+		instOpts := iaOpts
+		if spec.Cache {
+			// One cache per IA instance: each draws on its own
+			// enclave's EPC budget (Bind happens inside NewIAEnclave).
+			cache := reccache.New(reccache.Config{TTL: spec.CacheTTL, MaxPages: spec.CachePages})
+			instOpts.Cache = cache
+			d.RecCaches = append(d.RecCaches, cache)
+		}
+		layer, err := d.newLayer(proxy.RoleIA, spec, platform, as, instOpts, "http://lrs", interClient)
 		if err != nil {
 			return nil, err
 		}
@@ -361,6 +383,9 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 		if e := layer.Enclave(); e != nil {
 			a.AddViolationCheck("enclave compromised on "+addr, e.Compromised)
 		}
+		if c := layer.RecCache(); c != nil {
+			a.RegisterCacheCheck(addr, c)
+		}
 	}
 	return d.serve(addr, metrics.MuxRoutes(d.Metrics, layer.Health, d.auditRoutes(), layer))
 }
@@ -401,6 +426,7 @@ func (d *Deployment) newLayer(role proxy.Role, spec Spec, platform *enclave.Plat
 				return nil, err
 			}
 			cfg.Enclave = e
+			cfg.RecCache = iaOpts.Cache
 		}
 	}
 	return proxy.New(cfg)

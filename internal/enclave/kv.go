@@ -27,20 +27,22 @@ func newKV(owner *Enclave) *KV {
 	}
 }
 
-// Put stores a value, charging EPC pages for it. Replacing a key releases
-// the previous charge first.
+// Put stores a value, charging EPC pages for it. Replacing a key charges
+// only the page delta, and charges it *before* touching the old value: a
+// replace that fails under EPC pressure leaves the existing entry intact
+// instead of silently dropping it.
 func (kv *KV) Put(key string, value []byte) error {
 	need := pagesFor(len(key) + len(value))
 
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	if old, ok := kv.pages[key]; ok {
-		kv.owner.free(old)
-		delete(kv.data, key)
-		delete(kv.pages, key)
-	}
-	if err := kv.owner.alloc(need); err != nil {
-		return fmt.Errorf("kv put %q: %w", key, err)
+	old := kv.pages[key] // 0 when absent
+	if need > old {
+		if err := kv.owner.alloc(need - old); err != nil {
+			return fmt.Errorf("kv put %q: %w", key, err)
+		}
+	} else if old > need {
+		kv.owner.free(old - need)
 	}
 	kv.data[key] = append([]byte(nil), value...)
 	kv.pages[key] = need
@@ -74,16 +76,35 @@ func (kv *KV) Take(key string) ([]byte, bool) {
 	return v, true
 }
 
-// Delete removes a key, releasing its EPC charge. Deleting an absent key
-// is a no-op.
-func (kv *KV) Delete(key string) {
+// Delete removes a key and returns the EPC pages it releases. Deleting an
+// absent key is a no-op returning 0.
+func (kv *KV) Delete(key string) int {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	if p, ok := kv.pages[key]; ok {
-		kv.owner.free(p)
-		delete(kv.data, key)
-		delete(kv.pages, key)
+	p, ok := kv.pages[key]
+	if !ok {
+		return 0
 	}
+	kv.owner.free(p)
+	delete(kv.data, key)
+	delete(kv.pages, key)
+	return p
+}
+
+// Flush removes every entry in one bulk release and returns the total EPC
+// pages freed. Key rotation and cache teardown use it instead of per-key
+// Delete loops.
+func (kv *KV) Flush() int {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	total := 0
+	for _, p := range kv.pages {
+		total += p
+	}
+	kv.owner.free(total)
+	kv.data = make(map[string][]byte)
+	kv.pages = make(map[string]int)
+	return total
 }
 
 // Len returns the number of stored entries.

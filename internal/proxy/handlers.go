@@ -9,6 +9,7 @@ import (
 	"pprox/internal/enclave"
 	"pprox/internal/message"
 	"pprox/internal/ppcrypto"
+	"pprox/internal/reccache"
 )
 
 // Secret names under which layer key material is provisioned into
@@ -56,10 +57,36 @@ var (
 
 // iaGetCall frames the IA get-path ECALL: the opaque request body plus the
 // host-chosen handle under which the enclave parks the temporary key k_u
-// in its EPC key-value store until the LRS response arrives.
+// in its EPC key-value store until the LRS response arrives. Fill, on the
+// response ECALL, marks the coalescing leader: only it writes the fetched
+// list into the recommendation cache, so N coalesced followers do not
+// re-fill N times.
 type iaGetCall struct {
 	Handle string          `json:"handle"`
 	Body   json.RawMessage `json:"body"`
+	Fill   bool            `json:"fill,omitempty"`
+}
+
+// iaGetResult is the ia/get ECALL output when the recommendation cache is
+// enabled. On a hit, Body is the finished GetResponse — sealed under the
+// client's k_u inside the ECALL — and no LRS hop is needed. On a miss,
+// Body is the LRSGet request to forward and Key is the coalescing key
+// (tenant + user pseudonym, both of which the host sees on the LRS link
+// anyway) under which concurrent misses share one fetch.
+type iaGetResult struct {
+	Hit  bool            `json:"hit"`
+	Key  string          `json:"key,omitempty"`
+	Body json.RawMessage `json:"body"`
+}
+
+// parkedKey is the pending-response state the ia/get ECALL parks in the
+// EPC KV store until the LRS answers: the client's temporary key, the
+// tenant whose kIA decodes the response, and the user pseudonym the
+// response ECALL fills the cache under. It never leaves the enclave.
+type parkedKey struct {
+	Ku     []byte `json:"ku"`
+	Tenant string `json:"tenant"`
+	User   string `json:"user"`
 }
 
 // errEnclave wraps handler-internal failures; the untrusted server sees
@@ -271,15 +298,25 @@ type IAOptions struct {
 	// the clear (§6.3): useful for semantics-based recommenders, at the
 	// cost of weakening the adversary the design tolerates.
 	DisableItemPseudonymization bool
+	// Cache enables the in-enclave recommendation cache: get-path ECALLs
+	// look up the user pseudonym before asking the LRS, response ECALLs
+	// fill it, and rating POSTs invalidate it. The cache's EPC pages are
+	// charged against this enclave's budget (Bind happens at launch).
+	Cache *reccache.Cache
 }
 
 // IAIdentityFor returns the code identity matching the options, for
-// attestation.
+// attestation. The cache variant changes the measurement — caching code
+// is part of what the provisioner trusts with keys.
 func IAIdentityFor(opts IAOptions) enclave.CodeIdentity {
+	ci := IAIdentity
 	if opts.DisableItemPseudonymization {
-		return IAIdentityNoItemPseudonyms
+		ci = IAIdentityNoItemPseudonyms
 	}
-	return IAIdentity
+	if opts.Cache != nil {
+		ci.Version += "+cache"
+	}
+	return ci
 }
 
 // NewIAEnclave launches an Item Anonymizer enclave. The IA layer sees item
@@ -289,6 +326,12 @@ func IAIdentityFor(opts IAOptions) enclave.CodeIdentity {
 // re-encrypt the recommendation list so the UA layer cannot read it.
 func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 	e := p.Launch(IAIdentityFor(opts))
+	if opts.Cache != nil {
+		// Cache entries draw on this enclave's EPC budget, like the KV
+		// store does; EPC pressure evicts LRU entries instead of
+		// failing requests.
+		opts.Cache.Bind(e)
+	}
 
 	decryptItem := func(s enclave.Secrets, tenant, encItem string) (string, error) {
 		kp, err := privateKey(s, tenant)
@@ -310,6 +353,46 @@ func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 		return item, nil
 	}
 
+	// sealItems finishes a recommendation list for release: truncate,
+	// de-pseudonymize under kIA, and encrypt under the client's temporary
+	// key k_u. Shared by the cache-hit path and the LRS-response path, so
+	// a cached entry is only ever sealed at release time, under the key of
+	// the client asking *now* — nothing client-encrypted is ever stored.
+	sealItems := func(s enclave.Secrets, tenant string, ku []byte, items []string) ([]byte, error) {
+		if len(items) > message.MaxRecommendations {
+			items = items[:message.MaxRecommendations]
+		}
+		clear := make([]string, 0, len(items))
+		if opts.DisableItemPseudonymization {
+			clear = append(clear, items...)
+		} else {
+			kIA, err := getSecret(s, SecretPermanentKey, tenant)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				pseudo, err := message.Decode64(it)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", errEnclave, err)
+				}
+				id, err := ppcrypto.Depseudonymize(kIA, pseudo)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", errEnclave, err)
+				}
+				clear = append(clear, id)
+			}
+		}
+		packed, err := message.EncodeItemList(clear)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		encrypted, err := ppcrypto.SymEncrypt(ku, packed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		return message.Marshal(message.GetResponse{EncItems: message.Encode64(encrypted)})
+	}
+
 	e.Register(ecallIAPost, func(s enclave.Secrets, _ *enclave.KV, in []byte) ([]byte, error) {
 		in, err := maybeUnwrapLink(s, in)
 		if err != nil {
@@ -322,6 +405,11 @@ func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 		item, err := decryptItem(s, req.Tenant, req.EncItem)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Cache != nil {
+			// A new rating changes this user's profile: whatever list is
+			// cached for the pseudonym must not outlive the event.
+			opts.Cache.Invalidate(req.Tenant, req.EncUser)
 		}
 		lrsItem := item
 		if !opts.DisableItemPseudonymization {
@@ -373,13 +461,38 @@ func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 		if len(ku) != ppcrypto.SymmetricKeySize {
 			return nil, fmt.Errorf("%w: temporary key has wrong size", errEnclave)
 		}
-		// Park k_u (and the tenant whose kIA must decrypt the response)
-		// in the EPC KV store until the LRS answers; neither ever
-		// crosses the enclave boundary.
-		if err := kv.Put(call.Handle, append(ku, []byte(req.Tenant)...)); err != nil {
+		if opts.Cache != nil {
+			if items, ok := opts.Cache.Get(req.Tenant, req.EncUser); ok {
+				// Cache hit: seal the pseudonymized list under this
+				// client's k_u right here, inside the enclave. The host
+				// gets a finished GetResponse and skips the LRS hop; the
+				// response still re-enters the shuffler like any miss.
+				sealed, err := sealItems(s, req.Tenant, ku, items)
+				if err != nil {
+					return nil, err
+				}
+				return message.Marshal(iaGetResult{Hit: true, Body: sealed})
+			}
+		}
+		// Park k_u (plus the tenant whose kIA decodes the response and
+		// the pseudonym the response fills the cache under) in the EPC KV
+		// store until the LRS answers; none of it ever crosses the
+		// enclave boundary.
+		parked, err := message.Marshal(parkedKey{Ku: ku, Tenant: req.Tenant, User: req.EncUser})
+		if err != nil {
 			return nil, fmt.Errorf("%w: %v", errEnclave, err)
 		}
-		return message.Marshal(message.LRSGet{User: req.EncUser, N: message.MaxRecommendations, Tenant: req.Tenant})
+		if err := kv.Put(call.Handle, parked); err != nil {
+			return nil, fmt.Errorf("%w: %v", errEnclave, err)
+		}
+		lrs, err := message.Marshal(message.LRSGet{User: req.EncUser, N: message.MaxRecommendations, Tenant: req.Tenant})
+		if err != nil {
+			return nil, err
+		}
+		if opts.Cache == nil {
+			return lrs, nil
+		}
+		return message.Marshal(iaGetResult{Key: req.Tenant + "\x00" + req.EncUser, Body: lrs})
 	})
 
 	e.Register(ecallIAGetResp, func(s enclave.Secrets, kv *enclave.KV, in []byte) ([]byte, error) {
@@ -392,46 +505,25 @@ func NewIAEnclave(p *enclave.Platform, opts IAOptions) *enclave.Enclave {
 			return nil, fmt.Errorf("%w: %v", errEnclave, err)
 		}
 		parked, ok := kv.Take(call.Handle)
-		if !ok || len(parked) < ppcrypto.SymmetricKeySize {
+		if !ok {
 			return nil, fmt.Errorf("%w: no pending temporary key for handle", errEnclave)
 		}
-		ku := parked[:ppcrypto.SymmetricKeySize]
-		tenant := string(parked[ppcrypto.SymmetricKeySize:])
+		var pk parkedKey
+		if err := message.Unmarshal(parked, &pk); err != nil || len(pk.Ku) != ppcrypto.SymmetricKeySize {
+			return nil, fmt.Errorf("%w: pending-key state corrupt", errEnclave)
+		}
 
 		items := resp.Items
 		if len(items) > message.MaxRecommendations {
 			items = items[:message.MaxRecommendations]
 		}
-		clear := make([]string, 0, len(items))
-		if opts.DisableItemPseudonymization {
-			clear = append(clear, items...)
-		} else {
-			kIA, err := getSecret(s, SecretPermanentKey, tenant)
-			if err != nil {
-				return nil, err
-			}
-			for _, it := range items {
-				pseudo, err := message.Decode64(it)
-				if err != nil {
-					return nil, fmt.Errorf("%w: %v", errEnclave, err)
-				}
-				id, err := ppcrypto.Depseudonymize(kIA, pseudo)
-				if err != nil {
-					return nil, fmt.Errorf("%w: %v", errEnclave, err)
-				}
-				clear = append(clear, id)
-			}
+		if opts.Cache != nil && call.Fill {
+			// Fill with the list exactly as the LRS returned it —
+			// pseudonymized, never client-encrypted. Best effort: a fill
+			// the EPC cannot hold is dropped, the request is not.
+			_ = opts.Cache.Put(pk.Tenant, pk.User, items)
 		}
-
-		packed, err := message.EncodeItemList(clear)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errEnclave, err)
-		}
-		encrypted, err := ppcrypto.SymEncrypt(ku, packed)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errEnclave, err)
-		}
-		return message.Marshal(message.GetResponse{EncItems: message.Encode64(encrypted)})
+		return sealItems(s, pk.Tenant, pk.Ku, items)
 	})
 
 	return e

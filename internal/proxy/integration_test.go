@@ -19,6 +19,7 @@ import (
 	"pprox/internal/message"
 	"pprox/internal/ppcrypto"
 	"pprox/internal/proxy"
+	"pprox/internal/reccache"
 	"pprox/internal/resilience"
 	"pprox/internal/stub"
 	"pprox/internal/transport"
@@ -45,6 +46,12 @@ type stackOptions struct {
 	iaOpts         proxy.IAOptions
 	useStub        bool
 	passThrough    bool
+	// recCache equips the IA layer with the in-enclave recommendation
+	// cache.
+	recCache *reccache.Cache
+	// iaShuffleOnly keeps the UA layer unshuffled so cache tests can
+	// hold requests mid-epoch inside the IA shuffler specifically.
+	iaShuffleOnly bool
 }
 
 func newStack(t *testing.T, opts stackOptions) *stack {
@@ -61,6 +68,9 @@ func newStack(t *testing.T, opts stackOptions) *stack {
 	as, err := enclave.NewAttestationService()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if opts.recCache != nil {
+		opts.iaOpts.Cache = opts.recCache
 	}
 	platform := enclave.NewPlatform(as)
 	st.uaEncl = proxy.NewUAEnclave(platform)
@@ -115,18 +125,23 @@ func newStack(t *testing.T, opts stackOptions) *stack {
 		ShuffleSize:    opts.shuffleSize,
 		ShuffleTimeout: opts.shuffleTimeout,
 		PassThrough:    opts.passThrough,
+		RecCache:       opts.recCache,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	st.serve(t, "ia", st.ia)
 
+	uaShuffle := opts.shuffleSize
+	if opts.iaShuffleOnly {
+		uaShuffle = 0
+	}
 	st.ua, err = proxy.New(proxy.Config{
 		Role:           proxy.RoleUA,
 		Enclave:        st.uaEncl,
 		Next:           "http://ia",
 		HTTPClient:     httpClient,
-		ShuffleSize:    opts.shuffleSize,
+		ShuffleSize:    uaShuffle,
 		ShuffleTimeout: opts.shuffleTimeout,
 		PassThrough:    opts.passThrough,
 	})

@@ -9,6 +9,7 @@ import (
 
 	"pprox/internal/message"
 	"pprox/internal/metrics"
+	"pprox/internal/reccache"
 	"pprox/internal/trace"
 )
 
@@ -185,8 +186,49 @@ func (l *Layer) RegisterMetrics(r *metrics.Registry, node string) {
 			}
 		})
 	}
+	if c := l.cfg.RecCache; c != nil {
+		l.registerCacheMetrics(r, c, role, node)
+	}
 	l.obs.Store(inst)
 	l.rewireShuffler()
+}
+
+// registerCacheMetrics exposes the pprox_reccache_* families. Every value
+// reads the cache's *published* snapshot, which only advances on shuffle
+// flushes (PublishEpoch in the onFlush hook): a scraper polling /metrics
+// mid-epoch sees frozen counters, so the export is epoch-granular like
+// every other observability surface — it can never tell which request
+// inside an epoch hit the cache.
+func (l *Layer) registerCacheMetrics(r *metrics.Registry, c *reccache.Cache, role, node string) {
+	counter := func(name, help string, read func(reccache.Stats) float64) {
+		r.CounterFuncVec(name, help, "layer", "node").
+			With(func() float64 { return read(c.Stats()) }, role, node)
+	}
+	counter("pprox_reccache_hits_total",
+		"Recommendation-cache hits (epoch-granular).",
+		func(s reccache.Stats) float64 { return float64(s.Hits) })
+	counter("pprox_reccache_misses_total",
+		"Recommendation-cache misses (epoch-granular).",
+		func(s reccache.Stats) float64 { return float64(s.Misses) })
+	counter("pprox_reccache_coalesced_total",
+		"LRS fetches avoided by joining an in-flight fetch for the same pseudonym.",
+		func(s reccache.Stats) float64 { return float64(s.Coalesced) })
+	counter("pprox_reccache_invalidations_total",
+		"Cache entries dropped by rating POSTs for their pseudonym.",
+		func(s reccache.Stats) float64 { return float64(s.Invalidations) })
+	counter("pprox_reccache_flushes_total",
+		"Wholesale cache flushes (key rotation, enclave compromise).",
+		func(s reccache.Stats) float64 { return float64(s.Flushes) })
+	evict := r.CounterFuncVec("pprox_reccache_evictions_total",
+		"Cache entries evicted, by reason.", "layer", "node", "reason")
+	evict.With(func() float64 { return float64(c.Stats().EvictionsLRU) }, role, node, "lru")
+	evict.With(func() float64 { return float64(c.Stats().EvictionsTTL) }, role, node, "ttl")
+	r.GaugeVec("pprox_reccache_entries",
+		"Recommendation-cache entries resident at the last epoch flush.", "layer", "node").
+		With(func() float64 { return float64(c.Stats().Entries) }, role, node)
+	r.GaugeVec("pprox_reccache_epc_pages",
+		"EPC pages charged by the recommendation cache at the last epoch flush.", "layer", "node").
+		With(func() float64 { return float64(c.Stats().Pages) }, role, node)
 }
 
 // SetTracer installs the layer's hop-local tracer. Its epoch advances on
@@ -240,17 +282,23 @@ func (l *Layer) rewireShuffler() {
 	obs := l.obs.Load()
 	tr := l.tracer.Load()
 	epochFn := l.epochFn.Load()
+	cache := l.cfg.RecCache
 	var onEnqueue, onFlush func(int)
 	if obs != nil && obs.pendingDepth != nil {
 		onEnqueue = func(depth int) { obs.pendingDepth.Observe(float64(depth)) }
 	}
-	if (obs != nil && obs.batchSize != nil) || tr != nil || epochFn != nil {
+	if (obs != nil && obs.batchSize != nil) || tr != nil || epochFn != nil || cache != nil {
 		onFlush = func(batch int) {
 			if obs != nil && obs.batchSize != nil {
 				obs.batchSize.Observe(float64(batch))
 			}
 			if epochFn != nil {
 				(*epochFn)(batch)
+			}
+			if cache != nil {
+				// Cache counters become visible one shuffle epoch at a
+				// time, exactly like trace epochs.
+				cache.PublishEpoch()
 			}
 			tr.AdvanceEpoch()
 		}

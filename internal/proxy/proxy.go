@@ -32,6 +32,7 @@ import (
 
 	"pprox/internal/enclave"
 	"pprox/internal/message"
+	"pprox/internal/reccache"
 	"pprox/internal/resilience"
 	"pprox/internal/trace"
 	"pprox/internal/transport"
@@ -90,6 +91,11 @@ type Config struct {
 	// privacy-aware: each retry re-randomizes the hop envelope (when a
 	// link key is provisioned) and re-enters the shuffler.
 	Resilience *resilience.Policy
+	// RecCache is the in-enclave recommendation cache (IA role only).
+	// It must be the same cache passed to NewIAEnclave via
+	// IAOptions.Cache: the layer drives coalescing and epoch-granular
+	// stat publication on it, the enclave does lookups and fills.
+	RecCache *reccache.Cache
 }
 
 // Layer is one proxy instance (one node of one layer). It serves the same
@@ -144,10 +150,27 @@ func New(cfg Config) (*Layer, error) {
 		workers: make(chan struct{}, cfg.Workers),
 		policy:  pol,
 	}
+	if cfg.RecCache != nil {
+		if cfg.Role != RoleIA {
+			return nil, errors.New("proxy: recommendation cache is IA-only")
+		}
+		if cfg.PassThrough {
+			return nil, errors.New("proxy: recommendation cache requires the enclave path")
+		}
+	}
 	l.breaker = resilience.NewBreaker(pol.BreakerThreshold, pol.BreakerCooldown,
 		resilience.HTTPHealthProbe(cfg.HTTPClient, cfg.Next+message.HealthPath, pol.HopTimeout))
 	if cfg.ShuffleSize > 1 {
 		l.shuffler = NewShuffler(cfg.ShuffleSize, cfg.ShuffleTimeout, cfg.TableSize)
+		// Install the flush hooks that exist independently of metrics
+		// registration — in particular the cache's epoch-granular stat
+		// publication must not depend on an observability call.
+		l.rewireShuffler()
+	} else if cfg.RecCache != nil {
+		// Without a shuffler there are no epochs to batch stat export
+		// into — and no 1/S bound for sub-epoch updates to erode — so
+		// cache counters publish live.
+		cfg.RecCache.SetPublishLive(true)
 	}
 	return l, nil
 }
@@ -185,6 +208,10 @@ func (l *Layer) Breaker() *resilience.Breaker { return l.breaker }
 // Enclave exposes the layer's enclave (nil in pass-through mode), for the
 // security experiments that compromise it.
 func (l *Layer) Enclave() *enclave.Enclave { return l.cfg.Enclave }
+
+// RecCache exposes the layer's recommendation cache (nil when disabled),
+// for rotation flush hooks, audit checks, and metrics.
+func (l *Layer) RecCache() *reccache.Cache { return l.cfg.RecCache }
 
 // ServeHTTP implements the layer's REST endpoint.
 func (l *Layer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -333,6 +360,9 @@ func (l *Layer) shuffleWait(ctx context.Context) error {
 // transform the response in the enclave, and shuffle the response batch
 // before it travels back toward the UA layer.
 func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bool) (int, []byte, error) {
+	if isGet && l.cfg.RecCache != nil && !l.cfg.PassThrough {
+		return l.handleIAGetCached(ctx, path, body)
+	}
 	out := body
 	var handle string
 	if !l.cfg.PassThrough {
@@ -390,6 +420,93 @@ func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bo
 		return 0, nil, err
 	}
 	return status, respBody, nil
+}
+
+// fetchResult carries a coalesced LRS round trip's outcome between the
+// leader that ran it and the followers sharing it.
+type fetchResult struct {
+	status int
+	body   []byte
+}
+
+// handleIAGetCached is the IA get pipeline with the recommendation cache
+// enabled. The ia/get ECALL decides hit or miss behind the enclave
+// boundary; a hit comes back already sealed under the client's k_u and
+// skips the LRS hop, a miss returns the LRS request plus the coalescing
+// key so concurrent misses for the same pseudonym share one fetch. Both
+// outcomes re-enter the response shuffler, so a network observer sees
+// hits and misses leave inside the same epoch batches — the 1/S bound is
+// untouched, and the only externally visible difference is epoch-level
+// throughput.
+func (l *Layer) handleIAGetCached(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	handle := strconv.FormatUint(l.nextHandle.Add(1), 36)
+	framed, err := message.Marshal(iaGetCall{Handle: handle, Body: body})
+	if err != nil {
+		return 0, nil, err
+	}
+	out, err := l.process(StageEcallDecrypt, ecallIAGet, framed)
+	if err != nil {
+		return 0, nil, err
+	}
+	var res iaGetResult
+	if err := message.Unmarshal(out, &res); err != nil {
+		l.dropHandle(handle)
+		return 0, nil, fmt.Errorf("%w: %v", errEnclave, err)
+	}
+
+	if res.Hit {
+		if err := l.shuffleWait(ctx); err != nil {
+			return 0, nil, err
+		}
+		return http.StatusOK, res.Body, nil
+	}
+
+	v, shared, err := l.cfg.RecCache.Do(ctx, res.Key, func() (any, error) {
+		status, lrsBody, err := l.forwardResilient(ctx, path, res.Body, nil)
+		if err != nil {
+			return nil, err
+		}
+		return fetchResult{status, lrsBody}, nil
+	})
+	if err != nil && shared && ctx.Err() == nil {
+		// The leader's failure was under *its* deadline and breaker
+		// draw; this follower is still alive, so give it one fetch of
+		// its own rather than inheriting the error.
+		var status int
+		var lrsBody []byte
+		if status, lrsBody, err = l.forwardResilient(ctx, path, res.Body, nil); err == nil {
+			v = fetchResult{status, lrsBody}
+		}
+	}
+	if err != nil {
+		l.dropHandle(handle)
+		return 0, nil, err
+	}
+	fr := v.(fetchResult)
+	if fr.status != http.StatusOK {
+		l.dropHandle(handle)
+		if err := l.shuffleWait(ctx); err != nil {
+			return 0, nil, err
+		}
+		return fr.status, fr.body, nil
+	}
+
+	// Only the coalescing leader fills the cache; followers just seal
+	// the shared body under their own parked k_u.
+	framed, err = message.Marshal(iaGetCall{Handle: handle, Body: fr.body, Fill: !shared})
+	if err != nil {
+		l.dropHandle(handle)
+		return 0, nil, err
+	}
+	respBody, err := l.process(StageEcallReencrypt, ecallIAGetResp, framed)
+	if err != nil {
+		l.dropHandle(handle)
+		return 0, nil, err
+	}
+	if err := l.shuffleWait(ctx); err != nil {
+		return 0, nil, err
+	}
+	return fr.status, respBody, nil
 }
 
 // dropHandle clears a parked temporary key when the request it belongs to

@@ -1,0 +1,474 @@
+// Package reccache is the in-enclave recommendation response cache of
+// the IA layer. Recommendation workloads are heavily Zipf-skewed (the
+// paper's MovieLens slice, like most RaaS traffic), and a recommendation
+// list only changes when new ratings arrive or keys rotate — so a
+// response cache inside the enclave (the X-Search pattern: cache behind
+// the trusted boundary, never in the untrusted host) removes the
+// IA→LRS round trip from the hot path without widening the attack
+// surface.
+//
+// Privacy is a design constraint, not an afterthought:
+//
+//   - Entries are keyed by user pseudonym and hold the *pseudonymized*
+//     recommendation list exactly as the LRS returned it. Nothing
+//     client-encrypted is ever stored; the list is de-pseudonymized and
+//     re-encrypted under the requesting client's temporary key k_u at
+//     release time, inside an ECALL. A compromise of the enclave
+//     therefore loots nothing beyond what the LRS database (which the
+//     adversary reads anyway, §2.3) already gave it.
+//   - Cache memory is charged against the owning enclave's EPC budget
+//     through the Charger interface — the same discipline as
+//     enclave.KV — and EPC pressure triggers LRU eviction, never
+//     request failure.
+//   - Hit/miss/eviction statistics are published at shuffle-epoch
+//     granularity (PublishEpoch): a scraper watching /metrics between
+//     two epoch flushes sees frozen counters, so the stat export grants
+//     no sub-epoch signal about which request hit. (Hits themselves
+//     re-enter the IA response shuffler — that part lives in
+//     internal/proxy.)
+//   - Flush drops every entry wholesale (key rotation, enclave
+//     compromise) and bumps a generation counter the privacy auditor
+//     checks: a cache that survives a breach un-flushed is an SLO
+//     violation.
+//
+// The package also provides the request-coalescing primitive (Do): when
+// concurrent GETs for the same pseudonym all miss, one LRS fetch runs
+// and every caller shares its result.
+package reccache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PageSize is the EPC page granularity entries are charged at. It equals
+// enclave.PageSize; the duplication avoids an enclave→reccache import
+// the other way around.
+const PageSize = 4096
+
+// DefaultTTL bounds entry lifetime when the config leaves it zero.
+// Recommendations are model outputs — they only change on retraining or
+// new ratings — so a minute of staleness is the freshness the LRS itself
+// offers between training runs.
+const DefaultTTL = time.Minute
+
+// DefaultMaxPages caps the cache's EPC share when the config leaves it
+// zero: 2048 pages = 8 MB, well under the IA enclave's ~93 MB budget so
+// pending-response KV state keeps priority.
+const DefaultMaxPages = 2048
+
+// Charger charges pages against an enclave's EPC budget. *enclave.Enclave
+// implements it; tests substitute bounded fakes.
+type Charger interface {
+	// ChargePages reserves n EPC pages or fails with the enclave's
+	// EPC-exhausted error.
+	ChargePages(n int) error
+	// ReleasePages returns n previously charged pages.
+	ReleasePages(n int)
+}
+
+// Config parameterizes a cache.
+type Config struct {
+	// TTL is the per-entry lifetime (0 = DefaultTTL). Expired entries
+	// miss, and the epoch sweep removes any the lookups did not.
+	TTL time.Duration
+	// MaxPages caps the cache's own EPC share (0 = DefaultMaxPages);
+	// the enclave's global budget is enforced on top via the Charger.
+	MaxPages int
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL <= 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.MaxPages <= 0 {
+		c.MaxPages = DefaultMaxPages
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats is one snapshot of the cache's counters. Counter fields are
+// lifetime totals; Entries and Pages are occupancy gauges at snapshot
+// time.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Coalesced     uint64 // fetches that joined another caller's in-flight LRS fetch
+	EvictionsLRU  uint64 // entries evicted under EPC/page pressure
+	EvictionsTTL  uint64 // entries dropped past their TTL (lookup or sweep)
+	Invalidations uint64 // entries dropped by a rating POST for their pseudonym
+	Flushes       uint64 // wholesale flushes (rotation, compromise, shutdown)
+	FlushedOut    uint64 // entries dropped across all flushes
+	Entries       int
+	Pages         int
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is one cached recommendation list.
+type entry struct {
+	key     string
+	items   []string
+	pages   int
+	expires time.Time
+	elem    *list.Element
+}
+
+// Cache is the in-enclave response cache. All methods are safe for
+// concurrent use. Lookup and fill must only ever run inside ECALL
+// handlers — the untrusted host interacts with the cache solely through
+// the published Stats snapshot and the coalescing group.
+type Cache struct {
+	cfg     Config
+	charger Charger
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	pages   int
+	gen     uint64
+	live    Stats
+
+	// published is the epoch-granular snapshot metrics read; it only
+	// advances on PublishEpoch (shuffle flush) unless publishLive is
+	// set (no shuffler deployed, so there is no epoch to hide inside).
+	published   atomic.Pointer[Stats]
+	publishLive atomic.Bool
+
+	fmu     sync.Mutex
+	flights map[string]*flightCall
+}
+
+// New creates a cache. Bind must run before the first Put when the cache
+// should charge a real enclave's EPC; unbound caches (tests) enforce
+// only their own page budget.
+func New(cfg Config) *Cache {
+	c := &Cache{
+		cfg:     cfg.withDefaults(),
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		flights: make(map[string]*flightCall),
+	}
+	c.published.Store(&Stats{})
+	return c
+}
+
+// Bind attaches the cache to the enclave whose EPC budget its entries
+// charge. Called once, at enclave construction, before any traffic.
+func (c *Cache) Bind(ch Charger) {
+	c.mu.Lock()
+	c.charger = ch
+	c.mu.Unlock()
+}
+
+// SetPublishLive switches stat publication to immediate mode. Only the
+// proxy layer sets it, and only when no shuffler is deployed: without
+// shuffle epochs there is no 1/S bound for sub-epoch stat updates to
+// erode.
+func (c *Cache) SetPublishLive(v bool) {
+	c.publishLive.Store(v)
+	if v {
+		c.mu.Lock()
+		c.publishLocked()
+		c.mu.Unlock()
+	}
+}
+
+// TTL returns the configured entry lifetime.
+func (c *Cache) TTL() time.Duration { return c.cfg.TTL }
+
+// MaxPages returns the cache's own EPC page budget.
+func (c *Cache) MaxPages() int { return c.cfg.MaxPages }
+
+// key builds the entry key: the tenant qualifies the pseudonym exactly
+// as it qualifies the layer keys.
+func key(tenant, user string) string { return tenant + "\x00" + user }
+
+// pagesFor charges an entry like enclave.KV charges a value: key bytes
+// plus payload bytes, rounded up to whole pages.
+func pagesFor(bytes int) int {
+	if bytes == 0 {
+		return 0
+	}
+	return (bytes + PageSize - 1) / PageSize
+}
+
+func entrySize(k string, items []string) int {
+	n := len(k)
+	for _, it := range items {
+		n += len(it) + 1
+	}
+	return n
+}
+
+// Get returns the cached pseudonymized list for a pseudonym, recording a
+// hit or miss. Expired entries miss and are released on the spot.
+func (c *Cache) Get(tenant, user string) ([]string, bool) {
+	k := key(tenant, user)
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.maybePublishLocked()
+	e := c.entries[k]
+	if e == nil {
+		c.live.Misses++
+		return nil, false
+	}
+	if now.After(e.expires) {
+		c.removeLocked(e)
+		c.live.EvictionsTTL++
+		c.live.Misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.live.Hits++
+	return append([]string(nil), e.items...), true
+}
+
+// Put stores a pseudonymized recommendation list. Under page or EPC
+// pressure it evicts LRU entries until the new one fits; the error
+// return is for an entry that cannot fit even into an empty cache —
+// callers treat the cache as best-effort and never fail a request on it.
+func (c *Cache) Put(tenant, user string, items []string) error {
+	k := key(tenant, user)
+	need := pagesFor(entrySize(k, items))
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.maybePublishLocked()
+	if old := c.entries[k]; old != nil {
+		// A fill replacing an entry is fresher data for the same
+		// pseudonym; the stale copy goes first and is not an eviction.
+		c.removeLocked(old)
+	}
+	if need > c.cfg.MaxPages {
+		return ErrEntryTooLarge
+	}
+	for c.pages+need > c.cfg.MaxPages {
+		if !c.evictOldestLocked() {
+			return ErrEntryTooLarge
+		}
+	}
+	for {
+		if c.charger == nil {
+			break
+		}
+		if err := c.charger.ChargePages(need); err == nil {
+			break
+		} else if !c.evictOldestLocked() {
+			// The enclave's EPC is exhausted by non-cache state and
+			// there is nothing left to evict: the fill is dropped, the
+			// request is not.
+			return err
+		}
+	}
+	e := &entry{key: k, items: append([]string(nil), items...), pages: need, expires: now.Add(c.cfg.TTL)}
+	e.elem = c.lru.PushFront(e)
+	c.entries[k] = e
+	c.pages += need
+	return nil
+}
+
+// ErrEntryTooLarge reports a value that exceeds the cache's entire page
+// budget.
+var ErrEntryTooLarge = errTooLarge{}
+
+type errTooLarge struct{}
+
+func (errTooLarge) Error() string { return "reccache: entry exceeds cache page budget" }
+
+// Invalidate drops the entry for a pseudonym — the rating-POST hook: a
+// new rating changes the user's profile, so the cached list for that
+// pseudonym must not outlive it. Reports whether an entry was dropped.
+func (c *Cache) Invalidate(tenant, user string) bool {
+	k := key(tenant, user)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.maybePublishLocked()
+	e := c.entries[k]
+	if e == nil {
+		return false
+	}
+	c.removeLocked(e)
+	c.live.Invalidations++
+	return true
+}
+
+// Flush drops every entry and bumps the flush generation — the wholesale
+// path for key rotation and enclave compromise. Returns the number of
+// entries dropped.
+func (c *Cache) Flush() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.maybePublishLocked()
+	n := len(c.entries)
+	for _, e := range c.entries {
+		c.removeLocked(e)
+	}
+	c.gen++
+	c.live.Flushes++
+	c.live.FlushedOut += uint64(n)
+	return n
+}
+
+// Generation returns the flush generation: it advances exactly once per
+// Flush. The privacy auditor compares it across a breach to prove the
+// cache did not carry entries over a compromise.
+func (c *Cache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Pages returns the EPC pages currently charged by the cache.
+func (c *Cache) Pages() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pages
+}
+
+// ExpiredResident counts entries past their TTL that are still holding
+// EPC pages. The epoch sweep keeps this at zero; the auditor samples it
+// as a freshness check.
+func (c *Cache) ExpiredResident() int {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		if now.After(e.expires) {
+			n++
+		}
+	}
+	return n
+}
+
+// PublishEpoch sweeps expired entries and publishes the live counters as
+// the exported snapshot. The proxy layer calls it on every shuffle
+// flush, so the exported hit-rate only ever moves at epoch granularity —
+// a /metrics scraper cannot tell which request inside an epoch hit.
+func (c *Cache) PublishEpoch() {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	for _, e := range c.entries {
+		if now.After(e.expires) {
+			c.removeLocked(e)
+			c.live.EvictionsTTL++
+		}
+	}
+	c.publishLocked()
+	c.mu.Unlock()
+}
+
+// Stats returns the published (epoch-granular) snapshot.
+func (c *Cache) Stats() Stats { return *c.published.Load() }
+
+// LiveStats returns the un-published counters, for tests and in-process
+// assertions only — never export these on a scrapeable surface.
+func (c *Cache) LiveStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.live
+	s.Entries = len(c.entries)
+	s.Pages = c.pages
+	return s
+}
+
+func (c *Cache) publishLocked() {
+	s := c.live
+	s.Entries = len(c.entries)
+	s.Pages = c.pages
+	c.published.Store(&s)
+}
+
+func (c *Cache) maybePublishLocked() {
+	if c.publishLive.Load() {
+		c.publishLocked()
+	}
+}
+
+// removeLocked unlinks an entry and releases its pages. Callers account
+// the reason themselves.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.pages -= e.pages
+	if c.charger != nil {
+		c.charger.ReleasePages(e.pages)
+	}
+}
+
+// evictOldestLocked drops the least recently used entry, reporting false
+// on an empty cache.
+func (c *Cache) evictOldestLocked() bool {
+	back := c.lru.Back()
+	if back == nil {
+		return false
+	}
+	c.removeLocked(back.Value.(*entry))
+	c.live.EvictionsLRU++
+	return true
+}
+
+// flightCall is one in-flight coalesced fetch.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do coalesces concurrent fetches for the same key (the user pseudonym,
+// which the IA host sees on the LRS link anyway): the first caller runs
+// fetch, every concurrent caller blocks until it finishes and shares the
+// result. shared reports whether this caller joined another's fetch —
+// followers must not re-fill the cache. A follower whose context dies
+// first leaves with its context error; a follower that inherits the
+// leader's error falls back to its own fetch at the call site.
+func (c *Cache) Do(ctx context.Context, key string, fetch func() (any, error)) (v any, shared bool, err error) {
+	c.fmu.Lock()
+	if call, ok := c.flights[key]; ok {
+		c.fmu.Unlock()
+		c.mu.Lock()
+		c.live.Coalesced++
+		c.maybePublishLocked()
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.val, true, call.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flights[key] = call
+	c.fmu.Unlock()
+
+	call.val, call.err = fetch()
+
+	c.fmu.Lock()
+	delete(c.flights, key)
+	c.fmu.Unlock()
+	close(call.done)
+	return call.val, false, call.err
+}

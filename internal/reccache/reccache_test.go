@@ -1,0 +1,523 @@
+package reccache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// fakeCharger is a bounded EPC budget, standing in for *enclave.Enclave.
+type fakeCharger struct {
+	mu     sync.Mutex
+	budget int
+	used   int
+}
+
+var errBudget = errors.New("fake EPC exhausted")
+
+func (f *fakeCharger) ChargePages(n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.used+n > f.budget {
+		return errBudget
+	}
+	f.used += n
+	return nil
+}
+
+func (f *fakeCharger) ReleasePages(n int) {
+	f.mu.Lock()
+	f.used -= n
+	if f.used < 0 {
+		f.used = 0
+	}
+	f.mu.Unlock()
+}
+
+func (f *fakeCharger) Used() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.used
+}
+
+func items(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("item-%04d", i)
+	}
+	return out
+}
+
+func TestGetPutHitMiss(t *testing.T) {
+	c := New(Config{})
+	c.SetPublishLive(true)
+	if _, ok := c.Get("t", "u1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := items(10)
+	if err := c.Put("t", "u1", want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := c.Get("t", "u1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// The returned slice must be a copy: mutating it must not poison the
+	// cached entry.
+	got[0] = "mutated"
+	again, _ := c.Get("t", "u1")
+	if again[0] != want[0] {
+		t.Fatal("cached entry aliases the returned slice")
+	}
+	// Tenants are isolated.
+	if _, ok := c.Get("other", "u1"); ok {
+		t.Fatal("cross-tenant hit")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses", s)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{TTL: time.Minute, Now: clk.Now})
+	c.SetPublishLive(true)
+	if err := c.Put("t", "u", items(3)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(59 * time.Second)
+	if _, ok := c.Get("t", "u"); !ok {
+		t.Fatal("expired before TTL")
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok := c.Get("t", "u"); ok {
+		t.Fatal("hit past TTL")
+	}
+	s := c.Stats()
+	if s.EvictionsTTL != 1 {
+		t.Fatalf("EvictionsTTL = %d, want 1", s.EvictionsTTL)
+	}
+	if c.Len() != 0 || c.Pages() != 0 {
+		t.Fatalf("expired entry still resident: len=%d pages=%d", c.Len(), c.Pages())
+	}
+}
+
+func TestLRUEvictionUnderPageBudget(t *testing.T) {
+	// Each entry of 400 item-IDs ≈ 3.6 KB → 1 page. Budget 3 pages.
+	c := New(Config{MaxPages: 3})
+	c.SetPublishLive(true)
+	for i := 0; i < 3; i++ {
+		if err := c.Put("t", fmt.Sprintf("u%d", i), items(400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch u0 so u1 becomes the LRU victim.
+	if _, ok := c.Get("t", "u0"); !ok {
+		t.Fatal("u0 missing")
+	}
+	if err := c.Put("t", "u3", items(400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("t", "u1"); ok {
+		t.Fatal("LRU victim u1 survived")
+	}
+	for _, u := range []string{"u0", "u2", "u3"} {
+		if _, ok := c.Get("t", u); !ok {
+			t.Fatalf("%s evicted, want resident", u)
+		}
+	}
+	if s := c.Stats(); s.EvictionsLRU != 1 {
+		t.Fatalf("EvictionsLRU = %d, want 1", s.EvictionsLRU)
+	}
+	if c.Pages() > 3 {
+		t.Fatalf("pages = %d beyond budget 3", c.Pages())
+	}
+}
+
+func TestEPCPressureEvictsInsteadOfFailing(t *testing.T) {
+	// The enclave's budget (4 pages) is tighter than the cache's own
+	// (100): charging fails first, and the cache must evict its way out.
+	ch := &fakeCharger{budget: 4}
+	c := New(Config{MaxPages: 100})
+	c.Bind(ch)
+	c.SetPublishLive(true)
+	for i := 0; i < 10; i++ {
+		if err := c.Put("t", fmt.Sprintf("u%d", i), items(400)); err != nil {
+			t.Fatalf("Put u%d under EPC pressure: %v", i, err)
+		}
+	}
+	if ch.Used() > 4 {
+		t.Fatalf("charger used %d pages, budget 4", ch.Used())
+	}
+	if s := c.Stats(); s.EvictionsLRU == 0 {
+		t.Fatal("no LRU evictions despite EPC pressure")
+	}
+	// Newest entries are the survivors.
+	if _, ok := c.Get("t", "u9"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestEPCExhaustedByOthersDropsFill(t *testing.T) {
+	// Non-cache state holds the whole budget: the fill fails without
+	// panicking, and the cache stays empty rather than wedged.
+	ch := &fakeCharger{budget: 4}
+	ch.used = 4
+	c := New(Config{MaxPages: 100})
+	c.Bind(ch)
+	if err := c.Put("t", "u", items(3)); err == nil {
+		t.Fatal("Put succeeded with zero EPC headroom")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after failed fill", c.Len())
+	}
+}
+
+func TestPutTooLarge(t *testing.T) {
+	c := New(Config{MaxPages: 1})
+	if err := c.Put("t", "u", items(2000)); !errors.Is(err, ErrEntryTooLarge) {
+		t.Fatalf("err = %v, want ErrEntryTooLarge", err)
+	}
+}
+
+func TestReplaceIsNotEviction(t *testing.T) {
+	c := New(Config{})
+	c.SetPublishLive(true)
+	if err := c.Put("t", "u", items(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("t", "u", items(5)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("t", "u")
+	if !ok || len(got) != 5 {
+		t.Fatalf("replace lost: ok=%v len=%d", ok, len(got))
+	}
+	if s := c.Stats(); s.EvictionsLRU != 0 || s.EvictionsTTL != 0 {
+		t.Fatalf("replace counted as eviction: %+v", s)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	ch := &fakeCharger{budget: 100}
+	c := New(Config{})
+	c.Bind(ch)
+	c.SetPublishLive(true)
+	if err := c.Put("t", "u", items(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Invalidate("t", "u") {
+		t.Fatal("Invalidate found nothing")
+	}
+	if c.Invalidate("t", "u") {
+		t.Fatal("second Invalidate found an entry")
+	}
+	if _, ok := c.Get("t", "u"); ok {
+		t.Fatal("hit after invalidation")
+	}
+	if ch.Used() != 0 {
+		t.Fatalf("charger used = %d after invalidate, want 0", ch.Used())
+	}
+	if s := c.Stats(); s.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", s.Invalidations)
+	}
+}
+
+func TestFlushAndGeneration(t *testing.T) {
+	ch := &fakeCharger{budget: 100}
+	c := New(Config{})
+	c.Bind(ch)
+	c.SetPublishLive(true)
+	for i := 0; i < 5; i++ {
+		if err := c.Put("t", fmt.Sprintf("u%d", i), items(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g0 := c.Generation()
+	if n := c.Flush(); n != 5 {
+		t.Fatalf("Flush dropped %d, want 5", n)
+	}
+	if c.Generation() != g0+1 {
+		t.Fatalf("generation %d → %d, want +1", g0, c.Generation())
+	}
+	if c.Len() != 0 || c.Pages() != 0 || ch.Used() != 0 {
+		t.Fatalf("state after flush: len=%d pages=%d charged=%d", c.Len(), c.Pages(), ch.Used())
+	}
+	s := c.Stats()
+	if s.Flushes != 1 || s.FlushedOut != 5 {
+		t.Fatalf("flush stats = %+v", s)
+	}
+}
+
+func TestPublishEpochGranularity(t *testing.T) {
+	c := New(Config{})
+	if err := c.Put("t", "u", items(3)); err != nil {
+		t.Fatal(err)
+	}
+	c.Get("t", "u")
+	c.Get("t", "miss")
+	// Nothing published yet: the exported snapshot is frozen at zero.
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Entries != 0 {
+		t.Fatalf("stats moved before epoch publish: %+v", s)
+	}
+	if live := c.LiveStats(); live.Hits != 1 || live.Misses != 1 {
+		t.Fatalf("live stats = %+v", live)
+	}
+	c.PublishEpoch()
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats after publish: %+v", s)
+	}
+	// Post-publish activity is again invisible until the next epoch.
+	c.Get("t", "u")
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("hit leaked mid-epoch: %+v", s)
+	}
+}
+
+func TestPublishEpochSweepsExpired(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{TTL: time.Second, Now: clk.Now})
+	for i := 0; i < 3; i++ {
+		if err := c.Put("t", fmt.Sprintf("u%d", i), items(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(2 * time.Second)
+	if n := c.ExpiredResident(); n != 3 {
+		t.Fatalf("ExpiredResident = %d, want 3", n)
+	}
+	c.PublishEpoch()
+	if n := c.ExpiredResident(); n != 0 {
+		t.Fatalf("ExpiredResident after sweep = %d, want 0", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after sweep", c.Len())
+	}
+	if s := c.Stats(); s.EvictionsTTL != 3 {
+		t.Fatalf("EvictionsTTL = %d, want 3", s.EvictionsTTL)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("hit rate on zero lookups")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %g, want 0.75", got)
+	}
+}
+
+func TestDoCoalesces(t *testing.T) {
+	c := New(Config{})
+	c.SetPublishLive(true)
+	const callers = 8
+	var fetches atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	shareds := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, shared, err := c.Do(context.Background(), "k", func() (any, error) {
+				fetches.Add(1)
+				close(started)
+				<-release
+				return "payload", nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i], shareds[i] = v, shared
+		}()
+	}
+	<-started
+	// Give the followers a moment to pile onto the in-flight call.
+	deadline := time.After(2 * time.Second)
+	for c.LiveStats().Coalesced < callers-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d followers joined", c.LiveStats().Coalesced)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("fetch ran %d times, want 1", n)
+	}
+	leaders := 0
+	for i := range results {
+		if results[i] != "payload" {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want 1", leaders)
+	}
+	if s := c.Stats(); s.Coalesced != callers-1 {
+		t.Fatalf("Coalesced = %d, want %d", s.Coalesced, callers-1)
+	}
+}
+
+func TestDoDistinctKeysDoNotCoalesce(t *testing.T) {
+	c := New(Config{})
+	var fetches atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("k%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do(context.Background(), k, func() (any, error) {
+				fetches.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if n := fetches.Load(); n != 4 {
+		t.Fatalf("fetches = %d, want 4", n)
+	}
+}
+
+func TestDoFollowerContextCancel(t *testing.T) {
+	c := New(Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, shared, err := c.Do(ctx, "k", func() (any, error) { return nil, nil })
+		if !shared {
+			t.Error("canceled follower reported shared=false")
+		}
+		done <- err
+	}()
+	// Wait until the follower is actually enqueued, then cancel it.
+	deadline := time.After(2 * time.Second)
+	for c.LiveStats().Coalesced == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("follower never joined")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled follower still blocked")
+	}
+}
+
+func TestDoLeaderErrorShared(t *testing.T) {
+	c := New(Config{})
+	wantErr := errors.New("lrs down")
+	_, shared, err := c.Do(context.Background(), "k", func() (any, error) { return nil, wantErr })
+	if shared || !errors.Is(err, wantErr) {
+		t.Fatalf("shared=%v err=%v", shared, err)
+	}
+	// The flight is gone: the next call runs its own fetch.
+	v, shared, err := c.Do(context.Background(), "k", func() (any, error) { return 42, nil })
+	if shared || err != nil || v != 42 {
+		t.Fatalf("retry after error: v=%v shared=%v err=%v", v, shared, err)
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	// Race-detector fodder: all entry points hammered at once.
+	ch := &fakeCharger{budget: 8}
+	c := New(Config{TTL: 10 * time.Millisecond, MaxPages: 6})
+	c.Bind(ch)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				u := fmt.Sprintf("u%d", (g+i)%16)
+				switch i % 6 {
+				case 0:
+					c.Put("t", u, items(100))
+				case 1:
+					c.Get("t", u)
+				case 2:
+					c.Invalidate("t", u)
+				case 3:
+					c.Do(context.Background(), u, func() (any, error) { return nil, nil })
+				case 4:
+					c.PublishEpoch()
+				case 5:
+					if i%60 == 5 {
+						c.Flush()
+					}
+					c.Stats()
+					c.LiveStats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if used := ch.Used(); used != c.Pages() {
+		t.Fatalf("charger used %d pages, cache accounts %d", used, c.Pages())
+	}
+}

@@ -138,6 +138,21 @@ type Responder struct {
 	// the privacy-SLO auditor can hold the deployment in the violated
 	// state for exactly the window where stolen keys were in service.
 	Audit Auditor
+
+	caches []CacheFlusher
+}
+
+// CacheFlusher is anything holding derived per-pseudonym state that a key
+// rotation invalidates — the IA recommendation caches. Flush drops every
+// entry and reports how many went.
+type CacheFlusher interface {
+	Flush() int
+}
+
+// AddCache registers a cache the countermeasure flushes before rotating.
+// Call during deployment wiring, before the breach detector can fire.
+func (r *Responder) AddCache(c CacheFlusher) {
+	r.caches = append(r.caches, c)
 }
 
 // Auditor is the subset of the privacy auditor the responder feeds:
@@ -169,6 +184,14 @@ func (r *Responder) Countermeasure(e *enclave.Enclave) {
 	}
 	if r.Audit != nil {
 		r.Audit.ObserveBreach(layer.String())
+	}
+	// Flush every recommendation cache before anything else: whichever
+	// layer leaked, cached lists derive from the old key world — a UA
+	// rotation re-keys the user pseudonyms entries are filed under, an
+	// IA rotation re-keys the item pseudonyms they contain — and a
+	// compromised IA enclave may itself have been serving from cache.
+	for _, c := range r.caches {
+		c.Flush()
 	}
 	res, err := RotateKeys(layer, keys, r.eng)
 	if err != nil {

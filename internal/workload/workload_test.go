@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -182,4 +183,58 @@ func TestDistinctUsers(t *testing.T) {
 	if len(users) == 0 {
 		t.Fatal("no users")
 	}
+}
+
+// userMassByRank returns per-user event counts sorted descending and the
+// total event count.
+func userMassByRank(d *Dataset) (ranked []int, total int) {
+	counts := make(map[string]int)
+	for _, ev := range d.Events {
+		counts[ev.User]++
+		total++
+	}
+	for _, c := range counts {
+		ranked = append(ranked, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ranked)))
+	return ranked, total
+}
+
+func TestGenerateUserSkewHeadMass(t *testing.T) {
+	// The recommendation cache's whole value proposition rests on the
+	// user-activity head: a few hot users must dominate the GET stream.
+	// Zipf(1.2) head mass: the top 1% of users (at least one) must carry
+	// a disproportionate share of all events.
+	d := Generate(ScaledMovieLensParams(0.05))
+	ranked, total := userMassByRank(d)
+	head := len(ranked) / 100
+	if head < 1 {
+		head = 1
+	}
+	headMass := 0
+	for _, c := range ranked[:head] {
+		headMass += c
+	}
+	frac := float64(headMass) / float64(total)
+	if frac < 0.10 {
+		t.Errorf("top 1%% of users (%d of %d) carry %.1f%% of events; want ≥ 10%% for Zipf(1.2)",
+			head, len(ranked), frac*100)
+	}
+	t.Logf("head mass: top %d/%d users carry %.1f%% of %d events", head, len(ranked), frac*100, total)
+}
+
+func TestGenerateUserSkewTailMass(t *testing.T) {
+	// Complement of the head test: the bottom half of users by activity
+	// must be a thin tail, far below their uniform 50% share.
+	d := Generate(ScaledMovieLensParams(0.05))
+	ranked, total := userMassByRank(d)
+	tailMass := 0
+	for _, c := range ranked[len(ranked)/2:] {
+		tailMass += c
+	}
+	frac := float64(tailMass) / float64(total)
+	if frac > 0.20 {
+		t.Errorf("bottom 50%% of users carry %.1f%% of events; want ≤ 20%% for Zipf(1.2)", frac*100)
+	}
+	t.Logf("tail mass: bottom half carries %.1f%% of %d events", frac*100, total)
 }
