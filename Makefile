@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench audit-smoke cache-smoke clean
+.PHONY: all build vet test race verify bench audit-smoke cache-smoke batch-smoke clean
 
 all: verify
 
@@ -45,6 +45,14 @@ audit-smoke:
 # in cache-smoke.txt for CI artifact upload.
 cache-smoke:
 	$(GO) run ./cmd/pprox-bench -quick cache | tee cache-smoke.txt
+
+# Epoch-batched pipeline smoke test: run the pprox-bench batch scenario
+# (S=32 get epochs, batch off vs on). The scenario exits non-zero unless
+# batching collapses UA enclave crossings to ≤ 2/S + ε per request,
+# throughput does not regress, and the privacy auditor stays ok on both
+# variants. Output is kept in batch-smoke.txt for CI artifact upload.
+batch-smoke:
+	$(GO) run ./cmd/pprox-bench -quick batch | tee batch-smoke.txt
 
 clean:
 	rm -rf bin

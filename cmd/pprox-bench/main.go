@@ -69,7 +69,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: pprox-bench [-quick] [-duration D] [-reps N] <experiment>
 
 experiments:
-  table2 table3 fig6 fig7 fig8 fig9 fig10 shuffle cache elastic measured measured-macro all
+  table2 table3 fig6 fig7 fig8 fig9 fig10 shuffle cache batch elastic measured measured-macro all
 `)
 	flag.PrintDefaults()
 }
@@ -94,6 +94,8 @@ func run(what string, opts sim.RunOptions) error {
 		return runShuffleExperiment()
 	case "cache":
 		return runCacheScenario(opts)
+	case "batch":
+		return runBatchScenario(opts)
 	case "elastic":
 		printElastic(opts)
 	case "measured":
@@ -112,6 +114,9 @@ func run(what string, opts sim.RunOptions) error {
 			return err
 		}
 		if err := runCacheScenario(opts); err != nil {
+			return err
+		}
+		if err := runBatchScenario(opts); err != nil {
 			return err
 		}
 		printElastic(opts)

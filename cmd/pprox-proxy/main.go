@@ -57,6 +57,8 @@ type options struct {
 	shuffle        int
 	shuffleTimeout time.Duration
 	workers        int
+	batch          bool
+	lrsConcurrency int
 	noItemPseudo   bool
 	passthrough    bool
 	useEventloop   bool
@@ -90,6 +92,8 @@ func main() {
 	flag.IntVar(&o.shuffle, "shuffle", 0, "shuffle buffer size S (0 = off)")
 	flag.DurationVar(&o.shuffleTimeout, "shuffle-timeout", 500*time.Millisecond, "shuffle flush timer")
 	flag.IntVar(&o.workers, "workers", 2, "data-processing pool size")
+	flag.BoolVar(&o.batch, "batch", false, "epoch-batched pipeline: one batched ECALL and one UA→IA envelope per shuffle epoch (ua role; needs -shuffle > 1, incompatible with -passthrough)")
+	flag.IntVar(&o.lrsConcurrency, "lrs-concurrency", proxy.DefaultLRSConcurrency, "bound on concurrent IA→LRS requests (ia role; negative = unbounded)")
 	flag.BoolVar(&o.noItemPseudo, "no-item-pseudonyms", false, "send item identifiers to the LRS in the clear (§6.3)")
 	flag.BoolVar(&o.passthrough, "passthrough", false, "forward without cryptography (baseline m1)")
 	flag.BoolVar(&o.useEventloop, "eventloop", false, "serve with the §5 acceptor+queue+worker-pool architecture instead of net/http")
@@ -140,6 +144,14 @@ func run(o options, logger *slog.Logger) error {
 		ShuffleTimeout: o.shuffleTimeout,
 		Workers:        o.workers,
 		PassThrough:    o.passthrough,
+	}
+	if r == proxy.RoleUA {
+		cfg.Batch = o.batch
+	} else {
+		cfg.LRSConcurrency = o.lrsConcurrency
+	}
+	if o.batch && r != proxy.RoleUA {
+		logger.Warn("-batch is a ua-role flag; ia serves /batch unconditionally")
 	}
 	if !o.noResilience {
 		cfg.Resilience = &resilience.Policy{
@@ -303,7 +315,8 @@ func run(o options, logger *slog.Logger) error {
 	}
 	logger.Info("layer serving",
 		"role", o.role, "listen", l.Addr().String(), "next", o.next,
-		"shuffle", o.shuffle, "workers", o.workers, "mode", mode, "audit", o.auditSLO)
+		"shuffle", o.shuffle, "workers", o.workers, "mode", mode,
+		"batch", o.batch && r == proxy.RoleUA, "audit", o.auditSLO)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -39,6 +39,20 @@ type Spec struct {
 	ShuffleTimeout time.Duration
 	// Workers sizes each proxy instance's data-processing pool.
 	Workers int
+	// Batch switches the UA layers to the epoch-batched hop pipeline
+	// (DESIGN.md §4f): one batched ECALL per epoch per message kind and
+	// one UA→IA envelope per epoch. Requires Encryption and Shuffle > 1.
+	// IA layers always serve /batch.
+	Batch bool
+	// LRSConcurrency bounds each IA instance's concurrent LRS requests
+	// (0 = the proxy default, negative = unbounded).
+	LRSConcurrency int
+	// EcallCost models the CPU each enclave crossing burns (SGX world
+	// switch + TLB/cache repopulation). Zero — the default — keeps
+	// crossings free as plain function calls; benchmarks comparing the
+	// per-message and batched pipelines set it to hardware-like values
+	// (enclave.SetTransitionCost).
+	EcallCost time.Duration
 	// Cache enables the in-enclave recommendation cache on every IA
 	// instance (requires Encryption: lookups and fills are ECALLs).
 	// CacheTTL and CachePages override the reccache defaults when set;
@@ -172,6 +186,9 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 	}
 	if spec.Cache && !(spec.ProxyEnabled && spec.Encryption) {
 		return nil, errors.New("cluster: recommendation cache needs the encrypted proxy path")
+	}
+	if spec.Batch && !(spec.ProxyEnabled && spec.Encryption && spec.Shuffle > 1) {
+		return nil, errors.New("cluster: batch mode needs the encrypted proxy path with S > 1")
 	}
 
 	d = &Deployment{
@@ -413,18 +430,25 @@ func (d *Deployment) newLayer(role proxy.Role, spec Spec, platform *enclave.Plat
 		PassThrough:    !spec.Encryption,
 		Resilience:     spec.Resilience,
 	}
+	if role == proxy.RoleUA {
+		cfg.Batch = spec.Batch
+	} else {
+		cfg.LRSConcurrency = spec.LRSConcurrency
+	}
 	if spec.Encryption {
 		if role == proxy.RoleUA {
 			e := proxy.NewUAEnclave(platform)
 			if err := d.UAKeys.Provision(as, e, proxy.UAIdentity); err != nil {
 				return nil, err
 			}
+			e.SetTransitionCost(spec.EcallCost)
 			cfg.Enclave = e
 		} else {
 			e := proxy.NewIAEnclave(platform, iaOpts)
 			if err := d.IAKeys.Provision(as, e, proxy.IAIdentityFor(iaOpts)); err != nil {
 				return nil, err
 			}
+			e.SetTransitionCost(spec.EcallCost)
 			cfg.Enclave = e
 			cfg.RecCache = iaOpts.Cache
 		}

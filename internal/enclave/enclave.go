@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,8 +111,36 @@ type Enclave struct {
 	epcPages     int
 	epcUsedPages int
 
-	ecalls   uint64
-	observer atomic.Pointer[EcallObserver]
+	ecalls        uint64 // enclave crossings (Ecall and CallBatch each count 1)
+	msgs          uint64 // messages processed across all crossings
+	observer      atomic.Pointer[EcallObserver]
+	batchObserver atomic.Pointer[BatchObserver]
+	transitionNs  atomic.Int64 // modeled CPU cost per crossing (0 = free)
+}
+
+// SetTransitionCost models the CPU a real SGX world switch burns on
+// every enclave crossing — register save/restore, TLB flush, and the
+// cache/EPC repopulation that follows (tens of microseconds on the
+// paper's SGX v1 hardware, more under EPC paging pressure). The default
+// is zero: crossings are free, as in a plain function call. When set,
+// every crossing — one per Ecall, one per CallBatch regardless of batch
+// size — spins the CPU for d, so experiments measure what epoch
+// batching actually amortizes. Safe to call concurrently with traffic.
+func (e *Enclave) SetTransitionCost(d time.Duration) {
+	e.transitionNs.Store(int64(d))
+}
+
+// crossTransition pays the modeled world-switch cost. It busy-spins
+// rather than sleeping: a transition occupies the core, it does not
+// yield it.
+func (e *Enclave) crossTransition() {
+	ns := e.transitionNs.Load()
+	if ns <= 0 {
+		return
+	}
+	deadline := time.Now().Add(time.Duration(ns))
+	for time.Now().Before(deadline) {
+	}
 }
 
 // EcallObserver receives the name, wall-clock duration, and outcome of
@@ -129,6 +158,23 @@ func (e *Enclave) SetEcallObserver(fn EcallObserver) {
 		return
 	}
 	e.observer.Store(&fn)
+}
+
+// BatchObserver receives one batched crossing: the entry point, how many
+// messages the crossing carried, and its total wall-clock duration. Like
+// EcallObserver it runs on the caller's goroutine outside the enclave
+// lock, after the crossing completes. Ecall does not fire it (a plain
+// ECALL is a crossing of one message; the legacy observer covers it).
+type BatchObserver func(name string, n int, d time.Duration)
+
+// SetBatchObserver installs (or, with nil, removes) the batch-crossing
+// observer. Safe to call concurrently with CallBatch.
+func (e *Enclave) SetBatchObserver(fn BatchObserver) {
+	if fn == nil {
+		e.batchObserver.Store(nil)
+		return
+	}
+	e.batchObserver.Store(&fn)
 }
 
 // ID returns the unique enclave instance identifier.
@@ -202,7 +248,9 @@ func (e *Enclave) Ecall(name string, in []byte) ([]byte, error) {
 	secrets := e.secrets
 	kv := e.kv
 	e.ecalls++
+	e.msgs++
 	e.mu.Unlock()
+	e.crossTransition()
 
 	start := time.Now()
 	out, err := h(secrets, kv, in)
@@ -212,12 +260,103 @@ func (e *Enclave) Ecall(name string, in []byte) ([]byte, error) {
 	return out, err
 }
 
-// EcallCount returns the number of ECALLs served, used by the breach
-// detector's performance monitoring.
+// CallBatch transfers control into the enclave ONCE for a whole epoch of
+// messages: the named handler runs over every input inside a single
+// crossing, amortizing the transition cost the per-message path pays N
+// times. The crossing's marshalling buffer — all inputs resident at the
+// boundary at once — is charged against the EPC for the crossing's
+// duration, so an epoch the EPC cannot hold fails up front with
+// ErrEPCExhausted (callers fall back to per-message ECALLs).
+//
+// outs[i]/errs[i] carry each message's individual outcome; err reports
+// crossing-level failures only (unknown ECALL, not provisioned, EPC), in
+// which case no handler ran. The crossing counts once toward EcallCount
+// and len(ins) times toward MessageCount; the legacy ECALL observer sees
+// one crossing, the batch observer sees (name, len(ins), duration).
+func (e *Enclave) CallBatch(name string, ins [][]byte) (outs [][]byte, errs []error, err error) {
+	if len(ins) == 0 {
+		return nil, nil, nil
+	}
+	e.mu.Lock()
+	h, ok := e.handlers[name]
+	if !ok {
+		e.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownEcall, name)
+	}
+	if !e.provisioned {
+		e.mu.Unlock()
+		return nil, nil, ErrNotProvisioned
+	}
+	total := 0
+	for _, in := range ins {
+		total += len(in)
+	}
+	pages := pagesFor(total)
+	if err := e.allocLocked(pages); err != nil {
+		e.mu.Unlock()
+		return nil, nil, fmt.Errorf("batch crossing buffer: %w", err)
+	}
+	secrets := e.secrets
+	kv := e.kv
+	e.ecalls++
+	e.msgs += uint64(len(ins))
+	e.mu.Unlock()
+	e.crossTransition()
+
+	// Inside the crossing the epoch is processed by resident enclave
+	// worker threads (the switchless-call design: threads stay in the
+	// enclave and drain the batch without per-message transitions).
+	// Handlers already run concurrently in per-message operation, so
+	// parallel use is part of their contract.
+	start := time.Now()
+	outs = make([][]byte, len(ins))
+	errs = make([]error, len(ins))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ins) {
+					return
+				}
+				outs[i], errs[i] = h(secrets, kv, ins[i])
+			}
+		}()
+	}
+	wg.Wait()
+	d := time.Since(start)
+	e.free(pages)
+	if obs := e.observer.Load(); obs != nil {
+		(*obs)(name, d, nil)
+	}
+	if bobs := e.batchObserver.Load(); bobs != nil {
+		(*bobs)(name, len(ins), d)
+	}
+	return outs, errs, nil
+}
+
+// EcallCount returns the number of enclave crossings served (a batched
+// crossing counts once), used by the breach detector's performance
+// monitoring and the crossings-per-request measurements.
 func (e *Enclave) EcallCount() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.ecalls
+}
+
+// MessageCount returns the number of messages processed across all
+// crossings: Ecall adds one, CallBatch adds the batch size.
+func (e *Enclave) MessageCount() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.msgs
 }
 
 // KV returns the enclave's in-EPC key-value store, holding "the information

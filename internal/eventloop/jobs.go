@@ -1,0 +1,99 @@
+package eventloop
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// JobPool is the batch-stage worker pool of the epoch-batched pipeline:
+// where the per-message path wakes S goroutines per shuffle flush, the
+// batch path submits ONE job per epoch and a fixed pool runs epochs in
+// submission order off the same lock-free queue the server uses for
+// connections. Submit is non-blocking, so it is safe from under the
+// shuffler lock.
+type JobPool struct {
+	queue  *Queue[func()]
+	work   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	once   sync.Once
+
+	ran atomic.Uint64
+}
+
+// NewJobPool starts a pool of the given fixed size (minimum 1).
+func NewJobPool(workers int) *JobPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &JobPool{
+		queue: NewQueue[func()](),
+		work:  make(chan struct{}, 1<<20),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues one job. It reports false — without running the job —
+// once the pool is closed; the caller owns failing the job's work.
+func (p *JobPool) Submit(job func()) bool {
+	if job == nil || p.closed.Load() {
+		return false
+	}
+	p.queue.Push(job)
+	select {
+	case p.work <- struct{}{}:
+	default:
+		// Token channel full (absurd backlog): the queue entry stays
+		// consumable when tokens free up, mirroring Server.enqueue.
+	}
+	return true
+}
+
+func (p *JobPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-p.work:
+		}
+		if job, ok := p.queue.Pop(); ok {
+			job()
+			p.ran.Add(1)
+		}
+	}
+}
+
+// Close stops the workers and then drains every still-queued job inline,
+// so epochs accepted before shutdown deliver their results instead of
+// vanishing. Idempotent.
+func (p *JobPool) Close() {
+	if p == nil {
+		return
+	}
+	p.closed.Store(true)
+	p.once.Do(func() { close(p.done) })
+	p.wg.Wait()
+	for {
+		job, ok := p.queue.Pop()
+		if !ok {
+			return
+		}
+		job()
+		p.ran.Add(1)
+	}
+}
+
+// Ran returns how many jobs have completed.
+func (p *JobPool) Ran() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.ran.Load()
+}

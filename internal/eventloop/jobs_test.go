@@ -1,0 +1,97 @@
+package eventloop
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJobPoolRunsSubmittedJobs(t *testing.T) {
+	p := NewJobPool(2)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if !p.Submit(func() { ran.Add(1); wg.Done() }) {
+			t.Fatal("Submit refused before Close")
+		}
+	}
+	wg.Wait()
+	if got := ran.Load(); got != 100 {
+		t.Errorf("ran = %d, want 100", got)
+	}
+	if got := p.Ran(); got != 100 {
+		t.Errorf("Ran() = %d, want 100", got)
+	}
+}
+
+func TestJobPoolRejectsNilAndClosed(t *testing.T) {
+	p := NewJobPool(1)
+	if p.Submit(nil) {
+		t.Error("Submit(nil) accepted")
+	}
+	p.Close()
+	if p.Submit(func() {}) {
+		t.Error("Submit after Close accepted")
+	}
+	p.Close() // idempotent
+	var nilPool *JobPool
+	nilPool.Close()
+	if nilPool.Ran() != 0 {
+		t.Error("nil pool Ran() != 0")
+	}
+}
+
+// TestJobPoolCloseDrains: jobs accepted before Close must run — epochs
+// already handed to the pool deliver their results during shutdown
+// instead of vanishing.
+func TestJobPoolCloseDrains(t *testing.T) {
+	p := NewJobPool(1)
+	var ran atomic.Int64
+	block := make(chan struct{})
+	p.Submit(func() { <-block; ran.Add(1) })
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond) // let Close reach wg.Wait
+	close(block)
+	<-done
+	if got := ran.Load(); got != 51 {
+		t.Errorf("ran = %d, want 51 (Close drains the queue)", got)
+	}
+}
+
+// TestJobPoolBurst floods the pool from many goroutines at once — the
+// S-simultaneous-wakeups shape a burst of shuffle flushes produces — and
+// is primarily a -race exercise over Submit/worker/Close interleavings.
+func TestJobPoolBurst(t *testing.T) {
+	p := NewJobPool(4)
+	const producers = 32
+	const perProducer = 50
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perProducer; j++ {
+				if !p.Submit(func() { ran.Add(1) }) {
+					t.Error("Submit refused mid-burst")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if got := ran.Load(); got != producers*perProducer {
+		t.Errorf("ran = %d, want %d", got, producers*perProducer)
+	}
+}

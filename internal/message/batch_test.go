@@ -1,0 +1,73 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	in := []BatchEntry{
+		{ID: 0, Kind: BatchKindGet, Body: []byte("opaque-0")},
+		{ID: 1, Kind: BatchKindPost, Body: []byte("opaque-1")},
+		{ID: 2, Kind: BatchKindGet, Status: 503, Body: nil},
+	}
+	data, err := MarshalBatch(in)
+	if err != nil {
+		t.Fatalf("MarshalBatch: %v", err)
+	}
+	out, err := UnmarshalBatch(data)
+	if err != nil {
+		t.Fatalf("UnmarshalBatch: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("entries = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Kind != in[i].Kind ||
+			out[i].Status != in[i].Status || !bytes.Equal(out[i].Body, in[i].Body) {
+			t.Errorf("entry %d round-tripped to %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestBatchEnvelopeRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"not json", []byte("{"), ErrBatchEnvelope},
+		{"wrong version", []byte(`{"v":99,"entries":[{"id":0}]}`), ErrBatchVersion},
+		{"no entries", []byte(`{"v":1,"entries":[]}`), ErrBatchEnvelope},
+		{"duplicate ids", []byte(`{"v":1,"entries":[{"id":3},{"id":3}]}`), ErrBatchEnvelope},
+		{"negative id", []byte(`{"v":1,"entries":[{"id":-1}]}`), ErrBatchEnvelope},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalBatch(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBatchKindPaths(t *testing.T) {
+	for kind, path := range map[string]string{
+		BatchKindGet:  QueriesPath,
+		BatchKindPost: EventsPath,
+	} {
+		got, ok := BatchKindPath(kind)
+		if !ok || got != path {
+			t.Errorf("BatchKindPath(%q) = %q/%v, want %q", kind, got, ok, path)
+		}
+		back, ok := PathBatchKind(path)
+		if !ok || back != kind {
+			t.Errorf("PathBatchKind(%q) = %q/%v, want %q", path, back, ok, kind)
+		}
+	}
+	if _, ok := BatchKindPath("nope"); ok {
+		t.Error("BatchKindPath accepted an unknown kind")
+	}
+	if _, ok := PathBatchKind("/nope"); ok {
+		t.Error("PathBatchKind accepted an unknown path")
+	}
+}

@@ -30,6 +30,24 @@ const (
 	QueriesPath = "/queries"
 	// HealthPath reports liveness.
 	HealthPath = "/healthz"
+	// BatchPath accepts one batch envelope per shuffle epoch on the
+	// UA→IA link (epoch-batched pipeline, DESIGN.md §4f). The LRS never
+	// serves it: the IA demultiplexes and speaks the legacy per-message
+	// API downstream.
+	BatchPath = "/batch"
+)
+
+// BatchVersion is the batch-envelope wire version. A receiver rejects
+// envelopes from a future version instead of guessing at their layout.
+const BatchVersion = 1
+
+// Batch entry kinds, the request-direction dispatch tag standing in for
+// the per-message URL path.
+const (
+	// BatchKindPost marks a feedback insertion (EventsPath).
+	BatchKindPost = "post"
+	// BatchKindGet marks a recommendation query (QueriesPath).
+	BatchKindGet = "get"
 )
 
 // Errors reported by the codec.
@@ -40,6 +58,14 @@ var (
 
 	// ErrMalformedList reports an item-list block of the wrong size.
 	ErrMalformedList = errors.New("message: malformed fixed-size item list")
+
+	// ErrBatchVersion reports a batch envelope with an unsupported wire
+	// version.
+	ErrBatchVersion = errors.New("message: unsupported batch envelope version")
+
+	// ErrBatchEnvelope reports a structurally invalid batch envelope
+	// (duplicate or negative ids, no entries).
+	ErrBatchEnvelope = errors.New("message: malformed batch envelope")
 )
 
 // PostRequest is the encrypted form of post(u, i[, p]) as it travels from
@@ -129,6 +155,83 @@ type LRSGetResponse struct {
 // meaningful signal is the HTTP status code (§4.2.1).
 type OK struct {
 	Status string `json:"status"`
+}
+
+// BatchEntry is one opaque message inside a batch envelope. IDs are
+// positions in the epoch's permuted release order (0..n-1) — sequential
+// integers minted after the shuffle, so they carry no information about
+// arrival order or the client behind a slot. The request direction sets
+// Kind; the response direction echoes the request's ID and sets Status.
+// Body is opaque to every hop that only forwards it (encoding/json
+// transports []byte as base64, matching the §5 ciphertext convention).
+type BatchEntry struct {
+	ID     int    `json:"id"`
+	Kind   string `json:"kind,omitempty"`
+	Status int    `json:"status,omitempty"`
+	Body   []byte `json:"body,omitempty"`
+}
+
+// BatchEnvelope is the versioned frame carrying one shuffle epoch as a
+// single message on the UA→IA link (one POST per epoch instead of S).
+type BatchEnvelope struct {
+	V       int          `json:"v"`
+	Entries []BatchEntry `json:"entries"`
+}
+
+// MarshalBatch frames entries into a version-tagged batch envelope.
+func MarshalBatch(entries []BatchEntry) ([]byte, error) {
+	return Marshal(BatchEnvelope{V: BatchVersion, Entries: entries})
+}
+
+// UnmarshalBatch parses and validates a batch envelope: the version must
+// be current and entry ids must be unique and non-negative, so a receiver
+// can key per-message results by id without aliasing.
+func UnmarshalBatch(data []byte) ([]BatchEntry, error) {
+	var env BatchEnvelope
+	if err := Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBatchEnvelope, err)
+	}
+	if env.V != BatchVersion {
+		return nil, fmt.Errorf("%w: got v%d, want v%d", ErrBatchVersion, env.V, BatchVersion)
+	}
+	if len(env.Entries) == 0 {
+		return nil, fmt.Errorf("%w: no entries", ErrBatchEnvelope)
+	}
+	seen := make(map[int]struct{}, len(env.Entries))
+	for _, e := range env.Entries {
+		if e.ID < 0 {
+			return nil, fmt.Errorf("%w: negative id %d", ErrBatchEnvelope, e.ID)
+		}
+		if _, dup := seen[e.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate id %d", ErrBatchEnvelope, e.ID)
+		}
+		seen[e.ID] = struct{}{}
+	}
+	return env.Entries, nil
+}
+
+// BatchKindPath maps an entry kind to the per-message path it stands for,
+// reporting false for unknown kinds.
+func BatchKindPath(kind string) (string, bool) {
+	switch kind {
+	case BatchKindPost:
+		return EventsPath, true
+	case BatchKindGet:
+		return QueriesPath, true
+	}
+	return "", false
+}
+
+// PathBatchKind maps a per-message path to its batch entry kind,
+// reporting false for paths that do not batch.
+func PathBatchKind(path string) (string, bool) {
+	switch path {
+	case EventsPath:
+		return BatchKindPost, true
+	case QueriesPath:
+		return BatchKindGet, true
+	}
+	return "", false
 }
 
 // Encode64 renders ciphertext bytes for a JSON field (§5: "the encrypted

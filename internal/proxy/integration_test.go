@@ -52,6 +52,18 @@ type stackOptions struct {
 	// iaShuffleOnly keeps the UA layer unshuffled so cache tests can
 	// hold requests mid-epoch inside the IA shuffler specifically.
 	iaShuffleOnly bool
+	// batch switches the UA layer to the epoch-batched pipeline.
+	batch bool
+	// pairLink provisions the shared UA→IA hop-envelope key.
+	pairLink bool
+	// policy arms resilience on both layers.
+	policy *resilience.Policy
+	// lrsConcurrency bounds the IA's LRS fan-out (0 = proxy default).
+	lrsConcurrency int
+	// workers sizes each layer's worker/job pools (0 = proxy default).
+	workers int
+	// iaMiddleware wraps the IA's handler (fault injection).
+	iaMiddleware func(http.Handler) http.Handler
 }
 
 func newStack(t *testing.T, opts stackOptions) *stack {
@@ -80,6 +92,11 @@ func newStack(t *testing.T, opts stackOptions) *stack {
 	}
 	if st.iaKeys, err = proxy.NewLayerKeys(); err != nil {
 		t.Fatal(err)
+	}
+	if opts.pairLink {
+		if err := proxy.PairLinkKey(st.uaKeys, st.iaKeys); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := st.uaKeys.Provision(as, st.uaEncl, proxy.UAIdentity); err != nil {
 		t.Fatal(err)
@@ -126,11 +143,18 @@ func newStack(t *testing.T, opts stackOptions) *stack {
 		ShuffleTimeout: opts.shuffleTimeout,
 		PassThrough:    opts.passThrough,
 		RecCache:       opts.recCache,
+		Resilience:     opts.policy,
+		LRSConcurrency: opts.lrsConcurrency,
+		Workers:        opts.workers,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.serve(t, "ia", st.ia)
+	var iaHandler http.Handler = st.ia
+	if opts.iaMiddleware != nil {
+		iaHandler = opts.iaMiddleware(iaHandler)
+	}
+	st.serve(t, "ia", iaHandler)
 
 	uaShuffle := opts.shuffleSize
 	if opts.iaShuffleOnly {
@@ -144,6 +168,9 @@ func newStack(t *testing.T, opts stackOptions) *stack {
 		ShuffleSize:    uaShuffle,
 		ShuffleTimeout: opts.shuffleTimeout,
 		PassThrough:    opts.passThrough,
+		Batch:          opts.batch,
+		Resilience:     opts.policy,
+		Workers:        opts.workers,
 	})
 	if err != nil {
 		t.Fatal(err)

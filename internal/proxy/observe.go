@@ -48,10 +48,11 @@ var pendingDepthBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 // instruments holds the layer's cached metric children so the hot path
 // never takes a registry or family lock.
 type instruments struct {
-	stage        map[string]*metrics.Histogram
-	ecall        map[string]*metrics.Histogram
-	pendingDepth *metrics.Histogram
-	batchSize    *metrics.Histogram
+	stage          map[string]*metrics.Histogram
+	ecall          map[string]*metrics.Histogram
+	pendingDepth   *metrics.Histogram
+	batchSize      *metrics.Histogram
+	ecallBatchSize *metrics.Histogram
 }
 
 func (l *Layer) roleLabel() string { return strings.ToLower(l.cfg.Role.String()) }
@@ -124,6 +125,11 @@ func (l *Layer) RegisterMetrics(r *metrics.Registry, node string) {
 			With(func() float64 {
 				return float64(l.cfg.Enclave.EcallCount())
 			}, role, node)
+		r.CounterFuncVec("pprox_enclave_ecall_messages_total",
+			"Messages processed inside enclave crossings (batched ECALLs count every message; the crossings/message ratio against pprox_enclave_ecalls_total is the batching amortization).", "layer", "node").
+			With(func() float64 {
+				return float64(l.cfg.Enclave.MessageCount())
+			}, role, node)
 	}
 
 	inst := &instruments{
@@ -180,17 +186,62 @@ func (l *Layer) RegisterMetrics(r *metrics.Registry, node string) {
 			pendingDepthBuckets, "layer", "node").With(role, node)
 	}
 	if l.cfg.Enclave != nil {
+		inst.ecallBatchSize = r.HistogramVec("pprox_enclave_ecall_batch_size",
+			"Messages per batched enclave crossing.",
+			pendingDepthBuckets, "layer", "node").With(role, node)
 		l.cfg.Enclave.SetEcallObserver(func(name string, d time.Duration, _ error) {
 			if h := inst.ecall[name]; h != nil {
 				h.Observe(d.Seconds())
 			}
 		})
+		l.cfg.Enclave.SetBatchObserver(func(name string, n int, d time.Duration) {
+			if inst.ecallBatchSize != nil {
+				inst.ecallBatchSize.Observe(float64(n))
+			}
+		})
 	}
+	l.registerBatchMetrics(r, role, node)
 	if c := l.cfg.RecCache; c != nil {
 		l.registerCacheMetrics(r, c, role, node)
 	}
 	l.obs.Store(inst)
 	l.rewireShuffler()
+}
+
+// registerBatchMetrics exposes the epoch-batched pipeline's families:
+// per-epoch forwards and the degradation ladder (UA batch mode and IA
+// /batch demultiplexing both feed the counters), plus the bounded IA→LRS
+// fan-out gauge when a semaphore is installed.
+func (l *Layer) registerBatchMetrics(r *metrics.Registry, role, node string) {
+	if l.jobs != nil || l.cfg.Role == RoleIA {
+		counter := func(name, help string, read func(BatchStats) uint64) {
+			r.CounterFuncVec(name, help, "layer", "node").
+				With(func() float64 { return float64(read(l.BatchStats())) }, role, node)
+		}
+		counter("pprox_proxy_batch_forwards_total",
+			"Batch envelopes processed (UA: epochs forwarded; IA: envelopes demultiplexed).",
+			func(s BatchStats) uint64 { return s.Batches })
+		counter("pprox_proxy_batch_messages_total",
+			"Messages carried inside batch envelopes.",
+			func(s BatchStats) uint64 { return s.Messages })
+		counter("pprox_proxy_batch_retries_total",
+			"Whole-envelope batch sends beyond the first attempt.",
+			func(s BatchStats) uint64 { return s.Retries })
+		counter("pprox_proxy_batch_splits_total",
+			"Sub-envelope sends after splitting a failed batch.",
+			func(s BatchStats) uint64 { return s.Splits })
+		counter("pprox_proxy_batch_degraded_total",
+			"Messages degraded from batch to per-message forwarding.",
+			func(s BatchStats) uint64 { return s.Degraded })
+		counter("pprox_proxy_batch_epc_fallbacks_total",
+			"Batched crossings that fell back to per-message ECALLs (EPC pressure).",
+			func(s BatchStats) uint64 { return s.EPCFallbacks })
+	}
+	if l.lrsSem != nil {
+		r.GaugeVec("pprox_lrs_inflight",
+			"In-flight IA→LRS requests (bounded by -lrs-concurrency).", "layer", "node").
+			With(func() float64 { return float64(l.LRSInFlight()) }, role, node)
+	}
 }
 
 // registerCacheMetrics exposes the pprox_reccache_* families. Every value
@@ -311,6 +362,16 @@ func (l *Layer) observeStage(stage string, start time.Time) {
 	if obs := l.obs.Load(); obs != nil {
 		if h := obs.stage[stage]; h != nil {
 			h.ObserveSince(start)
+		}
+	}
+}
+
+// observeStageDur is observeStage for pre-measured durations (the batch
+// pipeline measures one crossing and attributes it once).
+func (l *Layer) observeStageDur(stage string, d time.Duration) {
+	if obs := l.obs.Load(); obs != nil {
+		if h := obs.stage[stage]; h != nil {
+			h.Observe(d.Seconds())
 		}
 	}
 }

@@ -23,7 +23,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -31,6 +30,7 @@ import (
 	"time"
 
 	"pprox/internal/enclave"
+	"pprox/internal/eventloop"
 	"pprox/internal/message"
 	"pprox/internal/reccache"
 	"pprox/internal/resilience"
@@ -96,7 +96,24 @@ type Config struct {
 	// IAOptions.Cache: the layer drives coalescing and epoch-granular
 	// stat publication on it, the enclave does lookups and fills.
 	RecCache *reccache.Cache
+	// Batch selects the epoch-batched pipeline on a UA layer (DESIGN.md
+	// §4f): requests join shuffle epochs without blocking a goroutine
+	// each, every epoch is processed in one batch ECALL, and leaves as
+	// ONE batch envelope POSTed to the IA's /batch route. Requires the
+	// enclave path and ShuffleSize > 1 (epochs are what is batched). An
+	// IA layer ignores the flag — it always serves /batch when it has an
+	// enclave.
+	Batch bool
+	// LRSConcurrency bounds the IA→LRS fan-out (IA role only): at most
+	// this many LRS requests in flight per layer instance, covering both
+	// demultiplexed batch epochs and the per-message path. 0 selects
+	// DefaultLRSConcurrency; negative disables the bound.
+	LRSConcurrency int
 }
+
+// DefaultLRSConcurrency is the IA→LRS fan-out bound when the
+// configuration leaves Config.LRSConcurrency zero.
+const DefaultLRSConcurrency = 64
 
 // Layer is one proxy instance (one node of one layer). It serves the same
 // REST API as the LRS and forwards transformed traffic to the next hop.
@@ -106,12 +123,24 @@ type Layer struct {
 	workers  chan struct{}
 	policy   resilience.Policy
 	breaker  *resilience.Breaker
+	// jobs runs one job per shuffle epoch in batch mode (UA role).
+	jobs *eventloop.JobPool
+	// lrsSem bounds the IA→LRS fan-out (IA role; nil = unbounded).
+	lrsSem *resilience.Semaphore
 
 	nextHandle atomic.Uint64
 	served     atomic.Uint64
 	failed     atomic.Uint64
 	retries    atomic.Uint64
 	failFast   atomic.Uint64
+
+	// Batch-pipeline counters (BatchStats).
+	batches       atomic.Uint64
+	batchMsgs     atomic.Uint64
+	batchRetries  atomic.Uint64
+	batchSplits   atomic.Uint64
+	batchDegraded atomic.Uint64
+	epcFallbacks  atomic.Uint64
 
 	// obs and tracer are installed by RegisterMetrics / SetTracer and
 	// read lock-free on the request path.
@@ -172,6 +201,32 @@ func New(cfg Config) (*Layer, error) {
 		// cache counters publish live.
 		cfg.RecCache.SetPublishLive(true)
 	}
+	if cfg.Role == RoleIA {
+		n := cfg.LRSConcurrency
+		if n == 0 {
+			n = DefaultLRSConcurrency
+		}
+		// NewSemaphore treats n ≤ 0 as unbounded, which is what a
+		// negative LRSConcurrency selects.
+		l.lrsSem = resilience.NewSemaphore(n)
+	}
+	if cfg.Batch && cfg.Role == RoleUA {
+		if cfg.PassThrough {
+			return nil, errors.New("proxy: batch mode requires the enclave path")
+		}
+		if l.shuffler == nil {
+			return nil, errors.New("proxy: batch mode requires ShuffleSize > 1")
+		}
+		l.jobs = eventloop.NewJobPool(cfg.Workers)
+		l.shuffler.SetBatchSink(func(vals []any) {
+			// Runs under the shuffler lock: only hand the epoch to the
+			// pool. If the pool is already closed, fail the epoch's
+			// messages fast — the shuffler is closing too.
+			if !l.jobs.Submit(func() { l.runBatch(vals) }) {
+				failBatchItems(vals, ErrShufflerClosed)
+			}
+		})
+	}
 	return l, nil
 }
 
@@ -179,10 +234,14 @@ func New(cfg Config) (*Layer, error) {
 // injected.
 const defaultClientTimeout = 30 * time.Second
 
-// Close releases buffered messages and flushes the final partial trace
-// epoch (shutdown path).
+// Close releases buffered messages, drains in-flight batch epochs, and
+// flushes the final partial trace epoch (shutdown path). The shuffler
+// closes first — its final flush still submits to the job pool — and the
+// pool's Close runs every accepted epoch to completion, so no admitted
+// request is left without a response.
 func (l *Layer) Close() {
 	l.shuffler.Close()
+	l.jobs.Close()
 	l.tracer.Load().AdvanceEpoch()
 }
 
@@ -201,6 +260,37 @@ func (l *Layer) RetryStats() (retries, failFast uint64) {
 	return l.retries.Load(), l.failFast.Load()
 }
 
+// BatchStats reports the epoch-batched pipeline's counters: epochs
+// forwarded as one envelope, messages inside them, whole-envelope retry
+// sends, sub-envelope sends after splitting, messages degraded to
+// per-message forwarding, and batch ECALLs that fell back to per-message
+// crossings on EPC exhaustion.
+type BatchStats struct {
+	Batches      uint64
+	Messages     uint64
+	Retries      uint64
+	Splits       uint64
+	Degraded     uint64
+	EPCFallbacks uint64
+}
+
+// BatchStats returns the layer's batch-pipeline counters (all zero when
+// batch mode is off).
+func (l *Layer) BatchStats() BatchStats {
+	return BatchStats{
+		Batches:      l.batches.Load(),
+		Messages:     l.batchMsgs.Load(),
+		Retries:      l.batchRetries.Load(),
+		Splits:       l.batchSplits.Load(),
+		Degraded:     l.batchDegraded.Load(),
+		EPCFallbacks: l.epcFallbacks.Load(),
+	}
+}
+
+// LRSInFlight returns the current IA→LRS fan-out occupancy (the
+// pprox_lrs_inflight gauge; always 0 on a UA layer or when unbounded).
+func (l *Layer) LRSInFlight() int64 { return l.lrsSem.InFlight() }
+
 // Breaker exposes the next-hop circuit breaker (nil when disabled), for
 // metrics and tests.
 func (l *Layer) Breaker() *resilience.Breaker { return l.breaker }
@@ -218,6 +308,9 @@ func (l *Layer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Method == http.MethodPost && (r.URL.Path == message.EventsPath || r.URL.Path == message.QueriesPath):
 		l.handle(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == message.BatchPath &&
+		l.cfg.Role == RoleIA && !l.cfg.PassThrough:
+		l.handleBatch(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == message.HealthPath:
 		fmt.Fprint(w, "ok")
 	default:
@@ -226,7 +319,7 @@ func (l *Layer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	body, err := readBody(r.Body, maxBody)
 	if err != nil {
 		l.fail(w, http.StatusBadRequest, "read request")
 		return
@@ -241,21 +334,7 @@ func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
 		status, respBody, err = l.handleIA(r.Context(), r.URL.Path, body, isGet)
 	}
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrTableFull):
-			l.fail(w, http.StatusServiceUnavailable, "shuffling table full")
-		case errors.Is(err, errEnclave):
-			// No detail: the untrusted host must not relay why the
-			// enclave rejected a ciphertext. The log record is equally
-			// blind — a failure class, not a reason.
-			l.fail(w, http.StatusBadRequest, "request rejected")
-		case errors.Is(err, resilience.ErrBreakerOpen):
-			l.fail(w, http.StatusServiceUnavailable, "next hop unavailable")
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-			l.fail(w, http.StatusGatewayTimeout, "timeout")
-		default:
-			l.fail(w, http.StatusBadGateway, "upstream error")
-		}
+		l.fail(w, statusFor(err), failText(err))
 		l.logWarn("request failed",
 			"layer", l.roleLabel(), "path", r.URL.Path, "class", failClass(err))
 		return
@@ -272,6 +351,42 @@ func (l *Layer) fail(w http.ResponseWriter, status int, msg string) {
 	http.Error(w, msg, status)
 }
 
+// statusFor maps a pipeline error to the HTTP status a client sees; the
+// same mapping prices each entry of a batch envelope.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrTableFull) || errors.Is(err, ErrShufflerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errEnclave):
+		return http.StatusBadRequest
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadGateway
+	}
+}
+
+// failText is the constant-per-class response text. No detail: the
+// untrusted host must not relay why the enclave rejected a ciphertext.
+func failText(err error) string {
+	switch {
+	case errors.Is(err, ErrTableFull):
+		return "shuffling table full"
+	case errors.Is(err, ErrShufflerClosed):
+		return "shutting down"
+	case errors.Is(err, errEnclave):
+		return "request rejected"
+	case errors.Is(err, resilience.ErrBreakerOpen):
+		return "next hop unavailable"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		return "upstream error"
+	}
+}
+
 // failClass maps a pipeline error to a bounded-cardinality label for log
 // records. It deliberately never renders err.Error(): upstream errors
 // wrap URLs and transport detail that belong in metrics dimensions, not
@@ -280,6 +395,8 @@ func failClass(err error) string {
 	switch {
 	case errors.Is(err, ErrTableFull):
 		return "table_full"
+	case errors.Is(err, ErrShufflerClosed):
+		return "shutdown"
 	case errors.Is(err, errEnclave):
 		return "enclave_reject"
 	case errors.Is(err, resilience.ErrBreakerOpen):
@@ -295,6 +412,9 @@ func failClass(err error) string {
 // identifier in the enclave, shuffle the request batch, forward to the IA
 // layer, and relay the (already client-encrypted) response untouched.
 func (l *Layer) handleUA(ctx context.Context, path string, body []byte, isGet bool) (int, []byte, error) {
+	if l.jobs != nil {
+		return l.handleUABatch(ctx, body, isGet)
+	}
 	out := body
 	if !l.cfg.PassThrough {
 		ecall := ecallUAPost
@@ -388,7 +508,7 @@ func (l *Layer) handleIA(ctx context.Context, path string, body []byte, isGet bo
 	// IA→LRS retries need no rewrap/reshuffle prep: the request leaving
 	// the IA is the pseudonymized cleartext the LRS expects, and the
 	// shuffle the IA owns is on the *response* path below.
-	status, lrsBody, err := l.forwardResilient(ctx, path, out, nil)
+	status, lrsBody, err := l.forwardLRS(ctx, path, out)
 	if err != nil {
 		l.dropHandle(handle)
 		return 0, nil, err
@@ -462,7 +582,7 @@ func (l *Layer) handleIAGetCached(ctx context.Context, path string, body []byte)
 	}
 
 	v, shared, err := l.cfg.RecCache.Do(ctx, res.Key, func() (any, error) {
-		status, lrsBody, err := l.forwardResilient(ctx, path, res.Body, nil)
+		status, lrsBody, err := l.forwardLRS(ctx, path, res.Body)
 		if err != nil {
 			return nil, err
 		}
@@ -474,7 +594,7 @@ func (l *Layer) handleIAGetCached(ctx context.Context, path string, body []byte)
 		// its own rather than inheriting the error.
 		var status int
 		var lrsBody []byte
-		if status, lrsBody, err = l.forwardResilient(ctx, path, res.Body, nil); err == nil {
+		if status, lrsBody, err = l.forwardLRS(ctx, path, res.Body); err == nil {
 			v = fetchResult{status, lrsBody}
 		}
 	}
@@ -532,6 +652,18 @@ func (l *Layer) process(stage, ecall string, in []byte) ([]byte, error) {
 	l.workers <- struct{}{}
 	defer func() { <-l.workers }()
 	return l.cfg.Enclave.Ecall(ecall, in)
+}
+
+// forwardLRS is the IA→LRS hop: forwardResilient under the layer's
+// fan-out semaphore, so a demultiplexed epoch (or a burst of per-message
+// misses) holds at most LRSConcurrency requests against the legacy API
+// at once instead of one goroutine each, unbounded.
+func (l *Layer) forwardLRS(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	if err := l.lrsSem.Acquire(ctx); err != nil {
+		return 0, nil, err
+	}
+	defer l.lrsSem.Release()
+	return l.forwardResilient(ctx, path, body, nil)
 }
 
 // forwardResilient drives forward attempts under the layer's resilience
@@ -609,7 +741,7 @@ func (l *Layer) forward(ctx context.Context, path string, body []byte) (int, []b
 		return 0, nil, fmt.Errorf("proxy: forward to %s: %w", l.cfg.Next, err)
 	}
 	defer resp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	respBody, err := readBody(resp.Body, maxBody)
 	if err != nil {
 		return 0, nil, fmt.Errorf("proxy: read upstream response: %w", err)
 	}
@@ -618,3 +750,7 @@ func (l *Layer) forward(ctx context.Context, path string, body []byte) (int, []b
 
 // maxBody bounds message sizes; PProx traffic is constant-size and small.
 const maxBody = 1 << 20
+
+// maxBatchBody bounds a whole batch envelope: one epoch of up to
+// table-size messages plus framing.
+const maxBatchBody = 8 << 20

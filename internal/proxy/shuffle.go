@@ -16,6 +16,11 @@ import (
 // requests").
 var ErrTableFull = errors.New("proxy: pending-request table full")
 
+// ErrShufflerClosed reports a Wait or Enqueue after Close: the shuffler is
+// terminal on shutdown, so late arrivals fail fast instead of re-arming
+// the flush timer and stranding themselves in a buffer nobody will flush.
+var ErrShufflerClosed = errors.New("proxy: shuffler closed")
+
 // Shuffler implements request/response shuffling (§4.3, Fig. 5): messages
 // are buffered until S of them are pending — or until a timer expires —
 // and then released in uniformly random order. An adversary observing the
@@ -35,10 +40,14 @@ type Shuffler struct {
 	rng     *mrand.Rand
 	flushes uint64
 	sheds   uint64
+	closed  bool
 
 	// Observability hooks (SetHooks); both run under the shuffler lock.
 	onEnqueue func(depth int)
 	onFlush   func(batch int)
+	// sink receives whole permuted epochs in batch-release mode
+	// (SetBatchSink); it runs under the shuffler lock.
+	sink func(vals []any)
 }
 
 // NewShuffler creates a shuffler with buffer size S, a flush timer, and a
@@ -97,11 +106,27 @@ func (s *Shuffler) SetHooks(onEnqueue func(depth int), onFlush func(batch int)) 
 	s.mu.Unlock()
 }
 
+// SetBatchSink installs the batch-release consumer: every flush hands the
+// epoch's enqueued values (Enqueue), in the epoch's permuted order, to fn
+// in one call instead of waking one goroutine per message. The sink runs
+// under the shuffler lock on the flush path, so it must be cheap and
+// non-blocking — submitting the epoch to a job pool qualifies, processing
+// it inline does not. Safe on a nil shuffler.
+func (s *Shuffler) SetBatchSink(fn func(vals []any)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sink = fn
+	s.mu.Unlock()
+}
+
 // Wait blocks the calling message until the shuffler releases it as part
 // of a randomized batch, and returns the message's position in the
 // batch's randomized release order (0 when shuffling is disabled). It
-// returns ErrTableFull when the pending table is at capacity, or the
-// context error if the caller gives up first.
+// returns ErrTableFull when the pending table is at capacity,
+// ErrShufflerClosed after Close, or the context error if the caller gives
+// up first.
 func (s *Shuffler) Wait(ctx context.Context) (int, error) {
 	if s == nil || s.size <= 1 {
 		return 0, nil
@@ -110,19 +135,9 @@ func (s *Shuffler) Wait(ctx context.Context) (int, error) {
 	release := &pendingMsg{ch: make(chan struct{})}
 
 	s.mu.Lock()
-	if len(s.pending) >= s.table {
-		s.sheds++
+	if err := s.admitLocked(release); err != nil {
 		s.mu.Unlock()
-		return 0, ErrTableFull
-	}
-	s.pending = append(s.pending, release)
-	if s.onEnqueue != nil {
-		s.onEnqueue(len(s.pending))
-	}
-	if len(s.pending) >= s.size {
-		s.flushLocked()
-	} else if s.timer == nil {
-		s.timer = time.AfterFunc(s.timeout, s.onTimer)
+		return 0, err
 	}
 	s.mu.Unlock()
 
@@ -138,24 +153,70 @@ func (s *Shuffler) Wait(ctx context.Context) (int, error) {
 	}
 }
 
-// pendingMsg is one buffered message awaiting release.
+// Enqueue admits one message into the current epoch in batch-release
+// mode: instead of blocking a goroutine, the value travels with the epoch
+// and is handed to the batch sink, in permuted order, when the epoch
+// flushes. The same shedding (ErrTableFull) and shutdown
+// (ErrShufflerClosed) rules as Wait apply.
+func (s *Shuffler) Enqueue(v any) error {
+	if s == nil || s.size <= 1 {
+		return errors.New("proxy: batch enqueue requires a shuffler with S > 1")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrShufflerClosed
+	}
+	if s.sink == nil {
+		return errors.New("proxy: batch enqueue without a batch sink")
+	}
+	return s.admitLocked(&pendingMsg{v: v})
+}
+
+// admitLocked appends one message to the pending table and arms the
+// flush threshold/timer, enforcing capacity and shutdown.
+func (s *Shuffler) admitLocked(msg *pendingMsg) error {
+	if s.closed {
+		return ErrShufflerClosed
+	}
+	if len(s.pending) >= s.table {
+		s.sheds++
+		return ErrTableFull
+	}
+	s.pending = append(s.pending, msg)
+	if s.onEnqueue != nil {
+		s.onEnqueue(len(s.pending))
+	}
+	if len(s.pending) >= s.size {
+		s.flushLocked()
+	} else if s.timer == nil {
+		s.timer = time.AfterFunc(s.timeout, s.onTimer)
+	}
+	return nil
+}
+
+// pendingMsg is one buffered message awaiting release: a blocked waiter
+// (Wait, ch non-nil) or a batch-mode value (Enqueue, v non-nil).
 type pendingMsg struct {
 	ch  chan struct{}
 	pos int
+	v   any
 }
 
 func (s *Shuffler) onTimer() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.timer = nil
-	if len(s.pending) > 0 {
+	if !s.closed && len(s.pending) > 0 {
 		s.flushLocked()
 	}
 }
 
 // flushLocked releases every pending message in uniformly random order:
-// each message learns its randomized position and is unblocked in that
-// order, so the wire order downstream follows the permutation.
+// each waiter learns its randomized position and is unblocked in that
+// order, and batch-mode values are handed to the sink as one epoch in
+// that same order — so the wire order downstream follows the permutation
+// either way.
 func (s *Shuffler) flushLocked() {
 	batch := s.pending
 	s.pending = nil
@@ -164,14 +225,55 @@ func (s *Shuffler) flushLocked() {
 		s.timer = nil
 	}
 	s.rng.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+	var vals []any
 	for pos, msg := range batch {
-		msg.pos = pos
-		close(msg.ch)
+		if msg.ch != nil {
+			msg.pos = pos
+			close(msg.ch)
+			continue
+		}
+		vals = append(vals, msg.v)
+	}
+	if len(vals) > 0 && s.sink != nil {
+		s.sink(vals)
 	}
 	s.flushes++
 	if s.onFlush != nil {
 		s.onFlush(len(batch))
 	}
+}
+
+// ReleaseBatch accounts one whole inbound epoch of n messages — a batch
+// envelope demultiplexed on the IA — as a shuffle flush and returns the
+// permutation its releases must follow. The permutation draws on the same
+// crypto-seeded stream as Wait-mode flushes, and the flush hooks fire so
+// the auditor, tracer, and cache see batch epochs exactly like waiter
+// epochs. A nil shuffler (or S ≤ 1) returns the identity permutation and
+// touches nothing.
+func (s *Shuffler) ReleaseBatch(n int) ([]int, error) {
+	if n < 0 {
+		n = 0
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if s == nil || s.size <= 1 || n == 0 {
+		// An empty envelope is not an epoch: counting it would feed the
+		// auditor a zero-size anonymity set.
+		return perm, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrShufflerClosed
+	}
+	perm = s.rng.Perm(n)
+	s.flushes++
+	if s.onFlush != nil {
+		s.onFlush(n)
+	}
+	return perm, nil
 }
 
 // Stats returns the number of completed flushes and shed messages.
@@ -188,13 +290,20 @@ func (s *Shuffler) Pending() int {
 	return len(s.pending)
 }
 
-// Close releases any buffered messages immediately (shutdown path).
+// Close releases any buffered messages immediately and makes the
+// shuffler terminal: every later Wait/Enqueue/ReleaseBatch fails fast
+// with ErrShufflerClosed instead of re-arming the flush timer and
+// stranding itself during shutdown. Closing twice is a no-op.
 func (s *Shuffler) Close() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if len(s.pending) > 0 {
 		s.flushLocked()
 	} else if s.timer != nil {

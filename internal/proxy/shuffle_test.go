@@ -3,6 +3,7 @@ package proxy
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -307,10 +308,12 @@ func TestShufflerDepartedCallersAdvanceFlush(t *testing.T) {
 	}
 }
 
-// TestShufflerTimerRearmsAfterClose: Close flushes and clears the timer; a
-// shuffler that keeps serving afterwards must re-arm it, or a lone message
-// in the next partial batch hangs forever.
-func TestShufflerTimerRearmsAfterClose(t *testing.T) {
+// TestShufflerCloseTerminal: Close flushes the pending partial batch so
+// in-flight waiters release, and is TERMINAL — later admissions fail
+// fast with ErrShufflerClosed instead of parking in a batch that will
+// never flush (the pre-terminal behavior silently re-armed the timer and
+// kept "serving" during shutdown, racing the HTTP server teardown).
+func TestShufflerCloseTerminal(t *testing.T) {
 	sh := NewShuffler(10, 30*time.Millisecond, 0)
 	done := make(chan struct{})
 	go func() {
@@ -325,14 +328,50 @@ func TestShufflerTimerRearmsAfterClose(t *testing.T) {
 	sh.Close()
 	<-done
 
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	start := time.Now()
-	if _, err := sh.Wait(ctx); err != nil {
-		t.Fatalf("Wait after Close never released: %v", err)
+	if _, err := sh.Wait(context.Background()); !errors.Is(err, ErrShufflerClosed) {
+		t.Fatalf("Wait after Close: err = %v, want ErrShufflerClosed", err)
 	}
-	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
-		t.Errorf("post-Close message released after %v, before the re-armed timer", elapsed)
+	if err := sh.Enqueue("late"); !errors.Is(err, ErrShufflerClosed) {
+		t.Fatalf("Enqueue after Close: err = %v, want ErrShufflerClosed", err)
+	}
+	if _, err := sh.ReleaseBatch(3); !errors.Is(err, ErrShufflerClosed) {
+		t.Fatalf("ReleaseBatch after Close: err = %v, want ErrShufflerClosed", err)
+	}
+	sh.Close() // idempotent
+}
+
+// TestShufflerCloseRace hammers Close against concurrent Wait admissions:
+// every waiter must resolve (batch release, flush-on-close, or
+// ErrShufflerClosed) — none may hang, and none may park after the close.
+func TestShufflerCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		sh := NewShuffler(4, time.Hour, 0)
+		const waiters = 32
+		errs := make(chan error, waiters)
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				_, err := sh.Wait(ctx)
+				errs <- err
+			}()
+		}
+		runtime.Gosched()
+		sh.Close()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			switch {
+			case err == nil, errors.Is(err, ErrShufflerClosed), errors.Is(err, ErrTableFull):
+			case errors.Is(err, context.DeadlineExceeded):
+				t.Fatalf("round %d: a waiter hung across Close", round)
+			default:
+				t.Fatalf("round %d: unexpected waiter error: %v", round, err)
+			}
+		}
 	}
 }
 
@@ -372,5 +411,167 @@ func TestShufflerPermutationUniformity(t *testing.T) {
 	// negligible while still catching any structural bias.
 	if chi2 > 75 {
 		t.Errorf("shuffle permutation bias: chi² = %.1f over %d batches (counts %v)", chi2, batches, counts)
+	}
+}
+
+// TestShufflerBatchSink: in batch-release mode a threshold flush hands
+// the WHOLE epoch to the sink in one call, in the epoch's permuted order
+// — a permutation of the enqueued values, not necessarily their arrival
+// order.
+func TestShufflerBatchSink(t *testing.T) {
+	const s = 16
+	var seed [32]byte
+	seed[0] = 7
+	sh := NewShufflerSeeded(s, time.Hour, 0, seed)
+	var epochs [][]any
+	sh.SetBatchSink(func(vals []any) {
+		batch := make([]any, len(vals))
+		copy(batch, vals)
+		epochs = append(epochs, batch)
+	})
+	var flushHook int
+	sh.SetHooks(nil, func(batch int) { flushHook = batch })
+
+	for i := 0; i < s; i++ {
+		if err := sh.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue(%d): %v", i, err)
+		}
+	}
+	if len(epochs) != 1 {
+		t.Fatalf("sink calls = %d, want 1 (one whole epoch)", len(epochs))
+	}
+	got := epochs[0]
+	if len(got) != s {
+		t.Fatalf("epoch size = %d, want %d", len(got), s)
+	}
+	seen := make(map[int]bool, s)
+	identity := true
+	for pos, v := range got {
+		i := v.(int)
+		if seen[i] {
+			t.Fatalf("value %d released twice", i)
+		}
+		seen[i] = true
+		if i != pos {
+			identity = false
+		}
+	}
+	if identity {
+		t.Error("epoch released in arrival order: the sink must see the permutation")
+	}
+	if flushHook != s {
+		t.Errorf("onFlush batch = %d, want %d", flushHook, s)
+	}
+	if flushes, _ := sh.Stats(); flushes != 1 {
+		t.Errorf("flushes = %d, want 1", flushes)
+	}
+}
+
+// TestShufflerBatchTimerFlush: a partial epoch flushes to the sink on the
+// timer, so batch mode cannot strand a quiet period's messages.
+func TestShufflerBatchTimerFlush(t *testing.T) {
+	sh := NewShuffler(64, 20*time.Millisecond, 0)
+	got := make(chan int, 1)
+	sh.SetBatchSink(func(vals []any) { got <- len(vals) })
+	for i := 0; i < 3; i++ {
+		if err := sh.Enqueue(i); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	select {
+	case n := <-got:
+		if n != 3 {
+			t.Errorf("timer epoch size = %d, want 3", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never flushed the partial epoch to the sink")
+	}
+}
+
+// TestShufflerMixedWaitAndEnqueue: waiter slots and batch values share
+// one epoch — the flush threshold counts both, waiters get positions and
+// the sink gets the values.
+func TestShufflerMixedWaitAndEnqueue(t *testing.T) {
+	sh := NewShuffler(4, time.Hour, 0)
+	vals := make(chan []any, 1)
+	sh.SetBatchSink(func(v []any) {
+		batch := make([]any, len(v))
+		copy(batch, v)
+		vals <- batch
+	})
+	type waitRes struct {
+		pos int
+		err error
+	}
+	waited := make(chan waitRes, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			pos, err := sh.Wait(context.Background())
+			waited <- waitRes{pos, err}
+		}()
+	}
+	for i := 0; i < 1000 && sh.Pending() < 2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if err := sh.Enqueue("a"); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := sh.Enqueue("b"); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	batch := <-vals
+	if len(batch) != 2 {
+		t.Fatalf("sink got %d values, want 2", len(batch))
+	}
+	for i := 0; i < 2; i++ {
+		r := <-waited
+		if r.err != nil {
+			t.Errorf("waiter: %v", r.err)
+		}
+		if r.pos < 0 || r.pos >= 4 {
+			t.Errorf("waiter position %d out of the epoch's range", r.pos)
+		}
+	}
+}
+
+// TestShufflerReleaseBatch: an inbound batch epoch is accounted as one
+// flush with a fresh permutation; empty and shuffling-off cases are
+// identity without flush accounting.
+func TestShufflerReleaseBatch(t *testing.T) {
+	sh := NewShuffler(8, time.Hour, 0)
+	var hookBatch int
+	sh.SetHooks(nil, func(batch int) { hookBatch = batch })
+	perm, err := sh.ReleaseBatch(6)
+	if err != nil {
+		t.Fatalf("ReleaseBatch: %v", err)
+	}
+	if len(perm) != 6 {
+		t.Fatalf("perm length = %d, want 6", len(perm))
+	}
+	seen := make([]bool, 6)
+	for _, p := range perm {
+		if p < 0 || p >= 6 || seen[p] {
+			t.Fatalf("perm = %v is not a permutation of 0..5", perm)
+		}
+		seen[p] = true
+	}
+	if flushes, _ := sh.Stats(); flushes != 1 {
+		t.Errorf("flushes = %d, want 1", flushes)
+	}
+	if hookBatch != 6 {
+		t.Errorf("onFlush batch = %d, want 6", hookBatch)
+	}
+
+	if perm, err := sh.ReleaseBatch(0); err != nil || len(perm) != 0 {
+		t.Errorf("ReleaseBatch(0) = %v, %v; want empty identity", perm, err)
+	}
+	if flushes, _ := sh.Stats(); flushes != 1 {
+		t.Error("an empty envelope must not count as a shuffle epoch")
+	}
+
+	var nilSh *Shuffler
+	perm, err = nilSh.ReleaseBatch(3)
+	if err != nil || len(perm) != 3 || perm[0] != 0 || perm[1] != 1 || perm[2] != 2 {
+		t.Errorf("nil shuffler ReleaseBatch = %v, %v; want identity", perm, err)
 	}
 }
