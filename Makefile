@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench audit-smoke cache-smoke batch-smoke clean
+.PHONY: all build vet test race verify bench bench-json bench-compare audit-smoke cache-smoke batch-smoke clean
 
 all: verify
 
@@ -32,6 +32,25 @@ verify: build vet test race
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Performance trajectory: emit machine-readable BENCH_<scenario>.json
+# snapshots (schema pprox-bench/1) for the batch and cache scenarios into
+# bench/. Each snapshot carries goodput trials with min/median/max spread,
+# latency and per-stage quantiles, UA crossings and LRS gets per request,
+# allocs/op micro-benchmarks, and the privacy/perf-SLO verdicts.
+bench-json:
+	$(GO) run ./cmd/pprox-bench -quick -out bench batch
+	$(GO) run ./cmd/pprox-bench -quick -out bench cache
+
+# Gate the fresh snapshots against the committed baselines. Exit 3 on a
+# regression; timing checks are skipped automatically when either run's
+# trial spread marks the host as noisy, but the host-independent checks
+# (SLO verdicts, crossings/request, LRS gets/request, allocs/op) always
+# apply. Refresh the baselines by copying bench/BENCH_*.json over
+# bench/baselines/ in the PR that intentionally moves the numbers.
+bench-compare: bench-json
+	$(GO) run ./cmd/pprox-bench compare bench/baselines/BENCH_batch.json bench/BENCH_batch.json
+	$(GO) run ./cmd/pprox-bench compare bench/baselines/BENCH_cache.json bench/BENCH_cache.json
+
 # Privacy-SLO smoke test: boot an in-process cluster, inject one
 # under-filled shuffle epoch, and fail unless the auditor reports the
 # violation. Writes the /privacy report to audit-report.json.
@@ -56,3 +75,4 @@ batch-smoke:
 
 clean:
 	rm -rf bin
+	rm -f bench/BENCH_*.json

@@ -1,10 +1,11 @@
 // Command pprox-audit is the operator's view of the privacy SLO. It has
 // two modes:
 //
-// Scrape mode reads /metrics and /privacy from every listed node and
-// renders a cluster-wide report — SLO state, effective anonymity set,
-// worst-epoch watermark, burn rates, breached layers — exiting 3 when
-// any node reports the SLO violated (for CI/cron gating):
+// Scrape mode reads /metrics, /privacy, and (when served) /perf from
+// every listed node and renders a cluster-wide report — privacy-SLO
+// state, effective anonymity set, worst-epoch watermark, burn rates,
+// breached layers, plus the per-stage latency-SLO assessment — exiting 3
+// when any node reports either SLO violated (for CI/cron gating):
 //
 //	pprox-audit -targets http://ua-0:8081,http://ia-0:8082
 //
@@ -37,6 +38,7 @@ import (
 	"pprox/internal/faults"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
+	"pprox/internal/perfslo"
 )
 
 func main() {
@@ -70,11 +72,13 @@ func main() {
 	}
 }
 
-// nodeView is one scraped node: its privacy report plus the audit
-// metric families from /metrics.
+// nodeView is one scraped node: its privacy report, its perf report
+// when the node serves /perf, plus the audit metric families from
+// /metrics.
 type nodeView struct {
 	Target  string
 	Report  audit.Report
+	Perf    *perfslo.Report
 	Metrics metrics.ScrapeSet
 }
 
@@ -102,6 +106,9 @@ func runScrape(targets []string, timeout time.Duration, out string) (violated bo
 		if v.Report.State == audit.StateViolated.String() {
 			violated = true
 		}
+		if v.Perf != nil && v.Perf.State == perfslo.StateViolated.String() {
+			violated = true
+		}
 	}
 	if out != "" {
 		reports := make(map[string]audit.Report, len(views))
@@ -123,6 +130,15 @@ func scrapeNode(httpClient *http.Client, target string) (nodeView, error) {
 	}
 	if err := json.Unmarshal(body, &v.Report); err != nil {
 		return v, fmt.Errorf("decode %s: %w", audit.PrivacyPath, err)
+	}
+	// /perf is optional: only nodes running the latency-SLO evaluator
+	// serve it, so a failed fetch means "not enabled", not an error.
+	if body, perfErr := fetch(httpClient, target+perfslo.PerfPath); perfErr == nil {
+		var perf perfslo.Report
+		if err := json.Unmarshal(body, &perf); err != nil {
+			return v, fmt.Errorf("decode %s: %w", perfslo.PerfPath, err)
+		}
+		v.Perf = &perf
 	}
 	if body, err = fetch(httpClient, target+"/metrics"); err != nil {
 		return v, err
@@ -187,6 +203,38 @@ func renderNode(w io.Writer, v nodeView) {
 	for _, n := range r.Nodes {
 		fmt.Fprintf(w, "  node %-6s epochs=%d under=%d worst=%d last=%d\n",
 			n.Node, n.Epochs, n.Underfilled, n.WorstBatch, n.LastBatch)
+	}
+	renderPerf(w, v.Perf)
+}
+
+// renderPerf prints the node's per-stage latency-SLO assessment when it
+// serves /perf. Exemplars are shuffle-epoch ids — the same granularity
+// the privacy report above exposes, nothing finer.
+func renderPerf(w io.Writer, p *perfslo.Report) {
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(w, "  perf SLO: %s (for %ds)  transitions: %d violations, %d warns\n",
+		strings.ToUpper(p.State), p.StateSeconds, p.Violations, p.Warns)
+	for _, o := range p.Objectives {
+		observed := fmt.Sprintf("%.3gms", o.ObservedSeconds*1000)
+		if o.ObservedOverflow {
+			observed = ">" + observed
+		}
+		fmt.Fprintf(w, "    %-6s %-14s p%g ≤ %.3gms  observed %s over %d obs  %s\n",
+			o.Node, o.Name, o.Quantile*100, o.ThresholdSeconds*1000, observed,
+			o.Observations, strings.ToUpper(o.State))
+		for _, win := range o.Windows {
+			state := "ok"
+			if win.Burning {
+				state = "BURNING"
+			}
+			fmt.Fprintf(w, "      window %-5s burn rate %6.2f  (%d/%d slow)  %s\n",
+				win.Window, win.BurnRate, win.Slow, win.Observations, state)
+		}
+		if len(o.ExemplarEpochs) > 0 {
+			fmt.Fprintf(w, "      breach exemplar epochs: %v (resolve via the trace export)\n", o.ExemplarEpochs)
+		}
 	}
 }
 
@@ -256,6 +304,7 @@ func runSmoke(out string, logger *slog.Logger) error {
 		Cache:          true,
 		LRSFrontends:   1,
 		Audit:          &audit.Config{},
+		PerfSLO:        &perfslo.Config{},
 		Logger:         logger,
 		NodeMiddleware: func(addr string, h http.Handler) http.Handler {
 			if addr != "ua-0" {
@@ -331,6 +380,9 @@ func runSmoke(out string, logger *slog.Logger) error {
 
 	if got := v.Report.State; got != audit.StateViolated.String() {
 		return fmt.Errorf("auditor state = %q after under-filled epoch, want violated", got)
+	}
+	if v.Perf == nil {
+		return fmt.Errorf("node serves no /perf report despite the perf-SLO evaluator running")
 	}
 	if s := v.Metrics["pprox_audit_slo_state"]; s != float64(audit.StateViolated) {
 		return fmt.Errorf("pprox_audit_slo_state = %g, want %d", s, audit.StateViolated)

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// compare.go implements `pprox-bench compare old.json new.json`: the CI
+// regression gate over two BENCH_*.json snapshots. Checks split into two
+// classes. Host-independent checks (SLO verdicts, UA crossings per
+// request, LRS gets per request, allocs/op) always run — these are
+// properties of the code, not the box. Timing checks (goodput, p99) run
+// only when both runs' trial spread is below -max-noise; a noisy run is
+// reported and skipped rather than allowed to flap the gate.
+
+// compareOpts are the regression thresholds.
+type compareOpts struct {
+	maxGoodputDrop   float64 // fractional median-goodput drop allowed
+	maxP99Growth     float64 // fractional p99 growth allowed
+	p99SlackMS       float64 // absolute p99 slack added on top of growth
+	maxAllocsGrowth  float64 // fractional allocs/op growth allowed
+	maxCrossingsGrow float64 // absolute UA crossings/request growth allowed
+	maxLRSGetsGrow   float64 // absolute LRS gets/request growth allowed
+	maxNoise         float64 // max trial spread before timing checks skip
+}
+
+func defaultCompareOpts() compareOpts {
+	return compareOpts{
+		maxGoodputDrop:   0.25,
+		maxP99Growth:     1.0,
+		p99SlackMS:       50,
+		maxAllocsGrowth:  0.25,
+		maxCrossingsGrow: 0.02,
+		maxLRSGetsGrow:   0.05,
+		maxNoise:         0.35,
+	}
+}
+
+// runCompare is the `compare` subcommand entry point; returns the
+// process exit code (0 ok, 2 usage/schema error, 3 regression).
+func runCompare(args []string) int {
+	opts := defaultCompareOpts()
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.Float64Var(&opts.maxGoodputDrop, "max-goodput-drop", opts.maxGoodputDrop,
+		"fail if median goodput drops by more than this fraction")
+	fs.Float64Var(&opts.maxP99Growth, "max-p99-growth", opts.maxP99Growth,
+		"fail if client p99 grows by more than this fraction (plus -p99-slack-ms)")
+	fs.Float64Var(&opts.p99SlackMS, "p99-slack-ms", opts.p99SlackMS,
+		"absolute p99 growth always tolerated, in milliseconds")
+	fs.Float64Var(&opts.maxAllocsGrowth, "max-allocs-growth", opts.maxAllocsGrowth,
+		"fail if any tracked benchmark's allocs/op grows by more than this fraction")
+	fs.Float64Var(&opts.maxCrossingsGrow, "max-crossings-growth", opts.maxCrossingsGrow,
+		"fail if UA enclave crossings per request grow by more than this absolute amount")
+	fs.Float64Var(&opts.maxLRSGetsGrow, "max-lrs-gets-growth", opts.maxLRSGetsGrow,
+		"fail if LRS gets per request grow by more than this absolute amount")
+	fs.Float64Var(&opts.maxNoise, "max-noise", opts.maxNoise,
+		"skip timing checks when either run's trial spread (max-min)/median exceeds this")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: pprox-bench compare [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := loadBenchReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		return 2
+	}
+	nu, err := loadBenchReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		return 2
+	}
+	regressions := compareReports(old, nu, opts, os.Stdout)
+	if len(regressions) > 0 {
+		fmt.Printf("\nFAIL: %d regression(s) against %s\n", len(regressions), fs.Arg(0))
+		return 3
+	}
+	fmt.Printf("\nOK: %s within thresholds of %s\n", fs.Arg(1), fs.Arg(0))
+	return 0
+}
+
+// compareReports runs every check, prints its verdict line by line, and
+// returns the list of regressions found.
+func compareReports(old, nu BenchReport, opts compareOpts, w *os.File) []string {
+	var regressions []string
+	fail := func(format string, a ...any) {
+		msg := fmt.Sprintf(format, a...)
+		regressions = append(regressions, msg)
+		fmt.Fprintf(w, "  REGRESSION  %s\n", msg)
+	}
+	pass := func(format string, a ...any) {
+		fmt.Fprintf(w, "  ok          %s\n", fmt.Sprintf(format, a...))
+	}
+	skip := func(format string, a ...any) {
+		fmt.Fprintf(w, "  skip        %s\n", fmt.Sprintf(format, a...))
+	}
+
+	fmt.Fprintf(w, "compare %s: %s (%s) -> %s (%s)\n",
+		old.Scenario, old.GitSHA, old.GoVersion, nu.GitSHA, nu.GoVersion)
+
+	if old.Scenario != nu.Scenario {
+		fail("scenario mismatch: %q vs %q", old.Scenario, nu.Scenario)
+		return regressions // nothing else is comparable
+	}
+
+	// --- Host-independent checks: always run. ---------------------------
+
+	// SLO verdicts of the new run must be healthy. The old run's states
+	// are not checked: a broken baseline should be replaced, not matched.
+	if nu.AuditState != "" && nu.AuditState != "ok" {
+		fail("new run audit state = %q, want ok", nu.AuditState)
+	} else if nu.AuditState != "" {
+		pass("audit state ok")
+	}
+	if nu.PerfSLOState != "" && nu.PerfSLOState != "ok" {
+		fail("new run perf SLO state = %q, want ok", nu.PerfSLOState)
+	} else if nu.PerfSLOState != "" {
+		pass("perf SLO state ok")
+	}
+	if nu.FaultInjected {
+		fail("new run was produced with -inject-fault; not a comparable measurement")
+	}
+
+	if old.UACrossingsPerRequest > 0 {
+		limit := old.UACrossingsPerRequest + opts.maxCrossingsGrow
+		if nu.UACrossingsPerRequest > limit {
+			fail("UA crossings/request %.4f exceeds %.4f (old %.4f + %.2f)",
+				nu.UACrossingsPerRequest, limit, old.UACrossingsPerRequest, opts.maxCrossingsGrow)
+		} else {
+			pass("UA crossings/request %.4f (old %.4f)", nu.UACrossingsPerRequest, old.UACrossingsPerRequest)
+		}
+	}
+
+	if old.LRSGetsPerRequest != nil && nu.LRSGetsPerRequest != nil {
+		limit := *old.LRSGetsPerRequest + opts.maxLRSGetsGrow
+		if *nu.LRSGetsPerRequest > limit {
+			fail("LRS gets/request %.4f exceeds %.4f (old %.4f + %.2f)",
+				*nu.LRSGetsPerRequest, limit, *old.LRSGetsPerRequest, opts.maxLRSGetsGrow)
+		} else {
+			pass("LRS gets/request %.4f (old %.4f)", *nu.LRSGetsPerRequest, *old.LRSGetsPerRequest)
+		}
+	}
+
+	// Alloc counts per op are deterministic per commit; time per op is
+	// not, so only the alloc dimensions gate.
+	names := make([]string, 0, len(old.AllocsPerOp))
+	for name := range old.AllocsPerOp {
+		if _, ok := nu.AllocsPerOp[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := old.AllocsPerOp[name], nu.AllocsPerOp[name]
+		limit := float64(o.AllocsPerOp) * (1 + opts.maxAllocsGrowth)
+		if o.AllocsPerOp >= 0 && float64(n.AllocsPerOp) > limit {
+			fail("%s allocs/op %d exceeds %.0f (old %d + %.0f%%)",
+				name, n.AllocsPerOp, limit, o.AllocsPerOp, opts.maxAllocsGrowth*100)
+		} else {
+			pass("%s allocs/op %d (old %d)", name, n.AllocsPerOp, o.AllocsPerOp)
+		}
+	}
+
+	// --- Timing checks: only on quiet runs. -----------------------------
+
+	oldSpread, newSpread := old.GoodputTrials.spread(), nu.GoodputTrials.spread()
+	if oldSpread > opts.maxNoise || newSpread > opts.maxNoise {
+		skip("timing checks: trial spread old %.2f / new %.2f exceeds %.2f — rerun on a quieter host",
+			oldSpread, newSpread, opts.maxNoise)
+		return regressions
+	}
+
+	if old.GoodputTrials.MedianRPS > 0 {
+		floor := old.GoodputTrials.MedianRPS * (1 - opts.maxGoodputDrop)
+		if nu.GoodputTrials.MedianRPS < floor {
+			fail("median goodput %.1f rps below %.1f (old %.1f - %.0f%%)",
+				nu.GoodputTrials.MedianRPS, floor, old.GoodputTrials.MedianRPS, opts.maxGoodputDrop*100)
+		} else {
+			pass("median goodput %.1f rps (old %.1f, spread %.2f/%.2f)",
+				nu.GoodputTrials.MedianRPS, old.GoodputTrials.MedianRPS, oldSpread, newSpread)
+		}
+	}
+
+	if old.Latency.P99MS > 0 {
+		ceil := old.Latency.P99MS*(1+opts.maxP99Growth) + opts.p99SlackMS
+		if nu.Latency.P99MS > ceil {
+			fail("client p99 %.1fms exceeds %.1fms (old %.1fms + %.0f%% + %.0fms slack)",
+				nu.Latency.P99MS, ceil, old.Latency.P99MS, opts.maxP99Growth*100, opts.p99SlackMS)
+		} else {
+			pass("client p99 %.1fms (old %.1fms)", nu.Latency.P99MS, old.Latency.P99MS)
+		}
+	}
+
+	return regressions
+}

@@ -16,6 +16,15 @@
 // Figures are produced by the deterministic cluster simulator (see
 // DESIGN.md §1 for the testbed substitution); `measured` cross-checks the
 // request path with real cryptography on the in-process deployment.
+//
+// The batch and cache scenarios additionally emit machine-readable
+// BENCH_<scenario>.json snapshots with -out, and
+//
+//	pprox-bench compare old.json new.json
+//
+// diffs two snapshots against regression thresholds, exiting non-zero on
+// regression — the CI perf-trajectory gate (see README "Performance
+// trajectory").
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"pprox/internal/obslog"
@@ -32,13 +42,23 @@ import (
 )
 
 func main() {
+	// The compare subcommand has its own FlagSet; dispatch before the
+	// experiment flags can reject its arguments.
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
+
 	quick := flag.Bool("quick", false, "shorter simulations (smoke-test quality)")
 	duration := flag.Duration("duration", 0, "override virtual injection window per point")
 	reps := flag.Int("reps", 0, "override repetitions per point")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV into this directory")
+	out := flag.String("out", "", "write BENCH_<scenario>.json snapshots (file path, or directory for multiple scenarios)")
+	fault := flag.Duration("inject-fault", 0, "arm a latency fault on the LRS for the batch scenario (disables its gates)")
 	flag.Usage = usage
 	flag.Parse()
 	csvOut = *csvDir
+	outPath = *out
+	faultDelay = *fault
 
 	if flag.NArg() != 1 {
 		usage()
@@ -66,7 +86,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: pprox-bench [-quick] [-duration D] [-reps N] <experiment>
+	fmt.Fprintf(os.Stderr, `usage: pprox-bench [-quick] [-duration D] [-reps N] [-out PATH] <experiment>
+       pprox-bench compare [flags] old.json new.json
 
 experiments:
   table2 table3 fig6 fig7 fig8 fig9 fig10 shuffle cache batch elastic measured measured-macro all
@@ -146,6 +167,31 @@ func printElastic(opts sim.RunOptions) {
 
 // csvOut, when non-empty, receives one CSV file per figure for plotting.
 var csvOut string
+
+// outPath, when non-empty, is where scenarios write BENCH_<scenario>.json
+// snapshots: used verbatim when it names a .json file, otherwise treated
+// as a directory receiving BENCH_<scenario>.json per scenario.
+var outPath string
+
+// faultDelay, when non-zero, arms a latency fault on the LRS during the
+// batch scenario to manufacture a p99 regression for `compare` to catch.
+var faultDelay time.Duration
+
+// benchOutPath resolves the snapshot path for one scenario, creating the
+// directory when needed. Empty when -out was not given.
+func benchOutPath(scenario string) string {
+	if outPath == "" {
+		return ""
+	}
+	if strings.HasSuffix(outPath, ".json") {
+		return outPath
+	}
+	if err := os.MkdirAll(outPath, 0o755); err != nil {
+		obslog.New(os.Stderr, "pprox-bench", nil).Error("bench out dir", "error", err.Error())
+		return ""
+	}
+	return filepath.Join(outPath, "BENCH_"+scenario+".json")
+}
 
 func printFigure(title string, rows []sim.Row) {
 	fmt.Printf("\n=== %s ===\n", title)

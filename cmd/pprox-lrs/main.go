@@ -50,6 +50,7 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 	}
 	eng.SetLogger(logger)
 	reg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(reg)
 	instrument := eng.RegisterMetrics(reg, "lrs")
 	app := instrument(engine.NewHandler(eng))
 	if faultSpec != "" {

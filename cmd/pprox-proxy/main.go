@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -40,6 +41,8 @@ import (
 	"pprox/internal/faults"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
+	"pprox/internal/obsprof"
+	"pprox/internal/perfslo"
 	"pprox/internal/proxy"
 	"pprox/internal/reccache"
 	"pprox/internal/resilience"
@@ -67,6 +70,9 @@ type options struct {
 	logLevel       string
 	auditSLO       bool
 	auditObjective float64
+	perfSLO        bool
+	perfQuantile   float64
+	profileDir     string
 
 	cache         bool
 	cacheTTL      time.Duration
@@ -102,6 +108,9 @@ func main() {
 	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
 	flag.BoolVar(&o.auditSLO, "audit", false, "run the privacy-SLO auditor and serve its report on /privacy")
 	flag.Float64Var(&o.auditObjective, "audit-objective", 0.99, "fraction of shuffle epochs that must be fully occupied")
+	flag.BoolVar(&o.perfSLO, "perf", false, "run the per-stage latency SLO evaluator and serve its report on /perf")
+	flag.Float64Var(&o.perfQuantile, "perf-quantile", 0.99, "latency quantile each perf objective constrains")
+	flag.StringVar(&o.profileDir, "profile-dir", "", "capture CPU/heap/goroutine profiles into this directory on perf-SLO warn/violation (off when empty)")
 	flag.BoolVar(&o.cache, "cache", false, "enable the in-enclave recommendation cache (IA role only)")
 	flag.DurationVar(&o.cacheTTL, "cache-ttl", reccache.DefaultTTL, "per-entry TTL of the recommendation cache")
 	flag.IntVar(&o.cacheEPCPages, "cache-epc-pages", reccache.DefaultMaxPages, "EPC page budget of the recommendation cache")
@@ -231,12 +240,13 @@ func run(o options, logger *slog.Logger) error {
 
 	reg := metrics.NewRegistry()
 	layer.RegisterMetrics(reg, o.role)
-	var routes map[string]http.Handler
+	metrics.RegisterBuildInfo(reg)
+	routes := make(map[string]http.Handler)
+	var auditor *audit.Auditor
 	if o.auditSLO {
-		auditor := audit.New(audit.Config{TargetS: o.shuffle, Objective: o.auditObjective})
+		auditor = audit.New(audit.Config{TargetS: o.shuffle, Objective: o.auditObjective})
 		auditor.SetLogger(logger.With("node", o.role))
 		auditor.SetKeyBaseline(strings.ToUpper(o.role))
-		layer.SetEpochObserver(func(batch int) { auditor.ObserveEpoch(o.role, batch) })
 		if br := layer.Breaker(); br != nil {
 			auditor.AddCheck("next-hop breaker open", func() bool { return br.State() != 0 })
 		}
@@ -247,7 +257,62 @@ func run(o options, logger *slog.Logger) error {
 			auditor.RegisterCacheCheck(o.role, c)
 		}
 		auditor.RegisterMetrics(reg)
-		routes = map[string]http.Handler{audit.PrivacyPath: auditor.Handler()}
+		routes[audit.PrivacyPath] = auditor.Handler()
+	}
+	var eval *perfslo.Evaluator
+	if o.perfSLO {
+		eval = perfslo.New(perfslo.Config{})
+		eval.SetLogger(logger.With("node", o.role))
+		addPerfObjectives(eval, layer, o)
+		if o.profileDir != "" {
+			source := ""
+			if o.debugAddr != "" {
+				source = "http://" + o.debugAddr
+				if strings.HasPrefix(o.debugAddr, ":") {
+					source = "http://localhost" + o.debugAddr
+				}
+			}
+			harvester, err := obsprof.New(obsprof.Config{
+				Dir:    o.profileDir,
+				Source: source,
+				Logger: logger.With("node", o.role),
+			})
+			if err != nil {
+				return err
+			}
+			defer harvester.Wait()
+			ev := eval
+			eval.OnTransition = func(from, to perfslo.State, reason string) {
+				if to == perfslo.StateOK {
+					return
+				}
+				harvester.Trigger(reason, newestExemplar(ev), from.String(), to.String())
+			}
+			logger.Info("profile capture armed", "dir", o.profileDir)
+		}
+		// After every AddObjective, so the per-objective families exist.
+		eval.RegisterMetrics(reg)
+		routes[perfslo.PerfPath] = eval.Handler()
+	}
+	if auditor != nil || eval != nil {
+		var fallbackEpoch atomic.Uint64
+		layer.SetEpochObserver(func(batch int) {
+			if auditor != nil {
+				auditor.ObserveEpoch(o.role, batch)
+			}
+			if eval != nil {
+				var epoch uint64
+				if tr := layer.Tracer(); tr != nil {
+					epoch = tr.Epoch()
+				} else {
+					epoch = fallbackEpoch.Add(1) - 1
+				}
+				eval.Sample(o.role, epoch)
+			}
+		})
+	}
+	if len(routes) == 0 {
+		routes = nil
 	}
 	handler := metrics.MuxRoutes(reg, layer.Health, routes, app)
 
@@ -329,4 +394,49 @@ func run(o options, logger *slog.Logger) error {
 		logger.Warn("debug server shutdown", "error", err.Error())
 	}
 	return shutdown()
+}
+
+// addPerfObjectives installs the per-stage latency objectives this
+// instance can actually observe, with the same defaults the in-process
+// cluster uses: generous multiples of the configured shuffle flush and
+// hop costs, meant to flag regressions rather than tune capacity.
+func addPerfObjectives(eval *perfslo.Evaluator, layer *proxy.Layer, o options) {
+	flush := o.shuffleTimeout
+	if flush <= 0 {
+		flush = 250 * time.Millisecond
+	}
+	thresholds := map[string]time.Duration{
+		proxy.StageServe:        2*flush + 500*time.Millisecond,
+		proxy.StageShuffleWait:  2 * flush,
+		proxy.StageEcallDecrypt: 25 * time.Millisecond,
+		proxy.StageForward:      250 * time.Millisecond,
+	}
+	stages := []string{proxy.StageServe}
+	if o.shuffle > 0 {
+		stages = append(stages, proxy.StageShuffleWait)
+	}
+	if !o.passthrough {
+		stages = append(stages, proxy.StageEcallDecrypt)
+	}
+	if o.role == "ia" {
+		stages = append(stages, proxy.StageForward)
+	}
+	for _, stage := range stages {
+		if h := layer.StageHistogram(stage); h != nil {
+			eval.AddObjective(stage, o.role, h, o.perfQuantile, thresholds[stage].Seconds())
+		}
+	}
+}
+
+// newestExemplar returns the most recent breach epoch across the
+// evaluator's objectives, so a triggered profile capture is labeled with
+// the shuffle epoch that tripped it.
+func newestExemplar(eval *perfslo.Evaluator) uint64 {
+	var newest uint64
+	for _, obj := range eval.Report().Objectives {
+		if n := len(obj.ExemplarEpochs); n > 0 && obj.ExemplarEpochs[n-1] >= newest {
+			newest = obj.ExemplarEpochs[n-1]
+		}
+	}
+	return newest
 }

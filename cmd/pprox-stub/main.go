@@ -77,6 +77,7 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr, fau
 	s.Delay = delay
 
 	reg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(reg)
 	s.RegisterMetrics(reg, "stub")
 	var app http.Handler = s
 	if faultSpec != "" {

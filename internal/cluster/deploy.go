@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pprox/internal/audit"
@@ -14,6 +16,8 @@ import (
 	"pprox/internal/lrs/engine"
 	"pprox/internal/message"
 	"pprox/internal/metrics"
+	"pprox/internal/obsprof"
+	"pprox/internal/perfslo"
 	"pprox/internal/proxy"
 	"pprox/internal/reccache"
 	"pprox/internal/resilience"
@@ -92,6 +96,23 @@ type Spec struct {
 	// every node additionally serves the /privacy report. A zero-valued
 	// Config is usable — TargetS defaults to Spec.Shuffle.
 	Audit *audit.Config
+	// PerfSLO deploys the performance-SLO evaluator: every proxy layer
+	// gets per-stage latency objectives (UA: end-to-end serve, shuffle
+	// wait, ECALL; IA: end-to-end serve, IA→LRS forward, ECALL) sampled
+	// at shuffle-epoch granularity, its metrics join the deployment
+	// registry, and every node additionally serves the /perf report. A
+	// zero-valued Config is usable (default 5m/1h windows).
+	PerfSLO *perfslo.Config
+	// PerfQuantile is the objectives' quantile (default 0.99).
+	PerfQuantile float64
+	// PerfThresholds overrides the derived per-stage latency thresholds,
+	// in seconds, keyed by stage label (proxy.StageServe etc.).
+	PerfThresholds map[string]float64
+	// ProfileDir arms triggered profile capture: on a performance-SLO
+	// warn/violated transition the deployment snapshots CPU + heap +
+	// goroutine profiles into this bounded on-disk ring. Requires
+	// PerfSLO; empty disables capture.
+	ProfileDir string
 	// Logger, when set, is the deployment-wide structured logger
 	// (obslog-redacted by construction at the callers): layers log
 	// request failures, the engine logs redacted ingest/training events,
@@ -155,6 +176,12 @@ type Deployment struct {
 	// Auditor is the deployment's privacy-SLO engine (nil unless
 	// Spec.Audit is set). Every node serves its report on /privacy.
 	Auditor *audit.Auditor
+	// PerfSLO is the deployment's performance-SLO engine (nil unless
+	// Spec.PerfSLO is set). Every node serves its report on /perf.
+	PerfSLO *perfslo.Evaluator
+	// Profiles is the triggered-profile harvester (nil unless
+	// Spec.ProfileDir is set alongside Spec.PerfSLO).
+	Profiles *obsprof.Harvester
 	// RecCaches are the per-IA-instance recommendation caches, indexed
 	// like IALayers (nil without Spec.Cache).
 	RecCaches []*reccache.Cache
@@ -251,12 +278,50 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		d.Auditor.RegisterMetrics(d.Metrics)
 	}
 
+	// Performance-SLO evaluator and, when armed, the triggered-profile
+	// harvester it feeds. Objectives are added per layer in serveLayer;
+	// the evaluator's metrics register once all layers exist.
+	if spec.PerfSLO != nil {
+		d.PerfSLO = perfslo.New(*spec.PerfSLO)
+		if spec.Logger != nil {
+			d.PerfSLO.SetLogger(spec.Logger.With("node", "perfslo"))
+		}
+		if spec.ProfileDir != "" {
+			d.Profiles, err = obsprof.New(obsprof.Config{
+				Dir:        spec.ProfileDir,
+				CPUSeconds: 1,
+				Logger:     spec.Logger,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		eval, harvester := d.PerfSLO, d.Profiles
+		eval.OnTransition = func(from, to perfslo.State, reason string) {
+			if to == perfslo.StateOK {
+				return
+			}
+			// Attach the newest breach exemplar so the capture's
+			// meta.json points at the offending shuffle epoch.
+			var epoch uint64
+			for _, o := range eval.Report().Objectives {
+				if n := len(o.ExemplarEpochs); n > 0 && o.ExemplarEpochs[n-1] > epoch {
+					epoch = o.ExemplarEpochs[n-1]
+				}
+			}
+			harvester.Trigger(reason, epoch, from.String(), to.String())
+		}
+	}
+
 	// LRS backends.
 	if err := d.deployLRS(spec); err != nil {
 		return nil, err
 	}
 
 	if !spec.ProxyEnabled {
+		if d.PerfSLO != nil {
+			d.PerfSLO.RegisterMetrics(d.Metrics)
+		}
 		d.Entry = "http://lrs"
 		return d, nil
 	}
@@ -313,6 +378,12 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		}
 	}
 
+	// Objectives are complete once every layer is served; only now can
+	// the evaluator's per-objective series register.
+	if d.PerfSLO != nil {
+		d.PerfSLO.RegisterMetrics(d.Metrics)
+	}
+
 	d.Entry = "http://ua"
 	return d, nil
 }
@@ -363,7 +434,7 @@ func (d *Deployment) deployLRS(spec Spec) error {
 	if spec.LRSMiddleware != nil {
 		handler = spec.LRSMiddleware(handler)
 	}
-	handler = metrics.MuxRoutes(d.Metrics, health, d.auditRoutes(), handler)
+	handler = metrics.MuxRoutes(d.Metrics, health, d.opRoutes(), handler)
 	backends := make([]string, spec.LRSFrontends)
 	for i := range backends {
 		addr := fmt.Sprintf("lrs-%d", i)
@@ -392,8 +463,7 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 		layer.SetLogger(spec.Logger.With("node", addr))
 	}
 	if d.Auditor != nil {
-		a, node := d.Auditor, addr
-		layer.SetEpochObserver(func(batch int) { a.ObserveEpoch(node, batch) })
+		a := d.Auditor
 		if br := layer.Breaker(); br != nil {
 			a.AddCheck("breaker open on "+addr, func() bool { return br.State() != 0 })
 		}
@@ -404,16 +474,113 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 			a.RegisterCacheCheck(addr, c)
 		}
 	}
-	return d.serve(addr, metrics.MuxRoutes(d.Metrics, layer.Health, d.auditRoutes(), layer))
+	if d.PerfSLO != nil {
+		d.addPerfObjectives(addr, layer, spec)
+	}
+	if d.Auditor != nil || d.PerfSLO != nil {
+		a, eval, node := d.Auditor, d.PerfSLO, addr
+		// The tracer is already installed, so its epoch — read BEFORE
+		// the flush hook advances it — is exactly the epoch number the
+		// flushed trace records carry: a perfslo breach exemplar resolves
+		// to a real per-epoch trace.
+		tr := layer.Tracer()
+		var fallbackEpoch atomic.Uint64
+		layer.SetEpochObserver(func(batch int) {
+			if a != nil {
+				a.ObserveEpoch(node, batch)
+			}
+			if eval != nil {
+				var epoch uint64
+				if tr != nil {
+					epoch = tr.Epoch()
+				} else {
+					epoch = fallbackEpoch.Add(1) - 1
+				}
+				eval.Sample(node, epoch)
+			}
+		})
+	}
+	return d.serve(addr, metrics.MuxRoutes(d.Metrics, layer.Health, d.opRoutes(), layer))
 }
 
-// auditRoutes returns the extra operational routes every node serves —
-// the auditor's /privacy report when auditing is deployed, nil otherwise.
-func (d *Deployment) auditRoutes() map[string]http.Handler {
-	if d.Auditor == nil {
+// addPerfObjectives installs one layer instance's latency objectives on
+// the evaluator: the end-to-end serve envelope on every layer, the
+// shuffle wait where a shuffler runs, the request-path ECALL where an
+// enclave runs, and the forward hop on IA instances (the IA→LRS leg the
+// paper's cost model singles out). Thresholds derive from the spec's
+// own timing knobs and can be overridden per stage via PerfThresholds.
+func (d *Deployment) addPerfObjectives(addr string, layer *proxy.Layer, spec Spec) {
+	q := spec.PerfQuantile
+	if q <= 0 || q >= 1 {
+		q = 0.99
+	}
+	isIA := strings.HasPrefix(addr, "ia-")
+	stages := []string{proxy.StageServe}
+	if spec.Shuffle > 0 {
+		stages = append(stages, proxy.StageShuffleWait)
+	}
+	if spec.Encryption {
+		stages = append(stages, proxy.StageEcallDecrypt)
+	}
+	if isIA {
+		stages = append(stages, proxy.StageForward)
+	}
+	for _, stage := range stages {
+		h := layer.StageHistogram(stage)
+		if h == nil {
+			continue
+		}
+		d.PerfSLO.AddObjective(stage, addr, h, q, d.perfThreshold(stage, spec))
+	}
+}
+
+// perfThreshold derives a stage's default latency threshold from the
+// spec. The defaults are intentionally generous — they flag sustained
+// regressions, not single slow requests — and every one is overridable.
+func (d *Deployment) perfThreshold(stage string, spec Spec) float64 {
+	if t, ok := spec.PerfThresholds[stage]; ok {
+		return t
+	}
+	flush := spec.ShuffleTimeout
+	if flush <= 0 {
+		flush = 250 * time.Millisecond
+	}
+	switch stage {
+	case proxy.StageShuffleWait:
+		// A message should never wait much past the flush timer.
+		return (2 * flush).Seconds()
+	case proxy.StageEcallDecrypt:
+		t := 10 * spec.EcallCost
+		if t < 25*time.Millisecond {
+			t = 25 * time.Millisecond
+		}
+		return t.Seconds()
+	case proxy.StageForward:
+		t := 10 * spec.StubDelay
+		if t < 250*time.Millisecond {
+			t = 250 * time.Millisecond
+		}
+		return t.Seconds()
+	default: // StageServe: shuffle wait plus everything else.
+		return (2*flush + 500*time.Millisecond).Seconds()
+	}
+}
+
+// opRoutes returns the extra operational routes every node serves: the
+// auditor's /privacy report and the performance evaluator's /perf
+// report, for whichever engines are deployed. Nil when neither is.
+func (d *Deployment) opRoutes() map[string]http.Handler {
+	if d.Auditor == nil && d.PerfSLO == nil {
 		return nil
 	}
-	return map[string]http.Handler{audit.PrivacyPath: d.Auditor.Handler()}
+	routes := make(map[string]http.Handler, 2)
+	if d.Auditor != nil {
+		routes[audit.PrivacyPath] = d.Auditor.Handler()
+	}
+	if d.PerfSLO != nil {
+		routes[perfslo.PerfPath] = d.PerfSLO.Handler()
+	}
+	return routes
 }
 
 // newLayer builds one provisioned proxy instance. Every instance of a
@@ -525,8 +692,10 @@ func (d *Deployment) Client(timeout time.Duration) *client.Client {
 	return client.NewPlain(httpClient, d.Entry)
 }
 
-// Close shuts every server down and closes the network.
+// Close shuts every server down and closes the network, waiting out any
+// in-flight profile capture.
 func (d *Deployment) Close() error {
+	d.Profiles.Wait()
 	var firstErr error
 	for i := len(d.order) - 1; i >= 0; i-- {
 		if err := d.Kill(d.order[i]); err != nil && firstErr == nil {

@@ -96,6 +96,73 @@ func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
 	return cum, h.Sum(), acc
 }
 
+// CountLE returns the number of observations that landed in buckets whose
+// upper bound is ≤ v — i.e. the observations provably ≤ v at histogram
+// resolution. When v is an exact bucket bound the count is exact;
+// otherwise v is effectively rounded DOWN to the nearest bound below it
+// (callers wanting exactness should align thresholds to bucket bounds,
+// see AlignBound).
+func (h *Histogram) CountLE(v float64) uint64 {
+	var n uint64
+	for i, b := range h.bounds {
+		if b > v {
+			break
+		}
+		n += h.counts[i].Load()
+	}
+	if math.IsInf(v, 1) {
+		n += h.counts[len(h.bounds)].Load()
+	}
+	return n
+}
+
+// AlignBound rounds v UP to the histogram's nearest bucket upper bound so
+// CountLE(AlignBound(v)) counts exactly the observations the bucket
+// layout can attribute to "≤ v". Values above every bound return +Inf
+// (the implicit last bucket).
+func (h *Histogram) AlignBound(v float64) float64 {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		return h.bounds[i]
+	}
+	return math.Inf(1)
+}
+
+// MaxBound returns the histogram's largest finite bucket bound (0 for a
+// bucketless histogram). Reporters use it to stand in for +Inf where the
+// wire format cannot carry infinities (the trace exporter's bound×10
+// convention).
+func (h *Histogram) MaxBound() float64 {
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Quantile returns the histogram-resolution upper bound on the q-th
+// quantile (0 < q ≤ 1): the smallest bucket upper bound whose cumulative
+// count reaches q·Count. Observations beyond the last finite bound
+// resolve to +Inf; an empty histogram returns 0. The estimate matches the
+// rank-⌈q·n⌉ element of the sorted observations, coarsened up to its
+// bucket bound (the same convention the trace coarsening uses), which the
+// fuzz test in quantile_test.go pins against a sort-based reference.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, _, count := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	target := q * float64(count)
+	for i, c := range cum {
+		if float64(c) >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
 // CounterVec is a family of counters sharing a name and a label set.
 // Look-ups take a lock; callers on hot paths should cache the child
 // returned by With at set-up time.

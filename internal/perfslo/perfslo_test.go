@@ -1,0 +1,212 @@
+package perfslo
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pprox/internal/metrics"
+)
+
+// clock is a fake time source.
+type clock struct{ t time.Time }
+
+func (c *clock) now() time.Time          { return c.t }
+func (c *clock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestEval(c *clock) (*Evaluator, *metrics.Histogram) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("test_stage_seconds", "test", []float64{0.001, 0.01, 0.1, 1})
+	e := New(Config{
+		Windows: []Window{
+			{Name: "1s", Duration: time.Second, Burn: 1},
+			{Name: "10s", Duration: 10 * time.Second, Burn: 1},
+		},
+		Now: c.now,
+	})
+	e.AddObjective("stage", "ua-0", h, 0.9, 0.01)
+	return e, h
+}
+
+func TestEvaluatorStaysOKWithinBudget(t *testing.T) {
+	c := &clock{t: time.Unix(1000, 0)}
+	e, h := newTestEval(c)
+	for epoch := uint64(0); epoch < 20; epoch++ {
+		// 19 fast, 1 slow per epoch: exactly 5% slow < 10% budget.
+		for i := 0; i < 19; i++ {
+			h.Observe(0.0005)
+		}
+		h.Observe(0.5)
+		e.Sample("ua-0", epoch)
+		c.advance(100 * time.Millisecond)
+	}
+	if got := e.State(); got != StateOK {
+		t.Fatalf("state = %v, want ok", got)
+	}
+	rep := e.Report()
+	if len(rep.Objectives) != 1 || len(rep.Objectives[0].ExemplarEpochs) != 0 {
+		t.Fatalf("unexpected exemplars in OK state: %+v", rep.Objectives)
+	}
+}
+
+func TestEvaluatorViolatesAndRecordsExemplars(t *testing.T) {
+	c := &clock{t: time.Unix(1000, 0)}
+	e, h := newTestEval(c)
+	var transitions []string
+	done := make(chan struct{}, 8)
+	e.OnTransition = func(from, to State, reason string) {
+		transitions = append(transitions, from.String()+">"+to.String())
+		done <- struct{}{}
+	}
+	// Every observation slow: burns the whole budget in every window.
+	for epoch := uint64(1); epoch <= 5; epoch++ {
+		for i := 0; i < 10; i++ {
+			h.Observe(0.5)
+		}
+		e.Sample("ua-0", epoch)
+		c.advance(100 * time.Millisecond)
+	}
+	if got := e.State(); got != StateViolated {
+		t.Fatalf("state = %v, want violated", got)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnTransition hook never fired")
+	}
+	rep := e.Report()
+	if rep.State != "violated" {
+		t.Fatalf("report state = %q", rep.State)
+	}
+	o := rep.Objectives[0]
+	if len(o.ExemplarEpochs) == 0 {
+		t.Fatal("no breach exemplars recorded")
+	}
+	for _, ep := range o.ExemplarEpochs {
+		if ep < 1 || ep > 5 {
+			t.Fatalf("exemplar epoch %d outside sampled range", ep)
+		}
+	}
+	if o.State != "violated" {
+		t.Fatalf("objective state = %q", o.State)
+	}
+	v, _ := e.Stats()
+	if v == 0 {
+		t.Fatal("violation transition not counted")
+	}
+}
+
+func TestEvaluatorRecoversAsWindowsDrain(t *testing.T) {
+	c := &clock{t: time.Unix(1000, 0)}
+	e, h := newTestEval(c)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	e.Sample("ua-0", 1)
+	if got := e.State(); got != StateViolated {
+		t.Fatalf("state = %v, want violated", got)
+	}
+	// A healthy stretch longer than the longest window: the bad burst
+	// ages out of both windows (samples keep the baseline fresh).
+	for epoch := uint64(2); epoch < 130; epoch++ {
+		h.Observe(0.0005)
+		e.Sample("ua-0", epoch)
+		c.advance(100 * time.Millisecond)
+	}
+	if got := e.State(); got != StateOK {
+		t.Fatalf("state after recovery = %v, want ok", got)
+	}
+}
+
+func TestWarnWhenOnlyShortWindowBurns(t *testing.T) {
+	c := &clock{t: time.Unix(1000, 0)}
+	e, h := newTestEval(c)
+	// A long healthy history dilutes the long window below its burn
+	// threshold...
+	for epoch := uint64(1); epoch < 90; epoch++ {
+		for i := 0; i < 10; i++ {
+			h.Observe(0.0005)
+		}
+		e.Sample("ua-0", epoch)
+		c.advance(100 * time.Millisecond)
+	}
+	// ...then a short burst of slow requests trips only the 1s window.
+	for epoch := uint64(90); epoch < 95; epoch++ {
+		h.Observe(0.5)
+		e.Sample("ua-0", epoch)
+		c.advance(100 * time.Millisecond)
+	}
+	if got := e.State(); got != StateWarn {
+		t.Fatalf("state = %v, want warn", got)
+	}
+}
+
+func TestHandlerServesJSONWithoutInfinities(t *testing.T) {
+	c := &clock{t: time.Unix(1000, 0)}
+	e, h := newTestEval(c)
+	h.Observe(5) // beyond the last bound: lifetime quantile is +Inf
+	e.Sample("ua-0", 7)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + PerfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	o := rep.Objectives[0]
+	if math.IsInf(o.ObservedSeconds, 1) || !o.ObservedOverflow {
+		t.Fatalf("overflow not clamped: %+v", o)
+	}
+	if o.LastEpoch != 7 {
+		t.Fatalf("last epoch = %d, want 7", o.LastEpoch)
+	}
+}
+
+func TestRegisterMetricsExportsFamilies(t *testing.T) {
+	c := &clock{t: time.Unix(1000, 0)}
+	e, h := newTestEval(c)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	e.Sample("ua-0", 3)
+	r := metrics.NewRegistry()
+	e.RegisterMetrics(r)
+	snap := r.Snapshot()
+	if snap["pprox_perfslo_state"] != 2 {
+		t.Fatalf("pprox_perfslo_state = %v, want 2", snap["pprox_perfslo_state"])
+	}
+	var sawBurn, sawExemplar bool
+	for series, v := range snap {
+		if strings.HasPrefix(series, "pprox_perfslo_burn_rate{") && v > 0 {
+			sawBurn = true
+		}
+		if strings.HasPrefix(series, "pprox_perfslo_exemplar_epoch{") && v == 3 {
+			sawExemplar = true
+		}
+	}
+	if !sawBurn || !sawExemplar {
+		t.Fatalf("missing series (burn=%v exemplar=%v): %v", sawBurn, sawExemplar, snap)
+	}
+}
+
+func TestThresholdAlignsToBucketBound(t *testing.T) {
+	c := &clock{t: time.Unix(1000, 0)}
+	r := metrics.NewRegistry()
+	h := r.Histogram("s", "t", []float64{0.001, 0.01, 0.1})
+	e := New(Config{Now: c.now})
+	e.AddObjective("stage", "n", h, 0.99, 0.05) // not a bound: aligns to 0.1
+	rep := e.Report()
+	if got := rep.Objectives[0].ThresholdSeconds; got != 0.1 {
+		t.Fatalf("aligned threshold = %g, want 0.1", got)
+	}
+	if got := rep.Objectives[0].RawThresholdSeconds; got != 0.05 {
+		t.Fatalf("raw threshold = %g, want 0.05", got)
+	}
+}

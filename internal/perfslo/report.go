@@ -1,0 +1,199 @@
+package perfslo
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"pprox/internal/metrics"
+)
+
+// Report is the /perf payload: the evaluator's full assessment. Like the
+// /privacy report it contains nothing an on-path adversary does not
+// already observe: objectives and thresholds are configuration, burn
+// rates and quantiles are coarse aggregates over whole windows, and
+// exemplars are shuffle-EPOCH ids — the granularity the trace exporter
+// already publishes. No per-request records, no identifiers, no
+// pseudonyms, no fine-grained timestamps; the adversary test asserts
+// that mechanically.
+type Report struct {
+	// State is the overall SLO state ("ok", "warn", "violated") — the
+	// max over objectives.
+	State string `json:"state"`
+	// StateSeconds is how long the evaluator has been in this state,
+	// coarsened to whole seconds.
+	StateSeconds int64 `json:"state_seconds"`
+	// Violations / Warns count overall state transitions.
+	Violations uint64 `json:"violations_total"`
+	Warns      uint64 `json:"warns_total"`
+	// Objectives are the per-objective evaluations, sorted by node then
+	// name.
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// ObjectiveReport is one latency objective's evaluation.
+type ObjectiveReport struct {
+	// Name is the objective (usually a pipeline stage, e.g.
+	// "shuffle_wait"); Node is the machine it is evaluated on.
+	Name string `json:"name"`
+	Node string `json:"node"`
+	// Quantile and ThresholdSeconds state the objective: quantile q of
+	// observations must be ≤ the threshold. ThresholdSeconds is aligned
+	// up to the histogram's bucket bound (the resolution the split is
+	// evaluated at); RawThresholdSeconds is as configured.
+	Quantile            float64 `json:"quantile"`
+	ThresholdSeconds    float64 `json:"threshold_seconds"`
+	RawThresholdSeconds float64 `json:"raw_threshold_seconds"`
+	// ObservedSeconds is the current lifetime quantile estimate at
+	// histogram resolution. Observations past the last bucket bound
+	// report the largest bound ×10 (the trace exporter's +Inf stand-in);
+	// ObservedOverflow marks that case.
+	ObservedSeconds  float64 `json:"observed_seconds"`
+	ObservedOverflow bool    `json:"observed_overflow,omitempty"`
+	// Observations is the lifetime observation count.
+	Observations uint64 `json:"observations"`
+	// State is this objective's state.
+	State string `json:"state"`
+	// Windows are the burn-rate evaluations, shortest first.
+	Windows []windowEval `json:"windows"`
+	// ExemplarEpochs are the shuffle-epoch ids of recent SLO breaches,
+	// oldest first (bounded ring). Each id resolves to that epoch's
+	// records in the trace export — and to nothing finer.
+	ExemplarEpochs []uint64 `json:"exemplar_epochs,omitempty"`
+	// LastEpoch is the most recent epoch sampled on this objective's
+	// node.
+	LastEpoch uint64 `json:"last_epoch"`
+}
+
+// Report assembles the current assessment.
+func (e *Evaluator) Report() Report {
+	now := e.cfg.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recomputeLocked(now)
+
+	r := Report{
+		State:        e.state.String(),
+		StateSeconds: int64(now.Sub(e.stateSince) / time.Second),
+		Violations:   e.violations,
+		Warns:        e.warns,
+	}
+	for _, o := range e.objectives {
+		or := ObjectiveReport{
+			Name:                o.name,
+			Node:                o.node,
+			Quantile:            o.quantile,
+			ThresholdSeconds:    clampInf(o.threshold, o.hist),
+			RawThresholdSeconds: o.rawThreshold,
+			Observations:        o.hist.Count(),
+			State:               o.state.String(),
+			ExemplarEpochs:      append([]uint64(nil), o.exemplars...),
+			LastEpoch:           o.lastEpoch,
+		}
+		q := o.hist.Quantile(o.quantile)
+		or.ObservedSeconds = clampInf(q, o.hist)
+		or.ObservedOverflow = math.IsInf(q, 1)
+		for _, w := range e.cfg.Windows {
+			or.Windows = append(or.Windows, e.evalWindowLocked(o, w, now))
+		}
+		r.Objectives = append(r.Objectives, or)
+	}
+	sort.Slice(r.Objectives, func(i, j int) bool {
+		if r.Objectives[i].Node != r.Objectives[j].Node {
+			return r.Objectives[i].Node < r.Objectives[j].Node
+		}
+		return r.Objectives[i].Name < r.Objectives[j].Name
+	})
+	return r
+}
+
+// clampInf replaces +Inf with the histogram's largest bound ×10 so the
+// JSON wire format (which cannot carry infinities) stays parseable.
+func clampInf(v float64, h *metrics.Histogram) float64 {
+	if math.IsInf(v, 1) {
+		return h.MaxBound() * 10
+	}
+	return v
+}
+
+// PerfPath is the debug endpoint the report is served on.
+const PerfPath = "/perf"
+
+// Handler serves the JSON report (GET /perf).
+func (e *Evaluator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(e.Report())
+	})
+}
+
+// RegisterMetrics exposes the evaluator on the registry:
+//
+//   - pprox_perfslo_state gauge (0 ok, 1 warn, 2 violated),
+//   - pprox_perfslo_objective_state{objective,node} gauges,
+//   - pprox_perfslo_burn_rate{objective,node,window} gauges,
+//   - pprox_perfslo_violations_total / pprox_perfslo_warns_total,
+//   - pprox_perfslo_exemplar_epoch{objective,node} gauges (the latest
+//     breach's shuffle-epoch id; 0 when none).
+//
+// Call it after every AddObjective: objectives registered later are not
+// picked up.
+func (e *Evaluator) RegisterMetrics(r *metrics.Registry) {
+	r.Gauge("pprox_perfslo_state",
+		"Performance SLO state: 0 ok, 1 warn, 2 violated.", func() float64 {
+			return float64(e.State())
+		})
+	r.CounterFunc("pprox_perfslo_violations_total",
+		"Transitions into the violated performance-SLO state.", func() float64 {
+			v, _ := e.Stats()
+			return float64(v)
+		})
+	r.CounterFunc("pprox_perfslo_warns_total",
+		"Transitions into the warn performance-SLO state.", func() float64 {
+			_, w := e.Stats()
+			return float64(w)
+		})
+	objState := r.GaugeVec("pprox_perfslo_objective_state",
+		"Per-objective performance SLO state: 0 ok, 1 warn, 2 violated.",
+		"objective", "node")
+	burn := r.GaugeVec("pprox_perfslo_burn_rate",
+		"Latency error-budget burn rate per objective and window.",
+		"objective", "node", "window")
+	exemplar := r.GaugeVec("pprox_perfslo_exemplar_epoch",
+		"Shuffle-epoch id of the latest SLO breach exemplar (0 when none).",
+		"objective", "node")
+	e.mu.Lock()
+	for _, o := range e.objectives {
+		o := o
+		objState.With(func() float64 {
+			now := e.cfg.Now()
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(e.evalObjectiveLocked(o, now))
+		}, o.name, o.node)
+		exemplar.With(func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			if len(o.exemplars) == 0 {
+				return 0
+			}
+			return float64(o.exemplars[len(o.exemplars)-1])
+		}, o.name, o.node)
+		for _, w := range e.cfg.Windows {
+			w := w
+			burn.With(func() float64 {
+				now := e.cfg.Now()
+				e.mu.Lock()
+				defer e.mu.Unlock()
+				return e.evalWindowLocked(o, w, now).BurnRate
+			}, o.name, o.node, w.Name)
+		}
+	}
+	e.mu.Unlock()
+}

@@ -35,11 +35,16 @@ const (
 	// StageEcallReencrypt is the IA response-path ECALL that
 	// de-pseudonymizes the list and re-encrypts it under k_u.
 	StageEcallReencrypt = "ecall_reencrypt"
+	// StageServe is the end-to-end request envelope at this hop: ingress
+	// to response written, covering every inner stage plus handler
+	// overhead. It is the histogram the end-to-end latency SLO evaluates.
+	StageServe = "serve"
 )
 
 // Stages lists every stage label in pipeline order, for consumers that
-// render breakdown tables.
-var Stages = []string{StageEcallDecrypt, StageShuffleWait, StageForward, StageEcallRewrap, StageEcallReencrypt}
+// render breakdown tables. StageServe leads: it is the envelope the
+// remaining stages decompose.
+var Stages = []string{StageServe, StageEcallDecrypt, StageShuffleWait, StageForward, StageEcallRewrap, StageEcallReencrypt}
 
 // pendingDepthBuckets bound occupancy histograms (table depths, batch
 // sizes) rather than latencies.
@@ -355,6 +360,17 @@ func (l *Layer) rewireShuffler() {
 		}
 	}
 	l.shuffler.SetHooks(onEnqueue, onFlush)
+}
+
+// StageHistogram returns the layer's histogram for one pipeline stage
+// (a Stages value), or nil before RegisterMetrics runs. The performance
+// SLO evaluator reads it directly — same lock-free instrument the
+// /metrics exposition renders, no second observation path.
+func (l *Layer) StageHistogram(stage string) *metrics.Histogram {
+	if obs := l.obs.Load(); obs != nil {
+		return obs.stage[stage]
+	}
+	return nil
 }
 
 // observeStage records one finished stage into the per-stage histogram.

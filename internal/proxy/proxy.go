@@ -319,6 +319,16 @@ func (l *Layer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
+	// The serve span wraps the whole hop, success or failure: it is the
+	// end-to-end histogram the latency SLO evaluates, and — like every
+	// stage — it surfaces in traces only as an epoch-batched record.
+	span := l.tracer.Load().Start(StageServe)
+	start := time.Now()
+	defer func() {
+		l.observeStage(StageServe, start)
+		span.End()
+	}()
+
 	body, err := readBody(r.Body, maxBody)
 	if err != nil {
 		l.fail(w, http.StatusBadRequest, "read request")
