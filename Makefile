@@ -36,7 +36,10 @@ bench:
 # snapshots (schema pprox-bench/1) for the batch and cache scenarios into
 # bench/. Each snapshot carries goodput trials with min/median/max spread,
 # latency and per-stage quantiles, UA crossings and LRS gets per request,
-# allocs/op micro-benchmarks, and the privacy/perf-SLO verdicts.
+# allocs/op micro-benchmarks, and the privacy/perf-SLO verdicts. The
+# batch scenario (and so its committed baseline) runs with the hopwire
+# frame transport on both hops; its full_path_get/batch_marshal allocs
+# gate the transport's trajectory.
 bench-json:
 	$(GO) run ./cmd/pprox-bench -quick -out bench batch
 	$(GO) run ./cmd/pprox-bench -quick -out bench cache

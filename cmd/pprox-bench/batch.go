@@ -77,6 +77,10 @@ func driveBatchTrial(batch bool, s, epochs int, faultDelay time.Duration) (batch
 		LRSFrontends: 1,
 		Audit:        &audit.Config{},
 		Batch:        batch,
+		// The shipped transport: binary frames on persistent connections
+		// for both hops (DESIGN.md §4h). Both variants run it so the
+		// off/on contrast still isolates the batching pipeline.
+		Hopwire: true,
 		PerfSLO:      &perfslo.Config{},
 		// See benchPerfThresholds: the default cluster objectives assume
 		// per-message ECALLs and would page on a healthy batched epoch.
@@ -256,6 +260,7 @@ func buildBatchReport(s, epochs, trials int, onRPS []float64, on batchTrial, fau
 	rep.Config["epochs"] = epochs
 	rep.Config["trials"] = trials
 	rep.Config["batch"] = true
+	rep.Config["hopwire"] = true
 	rep.Config["ecall_cost_us"] = 100
 	rep.GoodputTrials = newTrialStats(onRPS)
 	rep.GoodputRPS = rep.GoodputTrials.BestRPS

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"pprox/internal/cluster"
 	"pprox/internal/message"
 	"pprox/internal/metrics"
 	"pprox/internal/ppcrypto"
@@ -263,6 +266,50 @@ func runAllocBenchmarks() (map[string]AllocStat, error) {
 					b.Fatal(err)
 				}
 				if _, err := ppcrypto.SymEncrypt(symKey, packed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"batch_marshal", func(b *testing.B) {
+			// One shuffle epoch's UA→IA envelope through the binary frame
+			// codec, into a recycled buffer — the send-side hot path.
+			body := bytes.Repeat([]byte{0xC7}, 256)
+			entries := make([]message.BatchEntry, 32)
+			for i := range entries {
+				entries[i] = message.BatchEntry{ID: i, Kind: message.BatchKindGet, Body: body}
+			}
+			var buf []byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = message.MarshalBatchEpoch(buf[:0], uint64(i+1), entries)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"full_path_get", func(b *testing.B) {
+			// Whole-stack heap churn per request on the m3 path
+			// (encryption + SGX, no shuffle) with the frame transport on
+			// both hops — the number the hopwire PR drives down against
+			// the HTTP-hop baseline the root BenchmarkAblation_BodyBuffers
+			// documents (798 allocs/op, 123965 B/op).
+			d, err := cluster.Deploy(cluster.Spec{
+				ProxyEnabled: true, UA: 1, IA: 1,
+				Encryption: true, ItemPseudonyms: true,
+				UseStub: true, LRSFrontends: 1,
+				Hopwire: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			cl := d.Client(30 * time.Second)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Get(ctx, "bench-user"); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -20,10 +20,10 @@ import (
 	"time"
 
 	"pprox/internal/faults"
+	"pprox/internal/hopwire"
 	"pprox/internal/lrs/engine"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
-	"pprox/internal/transport"
 )
 
 func main() {
@@ -79,7 +79,9 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 	if err != nil {
 		return err
 	}
-	shutdown := transport.Serve(l, handler)
+	// Dual-protocol listener: IA instances running -hopwire reach this
+	// server in binary frames, everything else stays plain HTTP.
+	shutdown := hopwire.ServeHTTPAndFrames(l, handler)
 	logger.Info("serving", "listen", l.Addr().String(), "train_every", trainEvery.String())
 
 	stopTrainer := make(chan struct{})

@@ -39,6 +39,7 @@ import (
 	"pprox/internal/enclave"
 	"pprox/internal/eventloop"
 	"pprox/internal/faults"
+	"pprox/internal/hopwire"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
 	"pprox/internal/obsprof"
@@ -61,6 +62,7 @@ type options struct {
 	shuffleTimeout time.Duration
 	workers        int
 	batch          bool
+	hopwireOn      bool
 	lrsConcurrency int
 	noItemPseudo   bool
 	passthrough    bool
@@ -99,6 +101,7 @@ func main() {
 	flag.DurationVar(&o.shuffleTimeout, "shuffle-timeout", 500*time.Millisecond, "shuffle flush timer")
 	flag.IntVar(&o.workers, "workers", 2, "data-processing pool size")
 	flag.BoolVar(&o.batch, "batch", false, "epoch-batched pipeline: one batched ECALL and one UA→IA envelope per shuffle epoch (ua role; needs -shuffle > 1, incompatible with -passthrough)")
+	flag.BoolVar(&o.hopwireOn, "hopwire", false, "speak the persistent binary frame protocol toward -next and serve frames alongside HTTP on -listen (DESIGN.md §4h; falls back to HTTP against peers that do not answer in frames; incompatible with -eventloop)")
 	flag.IntVar(&o.lrsConcurrency, "lrs-concurrency", proxy.DefaultLRSConcurrency, "bound on concurrent IA→LRS requests (ia role; negative = unbounded)")
 	flag.BoolVar(&o.noItemPseudo, "no-item-pseudonyms", false, "send item identifiers to the LRS in the clear (§6.3)")
 	flag.BoolVar(&o.passthrough, "passthrough", false, "forward without cryptography (baseline m1)")
@@ -161,6 +164,13 @@ func run(o options, logger *slog.Logger) error {
 	}
 	if o.batch && r != proxy.RoleUA {
 		logger.Warn("-batch is a ua-role flag; ia serves /batch unconditionally")
+	}
+	if o.hopwireOn {
+		if o.useEventloop {
+			return fmt.Errorf("-hopwire and -eventloop are mutually exclusive: the frame mux needs the net/http server behind it")
+		}
+		cfg.Hopwire = true
+		cfg.HopDialer = &net.Dialer{Timeout: 10 * time.Second}
 	}
 	if !o.noResilience {
 		cfg.Resilience = &resilience.Policy{
@@ -371,12 +381,17 @@ func run(o options, logger *slog.Logger) error {
 			<-serveDone
 			return err
 		}
+	} else if o.hopwireOn {
+		shutdown = hopwire.ServeHTTPAndFrames(l, handler)
 	} else {
 		shutdown = transport.Serve(l, handler)
 	}
 	mode := "net/http"
-	if o.useEventloop {
+	switch {
+	case o.useEventloop:
 		mode = "eventloop"
+	case o.hopwireOn:
+		mode = "hopwire+net/http"
 	}
 	logger.Info("layer serving",
 		"role", o.role, "listen", l.Addr().String(), "next", o.next,

@@ -22,11 +22,11 @@ import (
 	"time"
 
 	"pprox/internal/faults"
+	"pprox/internal/hopwire"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
 	"pprox/internal/proxy"
 	"pprox/internal/stub"
-	"pprox/internal/transport"
 )
 
 func main() {
@@ -106,7 +106,9 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr, fau
 	if err != nil {
 		return err
 	}
-	shutdown := transport.Serve(l, handler)
+	// Dual-protocol listener: IA instances running -hopwire reach this
+	// server in binary frames, everything else stays plain HTTP.
+	shutdown := hopwire.ServeHTTPAndFrames(l, handler)
 	logger.Info("serving", "items", items, "listen", l.Addr().String())
 
 	sig := make(chan os.Signal, 1)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"pprox/internal/audit"
 	"pprox/internal/client"
 	"pprox/internal/enclave"
+	"pprox/internal/hopwire"
 	"pprox/internal/lrs/engine"
 	"pprox/internal/message"
 	"pprox/internal/metrics"
@@ -51,6 +53,13 @@ type Spec struct {
 	// LRSConcurrency bounds each IA instance's concurrent LRS requests
 	// (0 = the proxy default, negative = unbounded).
 	LRSConcurrency int
+	// Hopwire switches the inter-hop transport (UA→IA and IA→LRS) to the
+	// persistent-connection binary frame protocol (DESIGN.md §4h). Every
+	// node's listener then sniffs each connection and serves frames and
+	// HTTP side by side, and each layer's hop client falls back to HTTP
+	// against a peer that does not answer in frames — so mixed
+	// deployments (rolling upgrade) keep working.
+	Hopwire bool
 	// EcallCost models the CPU each enclave crossing burns (SGX world
 	// switch + TLB/cache repopulation). Zero — the default — keeps
 	// crossings free as plain function calls; benchmarks comparing the
@@ -602,6 +611,10 @@ func (d *Deployment) newLayer(role proxy.Role, spec Spec, platform *enclave.Plat
 	} else {
 		cfg.LRSConcurrency = spec.LRSConcurrency
 	}
+	if spec.Hopwire {
+		cfg.Hopwire = true
+		cfg.HopDialer = d.Balancer
+	}
 	if spec.Encryption {
 		if role == proxy.RoleUA {
 			e := proxy.NewUAEnclave(platform)
@@ -631,10 +644,21 @@ func (d *Deployment) serve(addr string, h http.Handler) error {
 	if err != nil {
 		return err
 	}
-	n := &runningNode{handler: h, shutdown: transport.Serve(l, h)}
+	n := &runningNode{handler: h, shutdown: d.serveListener(l, h)}
 	d.nodes[addr] = n
 	d.order = append(d.order, addr)
 	return nil
+}
+
+// serveListener starts one node's server: the dual-protocol mux when the
+// spec runs hopwire, plain HTTP otherwise. Kill/Restart go through the
+// same helper so a restarted node speaks the same protocols it did
+// before the crash.
+func (d *Deployment) serveListener(l net.Listener, h http.Handler) func() error {
+	if d.spec.Hopwire {
+		return hopwire.ServeHTTPAndFrames(l, h)
+	}
+	return transport.Serve(l, h)
 }
 
 // Kill stops one node's server and unbinds its address: dials to it are
@@ -672,7 +696,7 @@ func (d *Deployment) Restart(addr string) error {
 	if err != nil {
 		return err
 	}
-	n.shutdown = transport.Serve(l, n.handler)
+	n.shutdown = d.serveListener(l, n.handler)
 	return nil
 }
 

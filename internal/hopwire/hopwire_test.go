@@ -1,0 +1,421 @@
+package hopwire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pprox/internal/message"
+	"pprox/internal/transport"
+)
+
+// echoHandler is a stand-in node: /batch echoes the envelope back with
+// statuses set (epoch echoed via the wire-format rule), per-message paths
+// echo the body, /healthz answers ok.
+func echoHandler(t *testing.T) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case message.BatchPath:
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, "read", http.StatusBadRequest)
+				return
+			}
+			epoch, entries, err := message.UnmarshalBatchEpoch(body)
+			if err != nil {
+				http.Error(w, "bad envelope", http.StatusBadRequest)
+				return
+			}
+			out := make([]message.BatchEntry, len(entries))
+			for i, e := range entries {
+				out[i] = message.BatchEntry{ID: e.ID, Status: http.StatusOK, Body: e.Body}
+			}
+			payload, err := message.MarshalBatchEpoch(nil, epoch, out)
+			if err != nil {
+				http.Error(w, "marshal", http.StatusInternalServerError)
+				return
+			}
+			w.Write(payload)
+		case message.EventsPath, message.QueriesPath:
+			body, _ := io.ReadAll(r.Body)
+			w.Write(append([]byte("re:"), body...))
+		case message.HealthPath:
+			fmt.Fprint(w, "ok")
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+func startFramePeer(t *testing.T, n *transport.Network, addr string, h http.Handler) func() error {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := ServeHTTPAndFrames(l, h)
+	t.Cleanup(func() { shutdown() })
+	return shutdown
+}
+
+func TestBatchExchangeRoundTrip(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", echoHandler(t))
+
+	c, err := NewClient(n, "http://peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in := []message.BatchEntry{
+		{ID: 0, Kind: message.BatchKindGet, Body: []byte("q-0")},
+		{ID: 1, Kind: message.BatchKindPost, Body: []byte("p-1")},
+	}
+	frame, err := message.MarshalBatchEpoch(nil, 77, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, resp, err := c.RoundTrip(context.Background(), message.BatchPath, frame)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	epoch, out, err := message.UnmarshalBatchEpoch(resp)
+	if err != nil {
+		t.Fatalf("response not an envelope: %v", err)
+	}
+	if epoch != 77 {
+		t.Fatalf("response epoch = %d, want 77", epoch)
+	}
+	if len(out) != 2 || !bytes.Equal(out[0].Body, []byte("q-0")) || out[1].Status != http.StatusOK {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestSingleExchangeAndConnReuse(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", echoHandler(t))
+
+	c, err := NewClient(n, "http://peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 5; i++ {
+		status, resp, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("hello"))
+		if err != nil {
+			t.Fatalf("exchange %d: %v", i, err)
+		}
+		if status != http.StatusOK || string(resp) != "re:hello" {
+			t.Fatalf("exchange %d: (%d, %q)", i, status, resp)
+		}
+	}
+	st := c.Stats()
+	if st.Exchanges != 5 {
+		t.Fatalf("exchanges = %d, want 5", st.Exchanges)
+	}
+	if st.Dials != 1 || st.Reuses != 4 {
+		t.Fatalf("dials/reuses = %d/%d, want 1/4 (persistent conn)", st.Dials, st.Reuses)
+	}
+}
+
+func TestConcurrentExchanges(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", echoHandler(t))
+	c, err := NewClient(n, "http://peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte(fmt.Sprintf("msg-%d", i))
+			_, resp, err := c.RoundTrip(context.Background(), message.EventsPath, body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := "re:" + string(body); string(resp) != want {
+				errs <- fmt.Errorf("got %q, want %q (cross-exchange mixup)", resp, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// The mux must keep serving HTTP on the same listener: health probes and
+// JSON-era peers share the address with frame traffic.
+func TestMuxServesHTTPAlongsideFrames(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", echoHandler(t))
+
+	hc := transport.HTTPClient(n, 5*time.Second)
+	resp, err := hc.Get("http://peer" + message.HealthPath)
+	if err != nil {
+		t.Fatalf("HTTP over mux: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("healthz = (%d, %q)", resp.StatusCode, body)
+	}
+
+	c, _ := NewClient(n, "http://peer")
+	defer c.Close()
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("x")); err != nil {
+		t.Fatalf("frames over mux: %v", err)
+	}
+}
+
+// A plain-HTTP peer (no frame support) must latch ErrUnsupported so the
+// proxy falls back to its HTTP path — the rolling-upgrade contract. The
+// peer is a raw responder emitting an HTTP status line for whatever
+// arrives, the provable non-frame reply the client keys on.
+func TestFallbackAgainstHTTPOnlyPeer(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				// Drain whatever the client writes (the pipe is
+				// synchronous) while answering with an HTTP status line;
+				// the client closes the conn once it sees non-frame bytes.
+				go io.Copy(io.Discard, conn)
+				io.WriteString(conn, "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n")
+			}(conn)
+		}
+	}()
+
+	c, err := NewClient(n, "http://legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("x")); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+	// The verdict is latched: the next exchange refuses immediately
+	// without probing the peer again.
+	start := time.Now()
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("x")); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("latched err = %v, want ErrUnsupported", err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("latched fallback still probed the peer")
+	}
+	if st := c.Stats(); st.Fallbacks != 2 {
+		t.Fatalf("fallbacks = %d, want 2", st.Fallbacks)
+	}
+}
+
+// The same fallback against a real net/http server, which behaves very
+// differently from the canned responder above: it reads the request line
+// until it sees a newline. Encrypted slot bodies may contain none, so
+// detection must not depend on payload bytes — the frame header's fixed
+// CRLF terminates the read, the server answers 400 at once, and the
+// client latches ErrUnsupported promptly instead of hanging until the
+// exchange deadline (which is how a rolling-upgrade mix was discovered to
+// stall in live TCP testing).
+func TestFallbackAgainstRealNetHTTPServer(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := NewClient(n, "http://legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A body with no 0x0A anywhere: without the header CRLF the server
+	// would block awaiting the rest of its "request line".
+	body := bytes.Repeat([]byte{0xC7}, 700)
+	start := time.Now()
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, body); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("detection took %v; the server sat on an unterminated request line", d)
+	}
+	if st := c.Stats(); st.Fallbacks != 1 || st.Exchanges != 0 {
+		t.Fatalf("stats = %+v, want 1 fallback, 0 exchanges", st)
+	}
+}
+
+// After the cooldown expires the client probes again — a restarted,
+// now-frame-speaking peer is picked up without intervention.
+func TestUnsupportedCooldownExpires(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", echoHandler(t))
+
+	c, err := NewClient(n, "http://peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.cooldown = 10 * time.Millisecond
+	c.markUnsupported()
+
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("x")); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("during cooldown: err = %v, want ErrUnsupported", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("x")); err != nil {
+		t.Fatalf("after cooldown: %v", err)
+	}
+}
+
+// A server restart between exchanges leaves the client holding a dead
+// pooled conn; the health check plus the one-retry rule must recover
+// without surfacing an error.
+func TestPooledConnSurvivesPeerRestart(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	shutdown := startFramePeer(t, n, "peer", echoHandler(t))
+
+	c, err := NewClient(n, "http://peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the peer: the pooled conn is now dead.
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := n.Listen("peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown2 := ServeHTTPAndFrames(l, echoHandler(t))
+	defer shutdown2()
+
+	status, resp, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("b"))
+	if err != nil {
+		t.Fatalf("exchange after peer restart: %v", err)
+	}
+	if status != http.StatusOK || string(resp) != "re:b" {
+		t.Fatalf("got (%d, %q)", status, resp)
+	}
+}
+
+// An error frame prices the whole exchange like an HTTP error status.
+func TestErrorFrameMapsToStatus(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "next hop unavailable", http.StatusServiceUnavailable)
+	}))
+
+	c, err := NewClient(n, "http://peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	status, body, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("x"))
+	if err != nil {
+		t.Fatalf("error statuses are results, not transport errors: %v", err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	if strings.TrimSpace(string(body)) != "next hop unavailable" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+// A dead peer is a transport error (for the breaker/ladder), never a
+// silent fallback.
+func TestDeadPeerIsTransportError(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	c, err := NewClient(n, "http://nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, _, err = c.RoundTrip(context.Background(), message.QueriesPath, []byte("x"))
+	if err == nil || errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want a transport error", err)
+	}
+}
+
+// The server must answer a malformed frame with an error frame and drop
+// the connection instead of hanging or panicking.
+func TestServerRejectsMalformedFrame(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", echoHandler(t))
+
+	conn, err := n.DialContext(context.Background(), "mem", "peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Valid magic, hostile header fields.
+	bad := []byte("PPXB")
+	bad = append(bad, bytes.Repeat([]byte{0xFF}, message.FrameHeaderSize-4)...)
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	respHdr := make([]byte, message.FrameHeaderSize)
+	if _, err := io.ReadFull(conn, respHdr); err != nil {
+		t.Fatalf("no response to malformed frame: %v", err)
+	}
+	h, err := message.ParseFrameHeader(respHdr)
+	if err != nil {
+		t.Fatalf("response not a frame header: %v", err)
+	}
+	if h.Kind != message.FrameError {
+		t.Fatalf("response kind = %d, want error frame", h.Kind)
+	}
+}

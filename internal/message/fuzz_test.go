@@ -55,3 +55,48 @@ func FuzzDecode64(f *testing.F) {
 		_, _ = Decode64(s) // must never panic
 	})
 }
+
+func FuzzDecodeBatchFrame(f *testing.F) {
+	good, _ := MarshalBatchEpoch(nil, 7, []BatchEntry{
+		{ID: 0, Kind: BatchKindGet, Body: []byte("opaque")},
+		{ID: 1, Kind: BatchKindPost, Body: []byte("opaque-2")},
+	})
+	f.Add(good)
+	f.Add(good[:FrameHeaderSize])
+	f.Add(good[:len(good)-1])
+	f.Add(AppendErrorFrame(nil, 1, 503, "down"))
+	f.Add([]byte("PPXB"))
+	f.Add([]byte(`{"v":1,"entries":[{"id":0}]}`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic or over-read; on success the contract holds:
+		// bounded entry count, unique in-range ids, bodies inside data.
+		_, entries, err := UnmarshalBatchEpoch(data)
+		if err != nil {
+			return
+		}
+		if len(entries) == 0 || len(entries) > MaxFrameEntries {
+			t.Fatalf("accepted %d entries", len(entries))
+		}
+		seen := make(map[int]struct{}, len(entries))
+		for _, e := range entries {
+			if e.ID < 0 {
+				t.Fatalf("accepted negative id %d", e.ID)
+			}
+			if _, dup := seen[e.ID]; dup {
+				t.Fatalf("accepted duplicate id %d", e.ID)
+			}
+			seen[e.ID] = struct{}{}
+			if len(e.Body) > len(data) {
+				t.Fatalf("body of %d bytes from a %d-byte input", len(e.Body), len(data))
+			}
+		}
+		_, _, _, _ = epochStatusTextProbe(data)
+	})
+}
+
+// epochStatusTextProbe exercises the error-frame decoder on the same
+// corpus; both decoders face the same adversary-controlled stream.
+func epochStatusTextProbe(data []byte) (uint64, int, string, error) {
+	return DecodeErrorFrame(data)
+}

@@ -178,36 +178,66 @@ type BatchEnvelope struct {
 	Entries []BatchEntry `json:"entries"`
 }
 
-// MarshalBatch frames entries into a version-tagged batch envelope.
+// MarshalBatch frames entries as a binary batch frame (frame.go). The
+// JSON envelope remains accepted on the receive side, so the two wire
+// formats interoperate across a rolling upgrade.
 func MarshalBatch(entries []BatchEntry) ([]byte, error) {
+	return MarshalBatchEpoch(nil, 0, entries)
+}
+
+// MarshalBatchEpoch frames entries as a binary batch frame tagged with an
+// epoch id, appending to dst (which may come from a pool; pass nil for a
+// fresh buffer). The epoch id lets a persistent-connection transport
+// match a pooled response to its request.
+func MarshalBatchEpoch(dst []byte, epoch uint64, entries []BatchEntry) ([]byte, error) {
+	return AppendBatchFrame(dst, FrameBatch, epoch, entries)
+}
+
+// MarshalBatchJSON frames entries into the legacy version-tagged JSON
+// envelope (wire format v1), kept for rolling-upgrade tests and JSON-era
+// peers.
+func MarshalBatchJSON(entries []BatchEntry) ([]byte, error) {
 	return Marshal(BatchEnvelope{V: BatchVersion, Entries: entries})
 }
 
-// UnmarshalBatch parses and validates a batch envelope: the version must
-// be current and entry ids must be unique and non-negative, so a receiver
-// can key per-message results by id without aliasing.
+// UnmarshalBatch parses and validates a batch envelope in either wire
+// format: bytes starting with the frame magic decode as a binary frame,
+// anything else as the legacy JSON envelope. Entry ids are unique and
+// non-negative in both, so a receiver can key per-message results by id
+// without aliasing.
 func UnmarshalBatch(data []byte) ([]BatchEntry, error) {
+	_, entries, err := UnmarshalBatchEpoch(data)
+	return entries, err
+}
+
+// UnmarshalBatchEpoch is UnmarshalBatch plus the frame's epoch id, so a
+// receiver can echo it on the response frame (JSON envelopes carry no
+// epoch and report 0).
+func UnmarshalBatchEpoch(data []byte) (uint64, []BatchEntry, error) {
+	if IsFrame(data) {
+		return DecodeBatchFrame(data)
+	}
 	var env BatchEnvelope
 	if err := Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBatchEnvelope, err)
+		return 0, nil, fmt.Errorf("%w: %v", ErrBatchEnvelope, err)
 	}
 	if env.V != BatchVersion {
-		return nil, fmt.Errorf("%w: got v%d, want v%d", ErrBatchVersion, env.V, BatchVersion)
+		return 0, nil, fmt.Errorf("%w: got v%d, want v%d", ErrBatchVersion, env.V, BatchVersion)
 	}
 	if len(env.Entries) == 0 {
-		return nil, fmt.Errorf("%w: no entries", ErrBatchEnvelope)
+		return 0, nil, fmt.Errorf("%w: no entries", ErrBatchEnvelope)
 	}
 	seen := make(map[int]struct{}, len(env.Entries))
 	for _, e := range env.Entries {
 		if e.ID < 0 {
-			return nil, fmt.Errorf("%w: negative id %d", ErrBatchEnvelope, e.ID)
+			return 0, nil, fmt.Errorf("%w: negative id %d", ErrBatchEnvelope, e.ID)
 		}
 		if _, dup := seen[e.ID]; dup {
-			return nil, fmt.Errorf("%w: duplicate id %d", ErrBatchEnvelope, e.ID)
+			return 0, nil, fmt.Errorf("%w: duplicate id %d", ErrBatchEnvelope, e.ID)
 		}
 		seen[e.ID] = struct{}{}
 	}
-	return env.Entries, nil
+	return 0, env.Entries, nil
 }
 
 // BatchKindPath maps an entry kind to the per-message path it stands for,

@@ -203,7 +203,10 @@ func (l *Layer) runBatch(vals []any) {
 		for j, id := range ids {
 			sub[j] = entries[id]
 		}
-		payload, err := message.MarshalBatch(sub)
+		// Each (sub-)envelope send mints a fresh epoch id: the frame
+		// transport matches the pooled response to this exact exchange by
+		// it, and a retry is a new exchange.
+		payload, err := message.MarshalBatchEpoch(nil, l.hopEpoch.Add(1), sub)
 		if err != nil {
 			return err
 		}
@@ -318,10 +321,14 @@ func (l *Layer) uaBatchRetryPrep(ctx context.Context, body []byte) ([]byte, erro
 func (l *Layer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := readBody(r.Body, maxBatchBody)
 	if err != nil {
+		if errors.Is(err, ErrBodyTooLarge) {
+			l.fail(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return
+		}
 		l.fail(w, http.StatusBadRequest, "read request")
 		return
 	}
-	entries, err := message.UnmarshalBatch(body)
+	epoch, entries, err := message.UnmarshalBatchEpoch(body)
 	if err != nil {
 		l.fail(w, http.StatusBadRequest, "bad batch envelope")
 		return
@@ -338,7 +345,15 @@ func (l *Layer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, p := range perm {
 		out[i] = results[p]
 	}
-	payload, err := message.MarshalBatch(out)
+	// Answer in the wire format of the request, echoing its epoch id: a
+	// frame-era UA validates the echo against its exchange, a JSON-era UA
+	// (rolling upgrade) gets the envelope it can parse.
+	var payload []byte
+	if message.IsFrame(body) {
+		payload, err = message.MarshalBatchEpoch(nil, epoch, out)
+	} else {
+		payload, err = message.MarshalBatchJSON(out)
+	}
 	if err != nil {
 		l.fail(w, http.StatusInternalServerError, "marshal batch")
 		return
@@ -350,7 +365,11 @@ func (l *Layer) handleBatch(w http.ResponseWriter, r *http.Request) {
 			l.failed.Add(1)
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
+	if message.IsFrame(payload) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
 	w.Write(payload)
 }
 

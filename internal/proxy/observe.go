@@ -2,11 +2,13 @@ package proxy
 
 import (
 	"context"
+	"io"
 	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
+	"pprox/internal/hopwire"
 	"pprox/internal/message"
 	"pprox/internal/metrics"
 	"pprox/internal/reccache"
@@ -247,6 +249,24 @@ func (l *Layer) registerBatchMetrics(r *metrics.Registry, role, node string) {
 			"In-flight IA→LRS requests (bounded by -lrs-concurrency).", "layer", "node").
 			With(func() float64 { return float64(l.LRSInFlight()) }, role, node)
 	}
+	if l.hop != nil {
+		counter := func(name, help string, read func(hopwire.Stats) uint64) {
+			r.CounterFuncVec(name, help, "layer", "node").
+				With(func() float64 { return float64(read(l.hop.Stats())) }, role, node)
+		}
+		counter("pprox_hopwire_exchanges_total",
+			"Frame exchanges completed on the binary hop transport.",
+			func(s hopwire.Stats) uint64 { return s.Exchanges })
+		counter("pprox_hopwire_dials_total",
+			"Hopwire connections established.",
+			func(s hopwire.Stats) uint64 { return s.Dials })
+		counter("pprox_hopwire_conn_reuses_total",
+			"Frame exchanges that rode a pooled connection.",
+			func(s hopwire.Stats) uint64 { return s.Reuses })
+		counter("pprox_hopwire_fallbacks_total",
+			"Exchanges that fell back to HTTP (peer not speaking frames).",
+			func(s hopwire.Stats) uint64 { return s.Fallbacks })
+	}
 }
 
 // registerCacheMetrics exposes the pprox_reccache_* families. Every value
@@ -421,6 +441,9 @@ func (l *Layer) Health() metrics.Health {
 		checks["next_hop"] = "unreachable"
 		ok = false
 	} else {
+		// Drain before close so the probe conn returns to the keep-alive
+		// pool (same keep-alive rule as resilience.HTTPHealthProbe).
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusOK {
 			checks["next_hop"] = "ok"

@@ -31,6 +31,7 @@ import (
 
 	"pprox/internal/enclave"
 	"pprox/internal/eventloop"
+	"pprox/internal/hopwire"
 	"pprox/internal/message"
 	"pprox/internal/reccache"
 	"pprox/internal/resilience"
@@ -109,6 +110,15 @@ type Config struct {
 	// demultiplexed batch epochs and the per-message path. 0 selects
 	// DefaultLRSConcurrency; negative disables the bound.
 	LRSConcurrency int
+	// Hopwire selects the persistent binary-framed hop transport toward
+	// Next (DESIGN.md §4h): batch envelopes and per-message forwards ride
+	// pooled frame connections, falling back to HTTP while the peer does
+	// not speak the protocol. Requires HopDialer.
+	Hopwire bool
+	// HopDialer dials hopwire connections — the memnet network, a
+	// cluster balancer, or a *net.Dialer — matching how HTTPClient
+	// reaches Next.
+	HopDialer transport.Dialer
 }
 
 // DefaultLRSConcurrency is the IA→LRS fan-out bound when the
@@ -127,6 +137,10 @@ type Layer struct {
 	jobs *eventloop.JobPool
 	// lrsSem bounds the IA→LRS fan-out (IA role; nil = unbounded).
 	lrsSem *resilience.Semaphore
+	// hop is the binary frame transport toward Next (nil = HTTP only).
+	hop *hopwire.Client
+	// hopEpoch mints batch-frame epoch ids for this instance's envelopes.
+	hopEpoch atomic.Uint64
 
 	nextHandle atomic.Uint64
 	served     atomic.Uint64
@@ -210,6 +224,16 @@ func New(cfg Config) (*Layer, error) {
 		// negative LRSConcurrency selects.
 		l.lrsSem = resilience.NewSemaphore(n)
 	}
+	if cfg.Hopwire {
+		if cfg.HopDialer == nil {
+			return nil, errors.New("proxy: hopwire requires HopDialer")
+		}
+		hw, err := hopwire.NewClient(cfg.HopDialer, cfg.Next)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: %w", err)
+		}
+		l.hop = hw
+	}
 	if cfg.Batch && cfg.Role == RoleUA {
 		if cfg.PassThrough {
 			return nil, errors.New("proxy: batch mode requires the enclave path")
@@ -242,8 +266,13 @@ const defaultClientTimeout = 30 * time.Second
 func (l *Layer) Close() {
 	l.shuffler.Close()
 	l.jobs.Close()
+	l.hop.Close()
 	l.tracer.Load().AdvanceEpoch()
 }
+
+// Hopwire exposes the layer's frame transport client (nil when disabled),
+// for metrics and tests.
+func (l *Layer) Hopwire() *hopwire.Client { return l.hop }
 
 // Stats returns served and failed request counts.
 func (l *Layer) Stats() (served, failed uint64) {
@@ -331,6 +360,10 @@ func (l *Layer) handle(w http.ResponseWriter, r *http.Request) {
 
 	body, err := readBody(r.Body, maxBody)
 	if err != nil {
+		if errors.Is(err, ErrBodyTooLarge) {
+			l.fail(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return
+		}
 		l.fail(w, http.StatusBadRequest, "read request")
 		return
 	}
@@ -733,7 +766,11 @@ func (l *Layer) forwardResilient(ctx context.Context, path string, body []byte, 
 }
 
 // forward relays a transformed request to the next hop and returns its
-// status and body. The whole round trip is the forward stage.
+// status and body. The whole round trip is the forward stage. With
+// hopwire enabled the exchange rides a pooled frame connection; only a
+// peer that provably does not speak the protocol (ErrUnsupported, latched
+// with a cooldown) drops the hop back to HTTP — transport faults surface
+// to the breaker and retry ladder exactly like HTTP faults.
 func (l *Layer) forward(ctx context.Context, path string, body []byte) (int, []byte, error) {
 	span := l.tracer.Load().Start(StageForward)
 	start := time.Now()
@@ -741,6 +778,15 @@ func (l *Layer) forward(ctx context.Context, path string, body []byte) (int, []b
 		l.observeStage(StageForward, start)
 		span.End()
 	}()
+	if l.hop != nil {
+		status, respBody, err := l.hop.RoundTrip(ctx, path, body)
+		if err == nil {
+			return status, respBody, nil
+		}
+		if !errors.Is(err, hopwire.ErrUnsupported) {
+			return 0, nil, fmt.Errorf("proxy: forward to %s: %w", l.cfg.Next, err)
+		}
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, l.cfg.Next+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, fmt.Errorf("proxy: build forward request: %w", err)

@@ -254,13 +254,16 @@ func (s *Shuffler) ReleaseBatch(n int) ([]int, error) {
 	if n < 0 {
 		n = 0
 	}
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
 	if s == nil || s.size <= 1 || n == 0 {
 		// An empty envelope is not an epoch: counting it would feed the
-		// auditor a zero-size anonymity set.
+		// auditor a zero-size anonymity set. Only this degenerate branch
+		// needs the identity permutation — the hot path below draws its
+		// own from the rng, so building identity up front would be a
+		// throwaway allocation on every batched epoch.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
 		return perm, nil
 	}
 	s.mu.Lock()
@@ -268,7 +271,7 @@ func (s *Shuffler) ReleaseBatch(n int) ([]int, error) {
 	if s.closed {
 		return nil, ErrShufflerClosed
 	}
-	perm = s.rng.Perm(n)
+	perm := s.rng.Perm(n)
 	s.flushes++
 	if s.onFlush != nil {
 		s.onFlush(n)

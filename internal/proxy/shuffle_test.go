@@ -575,3 +575,32 @@ func TestShufflerReleaseBatch(t *testing.T) {
 		t.Errorf("nil shuffler ReleaseBatch = %v, %v; want identity", perm, err)
 	}
 }
+
+// Regression: ReleaseBatch built an identity permutation up front on
+// every call and then discarded it on the hot path, where rng.Perm
+// allocates the real one — a throwaway slice per batched epoch. The hot
+// path must allocate exactly the permutation it returns.
+func TestReleaseBatchHotPathAllocsOnce(t *testing.T) {
+	s := NewShuffler(8, time.Minute, 0)
+	defer s.Close()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.ReleaseBatch(32); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("ReleaseBatch(32) allocates %.0f objects/op, want 1 (rng.Perm only)", allocs)
+	}
+
+	// The degenerate branch still returns the identity permutation.
+	var nilShuffler *Shuffler
+	perm, err := nilShuffler.ReleaseBatch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		if p != i {
+			t.Fatalf("nil shuffler perm = %v, want identity", perm)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package resilience
 import (
 	"context"
 	"errors"
+	"io"
 	"math/rand/v2"
 	"net/http"
 	"sync"
@@ -306,6 +307,11 @@ func HTTPHealthProbe(client *http.Client, url string, timeout time.Duration) fun
 		if err != nil {
 			return false
 		}
+		// Drain (bounded) before closing so the transport can return the
+		// connection to its keep-alive pool; closing an unread body
+		// forces a re-dial on every probe. Health bodies are tiny — the
+		// bound only caps a misbehaving endpoint.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 		resp.Body.Close()
 		return resp.StatusCode == http.StatusOK
 	}

@@ -3,6 +3,8 @@ package resilience
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -234,5 +236,35 @@ func TestWithDefaults(t *testing.T) {
 	z := (Policy{}).WithDefaults()
 	if z.MaxAttempts != 0 || z.BreakerThreshold != 0 {
 		t.Errorf("WithDefaults enabled disabled features: %+v", z)
+	}
+}
+
+// Regression: HTTPHealthProbe closed the response body without draining
+// it, so the transport could never return the connection to its
+// keep-alive pool and every probe re-dialed the hop. Repeated probes
+// against one server must ride a single connection.
+func TestHTTPHealthProbeReusesConnection(t *testing.T) {
+	var newConns atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	srv.Config.ConnState = func(_ net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			newConns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	probe := HTTPHealthProbe(client, srv.URL, time.Second)
+	for i := 0; i < 5; i++ {
+		if !probe() {
+			t.Fatalf("probe %d failed against healthy server", i)
+		}
+	}
+	if got := newConns.Load(); got != 1 {
+		t.Fatalf("server saw %d connections over 5 probes, want 1 (keep-alive reuse)", got)
 	}
 }

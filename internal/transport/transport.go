@@ -98,7 +98,18 @@ func (n *Network) DialContext(ctx context.Context, _, addr string) (net.Conn, er
 	client, server := net.Pipe()
 	select {
 	case l.pending <- server:
-		return client, nil
+		// The send can race a concurrent Close: the conn may have landed
+		// in pending after the drain loop finished. Re-check done — the
+		// close happens-before the drain, so if done is still open here
+		// the drain has not run and Accept (or the drain) owns the conn.
+		select {
+		case <-l.done:
+			client.Close()
+			server.Close()
+			return nil, fmt.Errorf("%w: %s", ErrConnectionRefused, addr)
+		default:
+			return client, nil
+		}
 	case <-l.done:
 		client.Close()
 		server.Close()
@@ -158,6 +169,7 @@ func (l *listener) Accept() (net.Conn, error) {
 func (l *listener) Close() error {
 	l.closeOnce.Do(func() {
 		close(l.done)
+		l.drainPending()
 		if l.onClose != nil {
 			l.onClose()
 		}
@@ -166,7 +178,25 @@ func (l *listener) Close() error {
 }
 
 func (l *listener) closeWithoutUnbind() {
-	l.closeOnce.Do(func() { close(l.done) })
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.drainPending()
+	})
+}
+
+// drainPending closes server-side pipe conns queued in pending at close
+// time. Without this, a conn accepted by the channel but never by
+// Accept keeps its dialer blocked until the client's own timeout —
+// closing the server end makes the peer's reads fail immediately.
+func (l *listener) drainPending() {
+	for {
+		select {
+		case c := <-l.pending:
+			c.Close()
+		default:
+			return
+		}
+	}
 }
 
 func (l *listener) Addr() net.Addr { return l.addr }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"testing"
@@ -204,5 +205,89 @@ func TestServeShutdownIdempotentUse(t *testing.T) {
 	client := HTTPClient(n, 500*time.Millisecond)
 	if _, err := client.Get("http://web/"); err == nil {
 		t.Error("request succeeded after shutdown")
+	}
+}
+
+// Regression: listener.Close never drained the pending channel, so a
+// server-side pipe conn queued between Dial and Accept was simply leaked —
+// its dialer's reads would block until the client's own timeout. Close
+// must close the queued conns so the peer fails immediately.
+func TestListenerCloseDrainsPendingConns(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue conns that nobody ever Accepts.
+	conns := make([]net.Conn, 0, 4)
+	for i := 0; i < 4; i++ {
+		c, err := n.DialContext(context.Background(), "mem", "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every queued conn's client end must observe the close promptly: a
+	// read fails instead of hanging. Pre-fix this read blocked forever
+	// (guarded here by the deadline, which net.Pipe supports).
+	for i, c := range conns {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("conn %d: read succeeded on drained conn", i)
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatalf("conn %d: read timed out; pending conn was leaked, not closed", i)
+		}
+		c.Close()
+	}
+}
+
+// Dialing into a listener that is concurrently closing must never strand
+// the client: either the dial is refused or the returned conn's peer is
+// closed so reads fail fast.
+func TestDialIntoClosingListener(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		n := NewNetwork()
+		l, err := n.Listen("svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			l.Close()
+		}()
+		var conn net.Conn
+		var dialErr error
+		go func() {
+			defer wg.Done()
+			<-start
+			conn, dialErr = n.DialContext(context.Background(), "mem", "svc")
+		}()
+		close(start)
+		wg.Wait()
+		if dialErr != nil {
+			if !errors.Is(dialErr, ErrConnectionRefused) {
+				t.Fatalf("round %d: err=%v, want ErrConnectionRefused", round, dialErr)
+			}
+		} else {
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			if _, err := conn.Read(make([]byte, 1)); err == nil {
+				t.Fatalf("round %d: read succeeded on conn into closed listener", round)
+			} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatalf("round %d: dial into closed listener returned a stranded conn", round)
+			}
+			conn.Close()
+		}
+		n.Close()
 	}
 }
