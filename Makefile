@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-json bench-compare audit-smoke cache-smoke batch-smoke clean
+.PHONY: all build vet test race verify bench bench-json bench-compare audit-smoke cache-smoke batch-smoke ops-smoke clean
 
 all: verify
 
@@ -75,6 +75,15 @@ cache-smoke:
 # variants. Output is kept in batch-smoke.txt for CI artifact upload.
 batch-smoke:
 	$(GO) run ./cmd/pprox-bench -quick batch | tee batch-smoke.txt
+
+# Fleet telemetry smoke test: deploy an in-process hopwire cluster with a
+# pprox-ops collector, drive traffic, and fail unless every node reports
+# fresh with sane rollups (merged stage quantiles, goodput, anonymity
+# watermark, no build skew), then kill one node and fail unless the
+# collector marks exactly it stale. Writes the /fleet report to
+# fleet.json for CI artifact upload.
+ops-smoke:
+	$(GO) run ./cmd/pprox-ops -smoke -out fleet.json
 
 clean:
 	rm -rf bin

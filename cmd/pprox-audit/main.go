@@ -39,13 +39,15 @@ import (
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
 	"pprox/internal/perfslo"
+	"pprox/internal/telemetry"
 )
 
 func main() {
 	targets := flag.String("targets", "", "comma-separated node base URLs to scrape (e.g. http://ua-0:8081,http://ia-0:8082)")
+	opsAddr := flag.String("ops-addr", "", "pprox-ops collector address: read one /fleet scrape instead of scraping every node (falls back to -targets when unreachable)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout")
 	smoke := flag.Bool("smoke", false, "boot an in-process cluster, inject an under-filled epoch, assert the auditor flags it")
-	out := flag.String("out", "", "write the final /privacy report (JSON) to this file")
+	out := flag.String("out", "", "write the final report (JSON) to this file")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -57,8 +59,8 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Info("smoke test passed")
-	case *targets != "":
-		violated, err := runScrape(strings.Split(*targets, ","), *timeout, *out)
+	case *opsAddr != "" || *targets != "":
+		violated, err := runReport(*opsAddr, *targets, *timeout, *out, logger)
 		if err != nil {
 			logger.Error("fatal", "error", err.Error())
 			os.Exit(1)
@@ -67,9 +69,85 @@ func main() {
 			os.Exit(3)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: pprox-audit -targets URL[,URL...] | pprox-audit -smoke [-out report.json]")
+		fmt.Fprintln(os.Stderr, "usage: pprox-audit -targets URL[,URL...] | pprox-audit -ops-addr HOST:PORT | pprox-audit -smoke [-out report.json]")
 		os.Exit(2)
 	}
+}
+
+// runReport prefers one aggregated /fleet scrape from pprox-ops — O(1)
+// instead of O(nodes) — and falls back to direct per-node scraping when
+// the collector is down but targets are listed.
+func runReport(opsAddr, targets string, timeout time.Duration, out string, logger *slog.Logger) (bool, error) {
+	if opsAddr != "" {
+		violated, err := runFleetScrape(opsAddr, timeout, out)
+		if err == nil {
+			return violated, nil
+		}
+		if strings.TrimSpace(targets) == "" {
+			return false, err
+		}
+		logger.Warn("pprox-ops unreachable; falling back to direct node scrapes", "error", err.Error())
+	}
+	return runScrape(strings.Split(targets, ","), timeout, out)
+}
+
+// runFleetScrape renders the operator report from the collector's fleet
+// view: per-node audit/perf verdicts with collector-side staleness — a
+// stale node's verdict is last-known, flagged as such, never silently
+// fresh.
+func runFleetScrape(opsAddr string, timeout time.Duration, out string) (violated bool, err error) {
+	httpClient := &http.Client{Timeout: timeout}
+	base := "http://" + strings.TrimPrefix(strings.TrimRight(opsAddr, "/"), "http://")
+	body, err := fetch(httpClient, base+telemetry.FleetPath)
+	if err != nil {
+		return false, err
+	}
+	var fleet telemetry.FleetReport
+	if err := json.Unmarshal(body, &fleet); err != nil {
+		return false, fmt.Errorf("decode %s: %w", telemetry.FleetPath, err)
+	}
+	if len(fleet.Nodes) == 0 {
+		return false, fmt.Errorf("%s%s: no nodes reporting", base, telemetry.FleetPath)
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "%s (via pprox-ops)\n", base)
+	fmt.Fprintf(w, "  fleet: %d fresh, %d stale   goodput %.1f rps   worst epoch ever: %d\n",
+		fleet.Fresh, fleet.Stale, fleet.Rollups.GoodputRPS, fleet.Rollups.WorstEpochBatch)
+	if fleet.Rollups.BuildSkew {
+		fmt.Fprintf(w, "  BUILD SKEW: %s\n", strings.Join(fleet.Rollups.BuildSHAs, ", "))
+	}
+	for _, n := range fleet.Nodes {
+		state := "fresh"
+		if n.Stale {
+			state = "STALE (last known state below)"
+		}
+		fmt.Fprintf(w, "  node %-8s %-5s %s  age %.1fs  epoch %d\n",
+			n.Node, n.Role, state, n.AgeSeconds, n.Epoch)
+		if n.AuditState != "" || n.PerfState != "" {
+			fmt.Fprintf(w, "    privacy SLO: %-9s  perf SLO: %s\n",
+				orUnset(n.AuditState), orUnset(n.PerfState))
+		}
+		if n.AuditState == audit.StateViolated.String() || n.PerfState == perfslo.StateViolated.String() {
+			violated = true
+		}
+	}
+	for stage, q := range fleet.Rollups.StageQuantiles {
+		fmt.Fprintf(w, "  stage %-14s p50 %.3gms  p99 %.3gms  (%d obs, fleet-merged)\n",
+			stage, q.P50*1000, q.P99*1000, q.Count)
+	}
+	if out != "" {
+		if err := writeJSON(out, fleet); err != nil {
+			return violated, err
+		}
+	}
+	return violated, nil
+}
+
+func orUnset(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 // nodeView is one scraped node: its privacy report, its perf report

@@ -81,7 +81,7 @@ func driveBatchTrial(batch bool, s, epochs int, faultDelay time.Duration) (batch
 		// for both hops (DESIGN.md §4h). Both variants run it so the
 		// off/on contrast still isolates the batching pipeline.
 		Hopwire: true,
-		PerfSLO:      &perfslo.Config{},
+		PerfSLO: &perfslo.Config{},
 		// See benchPerfThresholds: the default cluster objectives assume
 		// per-message ECALLs and would page on a healthy batched epoch.
 		PerfThresholds: benchPerfThresholds(),

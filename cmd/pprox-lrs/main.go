@@ -24,12 +24,16 @@ import (
 	"pprox/internal/lrs/engine"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
+	"pprox/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	trainEvery := flag.Duration("train-every", 30*time.Second, "periodic training interval (0 = manual via POST /train)")
 	snapshot := flag.String("snapshot", "", "event-log snapshot file: loaded at start-up if present, written at shutdown")
+	opsAddr := flag.String("ops-addr", "", "pprox-ops collector address, e.g. localhost:9090: stream periodic telemetry snapshots (off when empty)")
+	node := flag.String("node", "lrs", "node name reported to -ops-addr")
+	telemetryEvery := flag.Duration("telemetry-interval", 250*time.Millisecond, "telemetry snapshot cadence toward -ops-addr")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6061 (off when empty)")
 	faultSpec := flag.String("inject-fault", "", "fault injection rules, e.g. 'error:status=503:count=10' (chaos testing)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault-injection stream")
@@ -37,13 +41,46 @@ func main() {
 	flag.Parse()
 
 	logger := obslog.New(os.Stderr, "pprox-lrs", obslog.ParseLevel(*logLevel))
-	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed, logger); err != nil {
+	tele := telemetryOpts{opsAddr: *opsAddr, node: *node, interval: *telemetryEvery}
+	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed, tele, logger); err != nil {
 		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec string, faultSeed uint64, logger *slog.Logger) error {
+// telemetryOpts bundles the -ops-addr streaming flags.
+type telemetryOpts struct {
+	opsAddr  string
+	node     string
+	interval time.Duration
+}
+
+// newEmitter builds the binary's telemetry emitter toward -ops-addr, or
+// returns nil when streaming is off.
+func (t telemetryOpts) newEmitter(reg *metrics.Registry, role string, logger *slog.Logger) (*telemetry.Emitter, error) {
+	if t.opsAddr == "" {
+		return nil, nil
+	}
+	pusher, err := telemetry.NewClient(&net.Dialer{Timeout: 10 * time.Second}, t.opsAddr)
+	if err != nil {
+		return nil, err
+	}
+	em, err := telemetry.NewEmitter(telemetry.EmitterConfig{
+		Node:     t.node,
+		Role:     role,
+		Registry: reg,
+		Pusher:   pusher,
+		Interval: t.interval,
+		Logger:   logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("telemetry streaming", "ops", t.opsAddr, "node", t.node, "interval", t.interval.String())
+	return em, nil
+}
+
+func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec string, faultSeed uint64, tele telemetryOpts, logger *slog.Logger) error {
 	eng, err := loadOrNewEngine(snapshot, logger)
 	if err != nil {
 		return err
@@ -51,6 +88,7 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 	eng.SetLogger(logger)
 	reg := metrics.NewRegistry()
 	metrics.RegisterBuildInfo(reg)
+	metrics.RegisterRuntimeMetrics(reg)
 	instrument := eng.RegisterMetrics(reg, "lrs")
 	app := instrument(engine.NewHandler(eng))
 	if faultSpec != "" {
@@ -64,6 +102,11 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 		logger.Info("fault injection armed", "spec", faultSpec)
 	}
 	handler := metrics.Mux(reg, eng.Health, app)
+
+	emitter, err := tele.newEmitter(reg, "lrs", logger)
+	if err != nil {
+		return err
+	}
 
 	stopDebug := func() error { return nil }
 	if debugAddr != "" {
@@ -121,6 +164,12 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 	}
 	posts, queries, trains := eng.Stats()
 	logger.Info("shutting down", "posts", posts, "queries", queries, "trains", trains)
+	// Final telemetry snapshot leaves before the listener closes.
+	if emitter != nil {
+		if err := emitter.Close(); err != nil {
+			logger.Warn("final telemetry flush failed", "error", err.Error())
+		}
+	}
 	if err := stopDebug(); err != nil {
 		logger.Warn("debug server shutdown", "error", err.Error())
 	}

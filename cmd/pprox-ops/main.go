@@ -1,0 +1,352 @@
+// Command pprox-ops is the fleet telemetry collector: every PProx node
+// pushes one epoch-granular snapshot per shuffle epoch (over hopwire
+// frames, or HTTP POST /telemetry), and pprox-ops aggregates them into
+// a fleet view — cross-node per-stage latency quantiles, fleet goodput,
+// the worst-epoch anonymity watermark, the SLO/audit state matrix, and
+// build-SHA skew — served as JSON on GET /fleet.
+//
+// The collector sits OUTSIDE the trust boundary: a snapshot carries
+// only what the node's public /metrics endpoint already exposes, with
+// no wall-clock per-record timestamps and no request identity, so a
+// compromised collector learns nothing a /metrics scraper could not.
+//
+// Modes:
+//
+//	pprox-ops -listen :9090                 # serve /fleet + /telemetry
+//	pprox-ops top -addr localhost:9090      # live terminal fleet view
+//	pprox-ops -smoke -out fleet.json        # in-process cluster e2e
+//
+// Smoke mode boots the full in-process cluster with the telemetry
+// plane, runs a workload, asserts every node reports fresh with sane
+// rollups, kills one node, asserts the collector marks it stale, and
+// writes the final /fleet report to -out for artifact upload.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"pprox/internal/audit"
+	"pprox/internal/cluster"
+	"pprox/internal/hopwire"
+	"pprox/internal/metrics"
+	"pprox/internal/obslog"
+	"pprox/internal/perfslo"
+	"pprox/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pprox-ops top:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	listen := flag.String("listen", ":9090", "listen address")
+	retention := flag.Int("retention", telemetry.DefaultRetention, "snapshots retained per node")
+	staleAfter := flag.Duration("stale-after", 0, "fixed staleness threshold (0 = adaptive: two observed epoch gaps)")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6061 (off when empty)")
+	smoke := flag.Bool("smoke", false, "boot an in-process cluster with the telemetry plane and assert the fleet view tracks it")
+	out := flag.String("out", "", "smoke mode: write the final /fleet report (JSON) to this file")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	flag.Parse()
+
+	logger := obslog.New(os.Stderr, "pprox-ops", obslog.ParseLevel(*logLevel))
+	if *smoke {
+		if err := runSmoke(*out, logger); err != nil {
+			logger.Error("smoke test failed", "error", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("smoke test passed")
+		return
+	}
+	if err := runServe(*listen, *retention, *staleAfter, *debugAddr, logger); err != nil {
+		logger.Error("fatal", "error", err.Error())
+		os.Exit(1)
+	}
+}
+
+func runServe(listen string, retention int, staleAfter time.Duration, debugAddr string, logger *slog.Logger) error {
+	col := telemetry.NewCollector(telemetry.CollectorConfig{
+		Retention:  retention,
+		StaleAfter: staleAfter,
+		Logger:     logger,
+	})
+	reg := metrics.NewRegistry()
+	metrics.RegisterBuildInfo(reg)
+	metrics.RegisterRuntimeMetrics(reg)
+	col.RegisterMetrics(reg)
+	handler := metrics.MuxRoutes(reg, col.Health, col.Routes(), http.NotFoundHandler())
+
+	stopDebug := func() error { return nil }
+	if debugAddr != "" {
+		var err error
+		stopDebug, err = metrics.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+		logger.Info("pprof serving", "addr", debugAddr)
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	// Dual-protocol listener: nodes push FrameTelemetry frames on
+	// persistent connections; operators and frame-illiterate nodes use
+	// plain HTTP on the same port.
+	shutdown := hopwire.ServeHTTPAndFrames(l, handler)
+	logger.Info("serving", "listen", l.Addr().String())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Info("shutting down")
+	if err := stopDebug(); err != nil {
+		logger.Warn("debug server shutdown", "error", err.Error())
+	}
+	return shutdown()
+}
+
+// runTop renders a live terminal fleet view from a running collector.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:9090", "collector address")
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	httpClient := &http.Client{Timeout: 5 * time.Second}
+	for {
+		report, err := fetchFleet(httpClient, "http://"+strings.TrimPrefix(*addr, "http://"))
+		if err != nil {
+			return err
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderFleet(os.Stdout, report)
+		if *once {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetchFleet(httpClient *http.Client, base string) (telemetry.FleetReport, error) {
+	var report telemetry.FleetReport
+	resp, err := httpClient.Get(base + telemetry.FleetPath)
+	if err != nil {
+		return report, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return report, fmt.Errorf("%s: status %s", base+telemetry.FleetPath, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return report, err
+	}
+	return report, json.Unmarshal(body, &report)
+}
+
+// renderFleet prints the fleet view. Everything shown is epoch-granular;
+// ages are collector-local arrival staleness, not node clocks.
+func renderFleet(w io.Writer, r telemetry.FleetReport) {
+	skew := "none"
+	if r.Rollups.BuildSkew {
+		skew = strings.Join(r.Rollups.BuildSHAs, ",")
+	}
+	fmt.Fprintf(w, "fleet: %d fresh / %d stale   goodput %.1f rps   worst epoch batch %d   build skew: %s\n\n",
+		r.Fresh, r.Stale, r.Rollups.GoodputRPS, r.Rollups.WorstEpochBatch, skew)
+	fmt.Fprintf(w, "%-10s %-5s %-6s %7s %8s %8s %9s %-9s %-9s %s\n",
+		"NODE", "ROLE", "STATE", "AGE", "EPOCH", "SEQ", "RPS", "AUDIT", "PERF", "PUSHES(err)")
+	for _, n := range r.Nodes {
+		state := "fresh"
+		if n.Stale {
+			state = "STALE"
+		}
+		fmt.Fprintf(w, "%-10s %-5s %-6s %6.1fs %8d %8d %9.1f %-9s %-9s %d(%d)\n",
+			n.Node, n.Role, state, n.AgeSeconds, n.Epoch, n.Seq, n.GoodputRPS,
+			orDash(n.AuditState), orDash(n.PerfState), n.Transport.Pushes, n.Transport.Errors)
+	}
+	if len(r.Rollups.StageQuantiles) > 0 {
+		fmt.Fprintf(w, "\nmerged stage latency (ms):\n")
+		stages := make([]string, 0, len(r.Rollups.StageQuantiles))
+		for s := range r.Rollups.StageQuantiles {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			q := r.Rollups.StageQuantiles[s]
+			over := ""
+			if q.Overflow {
+				over = "  (beyond last bucket)"
+			}
+			fmt.Fprintf(w, "  %-14s p50 %8.3f  p90 %8.3f  p99 %8.3f  over %d obs%s\n",
+				s, q.P50*1000, q.P90*1000, q.P99*1000, q.Count, over)
+		}
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Smoke-mode shape: a full hopwire cluster with the telemetry plane,
+// driven through enough full batches that every node reports multiple
+// epochs, then one node killed to prove staleness detection.
+const (
+	smokeShuffle = 8
+	smokeBatches = 6
+)
+
+func runSmoke(out string, logger *slog.Logger) error {
+	spec := cluster.Spec{
+		ProxyEnabled:   true,
+		UA:             1,
+		IA:             1,
+		Encryption:     true,
+		ItemPseudonyms: true,
+		Shuffle:        smokeShuffle,
+		ShuffleTimeout: 100 * time.Millisecond,
+		UseStub:        true,
+		LRSFrontends:   1,
+		Hopwire:        true,
+		OpsAddr:        "ops-0",
+		Audit:          &audit.Config{},
+		PerfSLO:        &perfslo.Config{},
+		Logger:         logger,
+	}
+	d, err := cluster.Deploy(spec)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	cl := d.Client(10 * time.Second)
+	runBatches := func(batches int) {
+		var wg sync.WaitGroup
+		for b := 0; b < batches; b++ {
+			for i := 0; i < smokeShuffle; i++ {
+				u := fmt.Sprintf("smoke-user-%02d", i)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					defer cancel()
+					// Failures are tolerated: after the LRS kill below,
+					// requests still fill (and flush) the UA shuffler.
+					cl.Get(ctx, u)
+				}()
+			}
+			wg.Wait()
+		}
+	}
+
+	runBatches(smokeBatches)
+	// Let the last epoch leave on the flush timer and reach the collector.
+	time.Sleep(300 * time.Millisecond)
+
+	httpClient := d.HTTPClient(5 * time.Second)
+	report, err := fetchFleet(httpClient, "http://ops-0")
+	if err != nil {
+		return err
+	}
+	renderFleet(os.Stdout, report)
+
+	wantNodes := []string{"ia-0", "lrs-0", "ua-0"}
+	if len(report.Nodes) != len(wantNodes) {
+		return fmt.Errorf("fleet reports %d nodes, want %d", len(report.Nodes), len(wantNodes))
+	}
+	for i, n := range report.Nodes {
+		if n.Node != wantNodes[i] {
+			return fmt.Errorf("fleet node[%d] = %q, want %q", i, n.Node, wantNodes[i])
+		}
+		if n.Stale {
+			return fmt.Errorf("node %s stale while pushing", n.Node)
+		}
+		if n.Seq == 0 || n.Transport.Pushes == 0 {
+			return fmt.Errorf("node %s reported no pushes", n.Node)
+		}
+	}
+	if report.Rollups.GoodputRPS <= 0 {
+		return fmt.Errorf("fleet goodput %.1f rps, want > 0", report.Rollups.GoodputRPS)
+	}
+	if _, ok := report.Rollups.StageQuantiles["serve"]; !ok {
+		return fmt.Errorf("fleet rollup lacks merged serve-stage quantiles")
+	}
+	if w := report.Rollups.WorstEpochBatch; w <= 0 || w > smokeShuffle {
+		return fmt.Errorf("worst epoch batch %d, want within (0, %d]", w, smokeShuffle)
+	}
+	if report.Rollups.BuildSkew {
+		return fmt.Errorf("build skew flagged in a single-binary fleet: %v", report.Rollups.BuildSHAs)
+	}
+
+	// Kill the LRS front end: its feed must go silent and the collector
+	// must mark it stale while the proxies keep reporting.
+	if err := d.Kill("lrs-0"); err != nil {
+		return err
+	}
+	logger.Info("killed lrs-0")
+	runBatches(smokeBatches)
+	time.Sleep(500 * time.Millisecond)
+
+	report, err = fetchFleet(httpClient, "http://ops-0")
+	if err != nil {
+		return err
+	}
+	renderFleet(os.Stdout, report)
+	if out != "" {
+		if err := writeJSON(out, report); err != nil {
+			return err
+		}
+		logger.Info("fleet report written", "path", out)
+	}
+	var lrsStale bool
+	for _, n := range report.Nodes {
+		switch n.Node {
+		case "lrs-0":
+			lrsStale = n.Stale
+		case "ua-0", "ia-0":
+			if n.Stale {
+				return fmt.Errorf("node %s went stale while still pushing", n.Node)
+			}
+		}
+	}
+	if !lrsStale {
+		return fmt.Errorf("lrs-0 not marked stale after kill")
+	}
+	if report.Stale != 1 || report.Fresh != 2 {
+		return fmt.Errorf("fleet counts fresh=%d stale=%d, want 2/1", report.Fresh, report.Stale)
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -47,6 +47,7 @@ import (
 	"pprox/internal/proxy"
 	"pprox/internal/reccache"
 	"pprox/internal/resilience"
+	"pprox/internal/telemetry"
 	"pprox/internal/trace"
 	"pprox/internal/transport"
 )
@@ -67,6 +68,9 @@ type options struct {
 	noItemPseudo   bool
 	passthrough    bool
 	useEventloop   bool
+	opsAddr        string
+	node           string
+	telemetryEvery time.Duration
 	debugAddr      string
 	traceLog       string
 	logLevel       string
@@ -106,6 +110,9 @@ func main() {
 	flag.BoolVar(&o.noItemPseudo, "no-item-pseudonyms", false, "send item identifiers to the LRS in the clear (§6.3)")
 	flag.BoolVar(&o.passthrough, "passthrough", false, "forward without cryptography (baseline m1)")
 	flag.BoolVar(&o.useEventloop, "eventloop", false, "serve with the §5 acceptor+queue+worker-pool architecture instead of net/http")
+	flag.StringVar(&o.opsAddr, "ops-addr", "", "pprox-ops collector address, e.g. localhost:9090: stream one telemetry snapshot per shuffle epoch (off when empty)")
+	flag.StringVar(&o.node, "node", "", "node name reported to -ops-addr (default: the role)")
+	flag.DurationVar(&o.telemetryEvery, "telemetry-interval", 0, "telemetry heartbeat when no shuffle epochs fire (default: -shuffle-timeout, or 250ms)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "pprof listen address, e.g. localhost:6060 (off when empty)")
 	flag.StringVar(&o.traceLog, "trace-log", "", "append privacy-safe trace records (JSON lines) to this file")
 	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
@@ -251,6 +258,7 @@ func run(o options, logger *slog.Logger) error {
 	reg := metrics.NewRegistry()
 	layer.RegisterMetrics(reg, o.role)
 	metrics.RegisterBuildInfo(reg)
+	metrics.RegisterRuntimeMetrics(reg)
 	routes := make(map[string]http.Handler)
 	var auditor *audit.Auditor
 	if o.auditSLO {
@@ -304,7 +312,48 @@ func run(o options, logger *slog.Logger) error {
 		eval.RegisterMetrics(reg)
 		routes[perfslo.PerfPath] = eval.Handler()
 	}
-	if auditor != nil || eval != nil {
+	// Telemetry emitter toward pprox-ops: one snapshot per shuffle epoch,
+	// heartbeat-driven when idle. Created before the epoch observer so
+	// epochs reach it from the first flush.
+	var emitter *telemetry.Emitter
+	if o.opsAddr != "" {
+		pusher, err := telemetry.NewClient(&net.Dialer{Timeout: 10 * time.Second}, o.opsAddr)
+		if err != nil {
+			return err
+		}
+		node := o.node
+		if node == "" {
+			node = o.role
+		}
+		interval := o.telemetryEvery
+		if interval <= 0 {
+			interval = o.shuffleTimeout
+			if interval <= 0 {
+				interval = 250 * time.Millisecond
+			}
+		}
+		ecfg := telemetry.EmitterConfig{
+			Node:     node,
+			Role:     o.role,
+			Registry: reg,
+			Pusher:   pusher,
+			Interval: interval,
+			Logger:   logger.With("node", node),
+		}
+		if auditor != nil {
+			a := auditor
+			ecfg.AuditState = func() string { return a.State().String() }
+		}
+		if eval != nil {
+			ev := eval
+			ecfg.PerfState = func() string { return ev.State().String() }
+		}
+		if emitter, err = telemetry.NewEmitter(ecfg); err != nil {
+			return err
+		}
+		logger.Info("telemetry streaming", "ops", o.opsAddr, "node", node, "heartbeat", interval.String())
+	}
+	if auditor != nil || eval != nil || emitter != nil {
 		var fallbackEpoch atomic.Uint64
 		layer.SetEpochObserver(func(batch int) {
 			if auditor != nil {
@@ -318,6 +367,9 @@ func run(o options, logger *slog.Logger) error {
 					epoch = fallbackEpoch.Add(1) - 1
 				}
 				eval.Sample(o.role, epoch)
+			}
+			if emitter != nil {
+				emitter.ObserveEpoch(batch)
 			}
 		})
 	}
@@ -405,6 +457,15 @@ func run(o options, logger *slog.Logger) error {
 	retried, failFast := layer.RetryStats()
 	logger.Info("shutting down",
 		"served", served, "failed", failed, "retries", retried, "fail_fast", failFast)
+	// Drain order: the final telemetry snapshot flushes while this
+	// process's listener is still up (the collector is a separate
+	// process, but a shared shutdown sweep should see the last epoch's
+	// counters either way), then the listeners close.
+	if emitter != nil {
+		if err := emitter.Close(); err != nil {
+			logger.Warn("final telemetry flush failed", "error", err.Error())
+		}
+	}
 	if err := stopDebug(); err != nil {
 		logger.Warn("debug server shutdown", "error", err.Error())
 	}

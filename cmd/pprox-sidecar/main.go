@@ -74,6 +74,7 @@ func run(listen, target, bundlePath, tenant, debugAddr string, getRetries int, l
 
 	reg := metrics.NewRegistry()
 	metrics.RegisterBuildInfo(reg)
+	metrics.RegisterRuntimeMetrics(reg)
 	intercepted := reg.HistogramVec("pprox_sidecar_request_seconds",
 		"End-to-end latency of requests proxied through the sidecar.",
 		nil, "path")

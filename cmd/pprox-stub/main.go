@@ -27,6 +27,7 @@ import (
 	"pprox/internal/obslog"
 	"pprox/internal/proxy"
 	"pprox/internal/stub"
+	"pprox/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	items := flag.Int("items", 20, "static recommendation list size")
 	delay := flag.Duration("delay", 0, "artificial service time per request")
 	keysPath := flag.String("pseudonymize-with", "", "key file; serve items pseudonymized under the IA permanent key")
+	opsAddr := flag.String("ops-addr", "", "pprox-ops collector address, e.g. localhost:9090: stream periodic telemetry snapshots (off when empty)")
+	node := flag.String("node", "stub", "node name reported to -ops-addr")
+	telemetryEvery := flag.Duration("telemetry-interval", 250*time.Millisecond, "telemetry snapshot cadence toward -ops-addr")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (off when empty)")
 	faultSpec := flag.String("inject-fault", "", "fault injection rules, e.g. 'drop:count=5,latency:delay=20ms' (chaos testing)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault-injection stream")
@@ -41,13 +45,21 @@ func main() {
 	flag.Parse()
 
 	logger := obslog.New(os.Stderr, "pprox-stub", obslog.ParseLevel(*logLevel))
-	if err := run(*listen, *items, *delay, *keysPath, *debugAddr, *faultSpec, *faultSeed, logger); err != nil {
+	tele := telemetryOpts{opsAddr: *opsAddr, node: *node, interval: *telemetryEvery}
+	if err := run(*listen, *items, *delay, *keysPath, *debugAddr, *faultSpec, *faultSeed, tele, logger); err != nil {
 		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(listen string, items int, delay time.Duration, keysPath, debugAddr, faultSpec string, faultSeed uint64, logger *slog.Logger) error {
+// telemetryOpts bundles the -ops-addr streaming flags.
+type telemetryOpts struct {
+	opsAddr  string
+	node     string
+	interval time.Duration
+}
+
+func run(listen string, items int, delay time.Duration, keysPath, debugAddr, faultSpec string, faultSeed uint64, tele telemetryOpts, logger *slog.Logger) error {
 	var s *stub.Server
 	var err error
 	if keysPath != "" {
@@ -78,6 +90,7 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr, fau
 
 	reg := metrics.NewRegistry()
 	metrics.RegisterBuildInfo(reg)
+	metrics.RegisterRuntimeMetrics(reg)
 	s.RegisterMetrics(reg, "stub")
 	var app http.Handler = s
 	if faultSpec != "" {
@@ -91,6 +104,25 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr, fau
 		logger.Info("fault injection armed", "spec", faultSpec)
 	}
 	handler := metrics.Mux(reg, s.Health, app)
+
+	var emitter *telemetry.Emitter
+	if tele.opsAddr != "" {
+		pusher, err := telemetry.NewClient(&net.Dialer{Timeout: 10 * time.Second}, tele.opsAddr)
+		if err != nil {
+			return err
+		}
+		if emitter, err = telemetry.NewEmitter(telemetry.EmitterConfig{
+			Node:     tele.node,
+			Role:     "stub",
+			Registry: reg,
+			Pusher:   pusher,
+			Interval: tele.interval,
+			Logger:   logger,
+		}); err != nil {
+			return err
+		}
+		logger.Info("telemetry streaming", "ops", tele.opsAddr, "node", tele.node, "interval", tele.interval.String())
+	}
 
 	stopDebug := func() error { return nil }
 	if debugAddr != "" {
@@ -116,6 +148,12 @@ func run(listen string, items int, delay time.Duration, keysPath, debugAddr, fau
 	<-sig
 	posts, gets := s.Counts()
 	logger.Info("shutting down", "posts", posts, "gets", gets)
+	// Final telemetry snapshot leaves before the listener closes.
+	if emitter != nil {
+		if err := emitter.Close(); err != nil {
+			logger.Warn("final telemetry flush failed", "error", err.Error())
+		}
+	}
 	if err := stopDebug(); err != nil {
 		logger.Warn("debug server shutdown", "error", err.Error())
 	}

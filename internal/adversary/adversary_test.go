@@ -89,7 +89,7 @@ func newTappedStackWithCache(t *testing.T, shuffleSize int, cache *reccache.Cach
 	httpClient := transport.HTTPClient(st.net, 30*time.Second)
 	ia, err := proxy.New(proxy.Config{
 		Role: proxy.RoleIA, Enclave: st.iaEncl, Next: "http://lrs",
-		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 200 * time.Millisecond,
+		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 2 * time.Second,
 		RecCache: cache,
 	})
 	if err != nil {
@@ -100,7 +100,7 @@ func newTappedStackWithCache(t *testing.T, shuffleSize int, cache *reccache.Cach
 
 	ua, err := proxy.New(proxy.Config{
 		Role: proxy.RoleUA, Enclave: st.uaEncl, Next: "http://ia",
-		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 200 * time.Millisecond,
+		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 2 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -51,7 +51,10 @@ func runSchedule(t *testing.T, st *tappedStack, schedule []int) (users []string,
 func TestAuditorFlagsExactlyTheLinkableEpochs(t *testing.T) {
 	const s = 8
 	// Two singleton epochs in a stream of full ones — released by the
-	// 200ms flush timer, each is perfectly linkable.
+	// flush timer, each is perfectly linkable. The stack's timeout is
+	// long enough that full batches always flush on occupancy, even
+	// under race-detector slowdown: a timer split would fabricate
+	// phantom epochs and break every schedule-aligned assertion here.
 	schedule := []int{s, s, 1, s, 1, s}
 	st := newTappedStack(t, s)
 	aud := audit.New(audit.Config{TargetS: s})

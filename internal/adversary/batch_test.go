@@ -68,7 +68,7 @@ func newBatchTappedStack(t *testing.T, shuffleSize int, wrapIA func(http.Handler
 	httpClient := transport.HTTPClient(st.net, 30*time.Second)
 	ia, err := proxy.New(proxy.Config{
 		Role: proxy.RoleIA, Enclave: st.iaEncl, Next: "http://lrs",
-		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 200 * time.Millisecond,
+		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 2 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func newBatchTappedStack(t *testing.T, shuffleSize int, wrapIA func(http.Handler
 
 	ua, err := proxy.New(proxy.Config{
 		Role: proxy.RoleUA, Enclave: st.uaEncl, Next: "http://ia",
-		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 200 * time.Millisecond,
+		HTTPClient: httpClient, ShuffleSize: shuffleSize, ShuffleTimeout: 2 * time.Second,
 		Batch: true,
 	})
 	if err != nil {

@@ -120,7 +120,7 @@ func TestHopwireFramesCloseSizeChannel(t *testing.T) {
 	httpClient := transport.HTTPClient(net2, 30*time.Second)
 	ia, err := proxy.New(proxy.Config{
 		Role: proxy.RoleIA, Enclave: iaEncl, Next: "http://lrs",
-		HTTPClient: httpClient, ShuffleSize: s, ShuffleTimeout: 200 * time.Millisecond,
+		HTTPClient: httpClient, ShuffleSize: s, ShuffleTimeout: 2 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +138,7 @@ func TestHopwireFramesCloseSizeChannel(t *testing.T) {
 	tapped := &recordingDialer{Dialer: net2, target: "ia"}
 	ua, err := proxy.New(proxy.Config{
 		Role: proxy.RoleUA, Enclave: uaEncl, Next: "http://ia",
-		HTTPClient: httpClient, ShuffleSize: s, ShuffleTimeout: 200 * time.Millisecond,
+		HTTPClient: httpClient, ShuffleSize: s, ShuffleTimeout: 2 * time.Second,
 		Batch: true, Hopwire: true, HopDialer: tapped,
 	})
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"pprox/internal/reccache"
 	"pprox/internal/resilience"
 	"pprox/internal/stub"
+	"pprox/internal/telemetry"
 	"pprox/internal/trace"
 	"pprox/internal/transport"
 )
@@ -117,6 +118,20 @@ type Spec struct {
 	// PerfThresholds overrides the derived per-stage latency thresholds,
 	// in seconds, keyed by stage label (proxy.StageServe etc.).
 	PerfThresholds map[string]float64
+	// OpsAddr deploys the fleet telemetry plane: a collector node
+	// (cmd/pprox-ops equivalent) served at this in-memory address, plus
+	// one telemetry emitter per node streaming epoch-granular snapshots
+	// to it — over hopwire frames when Spec.Hopwire is set, HTTP
+	// otherwise (the emitters' frame probe latches the fallback). The
+	// collector gets its OWN registry: it models an operator service
+	// outside the trust boundary, so it must not share the deployment's.
+	// Empty disables telemetry.
+	OpsAddr string
+	// TelemetryInterval is every emitter's heartbeat: the slowest a node
+	// pushes snapshots when no shuffle epochs fire (idle proxies, LRS
+	// front ends). Default: ShuffleTimeout, or 250ms when that is unset
+	// too.
+	TelemetryInterval time.Duration
 	// ProfileDir arms triggered profile capture: on a performance-SLO
 	// warn/violated transition the deployment snapshots CPU + heap +
 	// goroutine profiles into this bounded on-disk ring. Requires
@@ -194,6 +209,13 @@ type Deployment struct {
 	// RecCaches are the per-IA-instance recommendation caches, indexed
 	// like IALayers (nil without Spec.Cache).
 	RecCaches []*reccache.Cache
+	// Ops is the fleet telemetry collector (nil unless Spec.OpsAddr).
+	// It serves /fleet and /telemetry at Spec.OpsAddr.
+	Ops *telemetry.Collector
+	// OpsMetrics is the collector node's own registry, separate from the
+	// deployment registry because the collector sits outside the trust
+	// boundary.
+	OpsMetrics *metrics.Registry
 
 	spec Spec
 	// nodes tracks every served node by address so chaos tests can kill
@@ -207,6 +229,11 @@ type Deployment struct {
 // place for crash/recovery experiments.
 type runningNode struct {
 	handler http.Handler
+	// emitter is the node's telemetry emitter (nil without Spec.OpsAddr
+	// or on the ops node itself). Kill pauses it — the in-process
+	// handler survives a "crash", so without the pause a killed node
+	// would keep reporting and never go stale at the collector.
+	emitter *telemetry.Emitter
 
 	mu       sync.Mutex
 	shutdown func() error // nil while killed
@@ -240,11 +267,31 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		d.Balancer.SetBreakerPolicy(pol.BreakerThreshold, pol.BreakerCooldown)
 	}
 	d.Balancer.RegisterMetrics(d.Metrics)
+	metrics.RegisterRuntimeMetrics(d.Metrics)
+	// Capture the deployment for cleanup: error paths `return nil, err`,
+	// which nils the named return before the defer runs.
+	built := d
 	defer func() {
 		if err != nil {
-			d.Close()
+			built.Close()
 		}
 	}()
+
+	// Fleet telemetry collector, brought up FIRST so it is torn down
+	// LAST (Close kills in reverse bring-up order): every other node's
+	// final snapshot flush still finds it listening.
+	if spec.OpsAddr != "" {
+		d.Ops = telemetry.NewCollector(telemetry.CollectorConfig{Logger: spec.Logger})
+		d.OpsMetrics = metrics.NewRegistry()
+		metrics.RegisterBuildInfo(d.OpsMetrics)
+		metrics.RegisterRuntimeMetrics(d.OpsMetrics)
+		d.Ops.RegisterMetrics(d.OpsMetrics)
+		ops := d.Ops
+		h := metrics.MuxRoutes(d.OpsMetrics, ops.Health, ops.Routes(), http.NotFoundHandler())
+		if err := d.serve(spec.OpsAddr, h); err != nil {
+			return nil, err
+		}
+	}
 
 	// Key material and enclaves (encryption mode only).
 	var as *enclave.AttestationService
@@ -451,6 +498,19 @@ func (d *Deployment) deployLRS(spec Spec) error {
 		if err := d.serve(addr, handler); err != nil {
 			return err
 		}
+		// LRS front ends observe no shuffle epochs; their emitters are
+		// purely heartbeat-driven.
+		if d.Ops != nil {
+			role := "lrs"
+			if spec.UseStub {
+				role = "stub"
+			}
+			em, err := d.newEmitter(addr, role, nil, nil, d.telemetryInterval())
+			if err != nil {
+				return err
+			}
+			d.nodes[addr].emitter = em
+		}
 	}
 	d.Balancer.Register("lrs", backends...)
 	return nil
@@ -486,7 +546,33 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 	if d.PerfSLO != nil {
 		d.addPerfObjectives(addr, layer, spec)
 	}
-	if d.Auditor != nil || d.PerfSLO != nil {
+	// Telemetry emitter: shuffle epochs kick immediate flushes, and the
+	// heartbeat interval keeps an idle node pushing so the collector can
+	// tell idle from dead. The audit/perf verdict closures read the
+	// deployment-wide engines; the snapshot still carries only their
+	// state strings.
+	var em *telemetry.Emitter
+	if d.Ops != nil {
+		interval := d.telemetryInterval()
+		var auditState, perfState func() string
+		if d.Auditor != nil {
+			a := d.Auditor
+			auditState = func() string { return a.State().String() }
+		}
+		if d.PerfSLO != nil {
+			eval := d.PerfSLO
+			perfState = func() string { return eval.State().String() }
+		}
+		role := "ia"
+		if strings.HasPrefix(addr, "ua-") {
+			role = "ua"
+		}
+		var err error
+		if em, err = d.newEmitter(addr, role, auditState, perfState, interval); err != nil {
+			return err
+		}
+	}
+	if d.Auditor != nil || d.PerfSLO != nil || em != nil {
 		a, eval, node := d.Auditor, d.PerfSLO, addr
 		// The tracer is already installed, so its epoch — read BEFORE
 		// the flush hook advances it — is exactly the epoch number the
@@ -494,6 +580,7 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 		// to a real per-epoch trace.
 		tr := layer.Tracer()
 		var fallbackEpoch atomic.Uint64
+		emitter := em
 		layer.SetEpochObserver(func(batch int) {
 			if a != nil {
 				a.ObserveEpoch(node, batch)
@@ -507,9 +594,64 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 				}
 				eval.Sample(node, epoch)
 			}
+			// The emitter goes last so its snapshot sees the epoch's
+			// audit and perf samples already applied.
+			if emitter != nil {
+				emitter.ObserveEpoch(batch)
+			}
 		})
 	}
-	return d.serve(addr, metrics.MuxRoutes(d.Metrics, layer.Health, d.opRoutes(), layer))
+	if err := d.serve(addr, metrics.MuxRoutes(d.Metrics, layer.Health, d.opRoutes(), layer)); err != nil {
+		if em != nil {
+			em.Close()
+		}
+		return err
+	}
+	d.nodes[addr].emitter = em
+	return nil
+}
+
+// telemetryInterval is the emitters' heartbeat cadence.
+func (d *Deployment) telemetryInterval() time.Duration {
+	if d.spec.TelemetryInterval > 0 {
+		return d.spec.TelemetryInterval
+	}
+	if d.spec.ShuffleTimeout > 0 {
+		return d.spec.ShuffleTimeout
+	}
+	return 250 * time.Millisecond
+}
+
+// newEmitter builds one node's telemetry emitter, scoped to the node's
+// own series: the deployment shares one registry, so the filter keeps
+// series that either carry this node's `node` label or carry none
+// (deployment-global families like build info and audit aggregates).
+func (d *Deployment) newEmitter(addr, role string, auditState, perfState func() string, interval time.Duration) (*telemetry.Emitter, error) {
+	pusher, err := telemetry.NewClient(d.Net, d.spec.OpsAddr)
+	if err != nil {
+		return nil, err
+	}
+	return telemetry.NewEmitter(telemetry.EmitterConfig{
+		Node:       addr,
+		Role:       role,
+		Registry:   d.Metrics,
+		Filter:     nodeSeriesFilter(addr),
+		AuditState: auditState,
+		PerfState:  perfState,
+		Pusher:     pusher,
+		Interval:   interval,
+		Logger:     d.spec.Logger,
+	})
+}
+
+// nodeSeriesFilter keeps a shared-registry series when it belongs to the
+// given node or to no node in particular.
+func nodeSeriesFilter(addr string) func(string) bool {
+	return func(series string) bool {
+		_, labels := metrics.ParseSeries(series)
+		n, ok := labels["node"]
+		return !ok || n == addr
+	}
 }
 
 // addPerfObjectives installs one layer instance's latency objectives on
@@ -676,6 +818,11 @@ func (d *Deployment) Kill(addr string) error {
 	}
 	shutdown := n.shutdown
 	n.shutdown = nil
+	// The process "died": silence its telemetry so the collector sees it
+	// go stale, exactly as after a real crash.
+	if n.emitter != nil {
+		n.emitter.Pause()
+	}
 	return shutdown()
 }
 
@@ -697,6 +844,9 @@ func (d *Deployment) Restart(addr string) error {
 		return err
 	}
 	n.shutdown = d.serveListener(l, n.handler)
+	if n.emitter != nil {
+		n.emitter.Resume()
+	}
 	return nil
 }
 
@@ -720,6 +870,13 @@ func (d *Deployment) Client(timeout time.Duration) *client.Client {
 // in-flight profile capture.
 func (d *Deployment) Close() error {
 	d.Profiles.Wait()
+	// Emitters close first — their final snapshot flush needs the ops
+	// node still listening (it is killed last, being served first).
+	for _, addr := range d.order {
+		if n := d.nodes[addr]; n != nil && n.emitter != nil {
+			n.emitter.Close()
+		}
+	}
 	var firstErr error
 	for i := len(d.order) - 1; i >= 0; i-- {
 		if err := d.Kill(d.order[i]); err != nil && firstErr == nil {

@@ -136,7 +136,7 @@ func (c *Client) RoundTrip(ctx context.Context, path string, body []byte) (int, 
 	}
 	var frame []byte
 	var epoch uint64
-	single := false
+	var reqKind byte
 	switch path {
 	case message.BatchPath:
 		if !message.IsFrame(body) {
@@ -149,14 +149,26 @@ func (c *Client) RoundTrip(ctx context.Context, path string, body []byte) (int, 
 			return 0, nil, err
 		}
 		epoch = h.Epoch
+		reqKind = message.FrameBatch
 		frame = body
 	case message.EventsPath, message.QueriesPath:
 		kind, _ := message.PathBatchKind(path)
 		epoch = c.seq.Add(1)
-		single = true
+		reqKind = message.FrameSingle
 		var err error
 		frame, err = message.AppendBatchFrame(nil, message.FrameSingle, epoch,
 			[]message.BatchEntry{{ID: 0, Kind: kind, Body: body}})
+		if err != nil {
+			return 0, nil, err
+		}
+	case message.TelemetryPath:
+		// One snapshot per slot; the frame kind itself is the route, so
+		// the entry carries no per-message kind tag.
+		epoch = c.seq.Add(1)
+		reqKind = message.FrameTelemetry
+		var err error
+		frame, err = message.AppendBatchFrame(nil, message.FrameTelemetry, epoch,
+			[]message.BatchEntry{{ID: 0, Body: body}})
 		if err != nil {
 			return 0, nil, err
 		}
@@ -180,7 +192,7 @@ func (c *Client) RoundTrip(ctx context.Context, path string, body []byte) (int, 
 		if err != nil {
 			return 0, nil, err
 		}
-		status, resp, gotBytes, err := c.exchange(ctx, pc, frame, epoch, single)
+		status, resp, gotBytes, err := c.exchange(ctx, pc, frame, epoch, reqKind)
 		if err == nil {
 			c.exchanges.Add(1)
 			return status, resp, nil
@@ -287,8 +299,10 @@ func (c *Client) putConn(pc *poolConn) {
 // exchange writes one frame and reads one response frame. gotBytes
 // reports whether any response bytes arrived — the retry-safety signal.
 // On success the connection returns to the pool; on any error it is
-// closed (a half-finished exchange can never be reused).
-func (c *Client) exchange(ctx context.Context, pc *poolConn, frame []byte, epoch uint64, single bool) (status int, resp []byte, gotBytes bool, err error) {
+// closed (a half-finished exchange can never be reused). reqKind is the
+// request frame's kind: the response must answer in the same kind (or an
+// error frame), anything else is a desynced stream.
+func (c *Client) exchange(ctx context.Context, pc *poolConn, frame []byte, epoch uint64, reqKind byte) (status int, resp []byte, gotBytes bool, err error) {
 	defer func() {
 		if err != nil {
 			pc.Close()
@@ -343,14 +357,14 @@ func (c *Client) exchange(ctx context.Context, pc *poolConn, frame []byte, epoch
 		c.putConn(pc)
 		return st, []byte(text), true, nil
 	case message.FrameBatch:
-		if single {
-			return 0, nil, true, fmt.Errorf("hopwire: batch response to a single frame")
+		if reqKind != message.FrameBatch {
+			return 0, nil, true, fmt.Errorf("hopwire: batch response to a kind-%d frame", reqKind)
 		}
 		c.putConn(pc)
 		return http.StatusOK, full, true, nil
-	case message.FrameSingle:
-		if !single {
-			return 0, nil, true, fmt.Errorf("hopwire: single response to a batch frame")
+	case message.FrameSingle, message.FrameTelemetry:
+		if h.Kind != reqKind {
+			return 0, nil, true, fmt.Errorf("hopwire: kind-%d response to a kind-%d frame", h.Kind, reqKind)
 		}
 		_, entries, derr := message.DecodeBatchFrame(full)
 		if derr != nil {

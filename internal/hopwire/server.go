@@ -16,7 +16,8 @@ import (
 
 // Server serves frame connections by bridging each frame into the node's
 // existing HTTP stack: a batch frame becomes an in-memory POST /batch, a
-// single frame a POST to its entry's per-message path. The bridge keeps
+// single frame a POST to its entry's per-message path, a telemetry frame
+// a POST /telemetry at the fleet collector. The bridge keeps
 // every middleware the node already stacks — fault injection, metrics,
 // audit routes — on the frame path for free, and guarantees that frames
 // and HTTP expose the same behaviour at every node.
@@ -137,18 +138,23 @@ func (s *Server) dispatch(h message.FrameHeader, frame []byte, remote string) []
 			return body
 		}
 		return message.AppendErrorFrame(nil, h.Epoch, status, errText(body))
-	case message.FrameSingle:
+	case message.FrameSingle, message.FrameTelemetry:
 		_, entries, err := message.DecodeBatchFrame(frame)
 		if err != nil {
 			return message.AppendErrorFrame(nil, h.Epoch, http.StatusBadRequest, "bad frame")
 		}
 		e := entries[0]
-		path, ok := message.BatchKindPath(e.Kind)
-		if !ok {
-			return message.AppendErrorFrame(nil, h.Epoch, http.StatusBadRequest, "bad entry kind")
+		// A telemetry frame's kind IS its route; a single frame's entry
+		// carries the per-message path it stands for.
+		path := message.TelemetryPath
+		if h.Kind == message.FrameSingle {
+			var ok bool
+			if path, ok = message.BatchKindPath(e.Kind); !ok {
+				return message.AppendErrorFrame(nil, h.Epoch, http.StatusBadRequest, "bad entry kind")
+			}
 		}
 		status, body := s.bridge(path, e.Body, remote)
-		resp, err := message.AppendBatchFrame(nil, message.FrameSingle, h.Epoch,
+		resp, err := message.AppendBatchFrame(nil, h.Kind, h.Epoch,
 			[]message.BatchEntry{{ID: e.ID, Status: status, Body: body}})
 		if err != nil {
 			return message.AppendErrorFrame(nil, h.Epoch, http.StatusInternalServerError, "encode response")

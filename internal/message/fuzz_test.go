@@ -65,6 +65,15 @@ func FuzzDecodeBatchFrame(f *testing.F) {
 	f.Add(good[:FrameHeaderSize])
 	f.Add(good[:len(good)-1])
 	f.Add(AppendErrorFrame(nil, 1, 503, "down"))
+	// Telemetry frames ride the same decoder: seed a well-formed one, a
+	// truncated one, and a kind-byte forgery of the batch seed.
+	tele, _ := AppendBatchFrame(nil, FrameTelemetry, 3,
+		[]BatchEntry{{ID: 0, Kind: BatchKindPost, Body: []byte(`{"node":"ua-0","seq":1}`)}})
+	f.Add(tele)
+	f.Add(tele[:len(tele)-2])
+	forged := append([]byte(nil), good...)
+	forged[5] = FrameTelemetry
+	f.Add(forged)
 	f.Add([]byte("PPXB"))
 	f.Add([]byte(`{"v":1,"entries":[{"id":0}]}`))
 	f.Add([]byte{})

@@ -35,6 +35,11 @@ const (
 	// serves it: the IA demultiplexes and speaks the legacy per-message
 	// API downstream.
 	BatchPath = "/batch"
+	// TelemetryPath accepts one epoch-granular node snapshot
+	// (internal/telemetry) at the fleet collector. Frame speakers carry
+	// the same body as a FrameTelemetry frame; frame-illiterate nodes
+	// POST it here directly.
+	TelemetryPath = "/telemetry"
 )
 
 // BatchVersion is the batch-envelope wire version. A receiver rejects

@@ -1,0 +1,453 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pprox/internal/message"
+	"pprox/internal/metrics"
+)
+
+const (
+	// DefaultRetention is snapshots kept per node.
+	DefaultRetention = 16
+	// maxSnapshotBody bounds one ingested snapshot.
+	maxSnapshotBody = 4 << 20
+	// minEpochGap floors the adaptive staleness estimate so a node
+	// flushing every few milliseconds under load is not declared dead
+	// the instant traffic pauses.
+	minEpochGap = 100 * time.Millisecond
+)
+
+// CollectorConfig tunes a Collector. The zero value works.
+type CollectorConfig struct {
+	// Retention is snapshots kept per node (default DefaultRetention).
+	Retention int
+	// StaleAfter, when positive, is a fixed silence threshold. Zero
+	// selects the adaptive rule: a node is stale once silent for two of
+	// its own observed epoch gaps (EWMA, floored at minEpochGap) — the
+	// "stale within two epochs" contract.
+	StaleAfter time.Duration
+	// Now substitutes the clock (tests); nil means time.Now.
+	Now    func() time.Time
+	Logger *slog.Logger
+}
+
+// Collector ingests node snapshots and aggregates the fleet view. It is
+// deliberately passive: nodes push, the collector never scrapes, so it
+// needs no credentials and can sit outside the trust boundary.
+type Collector struct {
+	cfg CollectorConfig
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+
+	received atomic.Uint64
+	rejected atomic.Uint64
+	resets   atomic.Uint64
+}
+
+// nodeState is one node's retained history.
+type nodeState struct {
+	snaps []Snapshot  // oldest first, len ≤ Retention
+	times []time.Time // collector-local arrival times, aligned with snaps
+	gap   time.Duration
+	last  time.Time
+}
+
+// NewCollector builds a collector.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.Retention <= 0 {
+		cfg.Retention = DefaultRetention
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Collector{cfg: cfg, nodes: make(map[string]*nodeState)}
+}
+
+// Ingest records one snapshot.
+func (c *Collector) Ingest(snap Snapshot) error {
+	if snap.Node == "" {
+		c.rejected.Add(1)
+		return errors.New("telemetry: snapshot without node name")
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns := c.nodes[snap.Node]
+	if ns == nil {
+		ns = &nodeState{}
+		c.nodes[snap.Node] = ns
+	} else if n := len(ns.snaps); n > 0 && snap.Seq <= ns.snaps[n-1].Seq {
+		// A sequence number at or below the high-water mark means a
+		// restarted emitter: the previous incarnation's history no
+		// longer describes this process. Re-registration also clears
+		// staleness implicitly — freshness keys off the new arrival.
+		*ns = nodeState{}
+		c.resets.Add(1)
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Info("telemetry node re-registered", "node", snap.Node)
+		}
+	}
+	if !ns.last.IsZero() {
+		d := now.Sub(ns.last)
+		if ns.gap == 0 {
+			ns.gap = d
+		} else {
+			ns.gap = (3*ns.gap + d) / 4
+		}
+	}
+	ns.last = now
+	ns.snaps = append(ns.snaps, snap)
+	ns.times = append(ns.times, now)
+	if len(ns.snaps) > c.cfg.Retention {
+		over := len(ns.snaps) - c.cfg.Retention
+		ns.snaps = append(ns.snaps[:0], ns.snaps[over:]...)
+		ns.times = append(ns.times[:0], ns.times[over:]...)
+	}
+	c.received.Add(1)
+	return nil
+}
+
+// staleThreshold is the silence duration after which a node is stale:
+// two of its own epoch gaps, floored at its declared heartbeat cadence
+// (so an idle node waiting out its heartbeat never flaps) and at
+// minEpochGap (so a node that was flushing every few milliseconds under
+// load is not declared dead the instant traffic pauses).
+func (c *Collector) staleThreshold(ns *nodeState) time.Duration {
+	if c.cfg.StaleAfter > 0 {
+		return c.cfg.StaleAfter
+	}
+	g := ns.gap
+	if n := len(ns.snaps); n > 0 {
+		if hb := time.Duration(ns.snaps[n-1].IntervalSeconds * float64(time.Second)); g < hb {
+			g = hb
+		}
+	}
+	if g < minEpochGap {
+		g = minEpochGap
+	}
+	return 2 * g
+}
+
+// FleetReport is the aggregated fleet view served on /fleet.
+type FleetReport struct {
+	Nodes []NodeStatus `json:"nodes"`
+	Fresh int          `json:"fresh"`
+	Stale int          `json:"stale"`
+	// Rollups aggregates fresh nodes only: a silent node's last-known
+	// counters would otherwise skew fleet rates indefinitely.
+	Rollups Rollups `json:"rollups"`
+}
+
+// NodeStatus is one node's latest state plus collector-side freshness.
+type NodeStatus struct {
+	Node       string            `json:"node"`
+	Role       string            `json:"role,omitempty"`
+	Build      metrics.BuildInfo `json:"build"`
+	Seq        uint64            `json:"seq"`
+	Epoch      uint64            `json:"epoch"`
+	LastBatch  int               `json:"last_batch,omitempty"`
+	Snapshots  int               `json:"snapshots"`
+	Stale      bool              `json:"stale"`
+	AgeSeconds float64           `json:"age_seconds"`
+	AuditState string            `json:"audit_state,omitempty"`
+	PerfState  string            `json:"perf_state,omitempty"`
+	GoodputRPS float64           `json:"goodput_rps"`
+	Transport  TransportStats    `json:"transport"`
+}
+
+// NodeStates is one node's row in the SLO/audit state matrix.
+type NodeStates struct {
+	Audit string `json:"audit,omitempty"`
+	Perf  string `json:"perf,omitempty"`
+}
+
+// Rollups are the cross-node aggregates.
+type Rollups struct {
+	// GoodputRPS sums entry-point (UA-role) node goodput; when no UA
+	// nodes report, it sums every fresh node.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// StageQuantiles merges the per-stage latency histograms of every
+	// fresh node.
+	StageQuantiles map[string]StageQuantile `json:"stage_quantiles,omitempty"`
+	// WorstEpochBatch is the smallest shuffle flush (anonymity set)
+	// reported anywhere in retained history; 0 means unknown.
+	WorstEpochBatch int `json:"worst_epoch_batch"`
+	// States is the per-node SLO/audit verdict matrix.
+	States map[string]NodeStates `json:"states,omitempty"`
+	// BuildSHAs lists distinct git SHAs across fresh nodes; BuildSkew
+	// flags a mixed-version fleet.
+	BuildSHAs []string `json:"build_shas,omitempty"`
+	BuildSkew bool     `json:"build_skew"`
+}
+
+// StageQuantile is a merged per-stage latency summary.
+type StageQuantile struct {
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Count uint64  `json:"count"`
+	// Overflow flags quantiles clamped because the mass sits beyond
+	// the last finite bucket bound.
+	Overflow bool `json:"overflow,omitempty"`
+}
+
+// servedFamilies are the request-serving counters goodput is read from.
+var servedFamilies = map[string]bool{
+	"pprox_proxy_requests_served_total": true,
+	"pprox_lrs_posts_total":             true,
+	"pprox_lrs_queries_total":           true,
+	"pprox_stub_gets_total":             true,
+	"pprox_stub_posts_total":            true,
+}
+
+// Fleet computes the current fleet report. Staleness is evaluated at
+// read time against the collector's own clock.
+func (c *Collector) Fleet() FleetReport {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	report := FleetReport{
+		Rollups: Rollups{
+			States: make(map[string]NodeStates),
+		},
+	}
+	var freshSeries []map[string]float64
+	shas := make(map[string]bool)
+	var uaGoodput, allGoodput float64
+	haveUA := false
+
+	names := make([]string, 0, len(c.nodes))
+	for name := range c.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		ns := c.nodes[name]
+		if len(ns.snaps) == 0 {
+			continue
+		}
+		latest := ns.snaps[len(ns.snaps)-1]
+		age := now.Sub(ns.last)
+		st := NodeStatus{
+			Node:       latest.Node,
+			Role:       latest.Role,
+			Build:      latest.Build,
+			Seq:        latest.Seq,
+			Epoch:      latest.Epoch,
+			LastBatch:  latest.LastBatch,
+			Snapshots:  len(ns.snaps),
+			Stale:      age > c.staleThreshold(ns),
+			AgeSeconds: math.Round(age.Seconds()*10) / 10,
+			AuditState: latest.AuditState,
+			PerfState:  latest.PerfState,
+			GoodputRPS: nodeGoodput(ns),
+			Transport:  latest.Transport,
+		}
+		report.Nodes = append(report.Nodes, st)
+		if st.Stale {
+			report.Stale++
+			continue
+		}
+		report.Fresh++
+		freshSeries = append(freshSeries, latest.Series)
+		shas[latest.Build.GitSHA] = true
+		if st.AuditState != "" || st.PerfState != "" {
+			report.Rollups.States[st.Node] = NodeStates{Audit: st.AuditState, Perf: st.PerfState}
+		}
+		allGoodput += st.GoodputRPS
+		if st.Role == "ua" {
+			haveUA = true
+			uaGoodput += st.GoodputRPS
+		}
+		if w := worstBatch(ns); w > 0 &&
+			(report.Rollups.WorstEpochBatch == 0 || w < report.Rollups.WorstEpochBatch) {
+			report.Rollups.WorstEpochBatch = w
+		}
+	}
+
+	report.Rollups.GoodputRPS = allGoodput
+	if haveUA {
+		report.Rollups.GoodputRPS = uaGoodput
+	}
+	for sha := range shas {
+		report.Rollups.BuildSHAs = append(report.Rollups.BuildSHAs, sha)
+	}
+	sort.Strings(report.Rollups.BuildSHAs)
+	report.Rollups.BuildSkew = len(report.Rollups.BuildSHAs) > 1
+
+	merged := MergeStageHistograms(freshSeries)
+	if len(merged) > 0 {
+		report.Rollups.StageQuantiles = make(map[string]StageQuantile, len(merged))
+		for stage, m := range merged {
+			var sq StageQuantile
+			var o1, o2, o3 bool
+			sq.P50, o1 = m.Quantile(0.50)
+			sq.P90, o2 = m.Quantile(0.90)
+			sq.P99, o3 = m.Quantile(0.99)
+			sq.Count = m.Count()
+			sq.Overflow = o1 || o2 || o3
+			report.Rollups.StageQuantiles[stage] = sq
+		}
+	}
+	return report
+}
+
+// nodeGoodput is served requests per second over the node's retained
+// window: the sum of served-counter deltas after the oldest retained
+// snapshot, divided by the arrival span. Arrival times are collector
+// local — the snapshots themselves carry no clocks.
+func nodeGoodput(ns *nodeState) float64 {
+	if len(ns.snaps) < 2 {
+		return 0
+	}
+	span := ns.times[len(ns.times)-1].Sub(ns.times[0]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	var served float64
+	for _, snap := range ns.snaps[1:] {
+		for series, d := range snap.Deltas {
+			name, _ := metrics.ParseSeries(series)
+			if servedFamilies[name] {
+				served += d
+			}
+		}
+	}
+	return math.Round(served/span*10) / 10
+}
+
+// worstBatch is the smallest positive anonymity-set size in a node's
+// retained history, considering both the shuffle flush sizes the emitter
+// observed and the audit gauge when the node exports one.
+func worstBatch(ns *nodeState) int {
+	worst := 0
+	take := func(v int) {
+		if v > 0 && (worst == 0 || v < worst) {
+			worst = v
+		}
+	}
+	for _, snap := range ns.snaps {
+		take(snap.LastBatch)
+		for series, v := range snap.Series {
+			name, _ := metrics.ParseSeries(series)
+			if name == "pprox_audit_worst_epoch_batch" {
+				take(int(v))
+			}
+		}
+	}
+	return worst
+}
+
+// IngestHandler accepts snapshots on POST /telemetry (HTTP or bridged
+// from FrameTelemetry frames).
+func (c *Collector) IngestHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSnapshotBody+1))
+		if err != nil || len(body) > maxSnapshotBody {
+			c.rejected.Add(1)
+			http.Error(w, "snapshot too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			c.rejected.Add(1)
+			http.Error(w, "bad snapshot", http.StatusBadRequest)
+			return
+		}
+		if err := c.Ingest(snap); err != nil {
+			http.Error(w, "bad snapshot", http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+// FleetHandler serves the fleet report on GET /fleet.
+func (c *Collector) FleetHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		out, err := json.MarshalIndent(c.Fleet(), "", "  ")
+		if err != nil {
+			http.Error(w, "encode failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(out, '\n'))
+	})
+}
+
+// Routes returns the collector's operator routes for metrics.MuxRoutes.
+func (c *Collector) Routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		message.TelemetryPath: c.IngestHandler(),
+		FleetPath:             c.FleetHandler(),
+	}
+}
+
+// Health is the collector's /healthz self-assessment.
+func (c *Collector) Health() metrics.Health {
+	c.mu.Lock()
+	n := len(c.nodes)
+	c.mu.Unlock()
+	return metrics.Health{
+		OK: true,
+		Checks: map[string]string{
+			"nodes": strconv.Itoa(n),
+		},
+	}
+}
+
+// RegisterMetrics exposes the collector's own counters.
+func (c *Collector) RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("pprox_ops_snapshots_total",
+		"Telemetry snapshots ingested.",
+		func() float64 { return float64(c.received.Load()) })
+	r.CounterFunc("pprox_ops_rejected_total",
+		"Telemetry snapshots rejected as malformed or oversized.",
+		func() float64 { return float64(c.rejected.Load()) })
+	r.CounterFunc("pprox_ops_node_resets_total",
+		"Node re-registrations (emitter restarts detected by sequence reset).",
+		func() float64 { return float64(c.resets.Load()) })
+	r.Gauge("pprox_ops_nodes",
+		"Nodes with retained telemetry history.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.nodes))
+		})
+	r.Gauge("pprox_ops_stale_nodes",
+		"Nodes currently marked stale.",
+		func() float64 {
+			now := c.cfg.Now()
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			stale := 0
+			for _, ns := range c.nodes {
+				if len(ns.snaps) > 0 && now.Sub(ns.last) > c.staleThreshold(ns) {
+					stale++
+				}
+			}
+			return float64(stale)
+		})
+}

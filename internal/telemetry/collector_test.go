@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced collector clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// snap builds a minimal live-node snapshot: heartbeat cadence 250ms,
+// one served-counter delta so goodput is nonzero.
+func snap(node, role string, seq uint64, batch int) Snapshot {
+	return Snapshot{
+		Node:            node,
+		Role:            role,
+		Seq:             seq,
+		Epoch:           seq,
+		LastBatch:       batch,
+		IntervalSeconds: 0.25,
+		Series:          map[string]float64{"pprox_lrs_posts_total": float64(10 * seq)},
+		Deltas:          map[string]float64{"pprox_lrs_posts_total": 10},
+	}
+}
+
+// TestStalenessLifecycle drives the full contract: a silent node turns
+// stale within two of its own epoch gaps, a stale node is excluded from
+// every rollup, and re-registration (sequence reset after a restart)
+// clears staleness immediately.
+func TestStalenessLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCollector(CollectorConfig{Now: clk.now})
+
+	// Both nodes push in lockstep every 250ms for four rounds.
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := c.Ingest(snap("ua-0", "ua", seq, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Ingest(snap("lrs-0", "lrs", seq, 0)); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(250 * time.Millisecond)
+	}
+
+	fleet := c.Fleet()
+	if fleet.Fresh != 2 || fleet.Stale != 0 {
+		t.Fatalf("warm fleet: fresh=%d stale=%d, want 2/0", fleet.Fresh, fleet.Stale)
+	}
+
+	// lrs-0 goes silent; ua-0 keeps its cadence. The adaptive threshold
+	// is two epoch gaps (250ms EWMA, floored at the declared 250ms
+	// heartbeat) = 500ms, so just past two missed epochs lrs-0 is stale.
+	for seq := uint64(5); seq <= 7; seq++ {
+		clk.advance(250 * time.Millisecond)
+		if err := c.Ingest(snap("ua-0", "ua", seq, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.advance(10 * time.Millisecond) // lrs-0 silent for 1010ms > 500ms
+
+	fleet = c.Fleet()
+	if fleet.Fresh != 1 || fleet.Stale != 1 {
+		t.Fatalf("after silence: fresh=%d stale=%d, want 1/1", fleet.Fresh, fleet.Stale)
+	}
+	byNode := make(map[string]NodeStatus)
+	for _, n := range fleet.Nodes {
+		byNode[n.Node] = n
+	}
+	if !byNode["lrs-0"].Stale {
+		t.Error("lrs-0 should be stale")
+	}
+	if byNode["ua-0"].Stale {
+		t.Error("ua-0 should be fresh")
+	}
+	// Exclusion from rollups: the stale node's goodput and state rows
+	// must not leak into the fleet aggregates.
+	if _, ok := fleet.Rollups.States["lrs-0"]; ok {
+		t.Error("stale lrs-0 must be excluded from the state matrix")
+	}
+	if got, want := fleet.Rollups.GoodputRPS, byNode["ua-0"].GoodputRPS; got != want {
+		t.Errorf("fleet goodput = %g, want only fresh ua-0's %g", got, want)
+	}
+
+	// Restarted lrs-0 re-registers: its new incarnation's Seq restarts
+	// from 1, at or below the high-water mark, so the collector drops
+	// the dead incarnation's history and the node is fresh again.
+	if err := c.Ingest(snap("lrs-0", "lrs", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	fleet = c.Fleet()
+	if fleet.Fresh != 2 || fleet.Stale != 0 {
+		t.Fatalf("after re-registration: fresh=%d stale=%d, want 2/0", fleet.Fresh, fleet.Stale)
+	}
+	for _, n := range fleet.Nodes {
+		if n.Node == "lrs-0" && n.Snapshots != 1 {
+			t.Errorf("re-registered lrs-0 retains %d snapshots, want 1 (history dropped)", n.Snapshots)
+		}
+	}
+	if got := c.resets.Load(); got != 1 {
+		t.Errorf("resets = %d, want 1", got)
+	}
+}
+
+// TestStalenessHeartbeatFloor: a node that declared a slow heartbeat is
+// not stale between heartbeats even when its observed gaps were shorter
+// (it was epoch-flushing under load, then went idle).
+func TestStalenessHeartbeatFloor(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCollector(CollectorConfig{Now: clk.now})
+	for seq := uint64(1); seq <= 5; seq++ {
+		s := snap("ua-0", "ua", seq, 8)
+		s.IntervalSeconds = 1.0 // declared heartbeat 1s, observed gap 10ms
+		if err := c.Ingest(s); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(10 * time.Millisecond)
+	}
+	clk.advance(1900 * time.Millisecond) // < 2×1s heartbeat
+	if fleet := c.Fleet(); fleet.Stale != 0 {
+		t.Fatalf("idle node within heartbeat floor marked stale: %+v", fleet.Nodes)
+	}
+	clk.advance(200 * time.Millisecond) // now silent > 2s
+	if fleet := c.Fleet(); fleet.Stale != 1 {
+		t.Fatalf("node silent past two heartbeats not stale: %+v", fleet.Nodes)
+	}
+}
+
+// TestGoodputAndWorstBatch pins the rate and watermark computations.
+func TestGoodputAndWorstBatch(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCollector(CollectorConfig{Now: clk.now})
+	batches := []int{8, 5, 7, 8, 8}
+	for i, b := range batches {
+		s := snap("ua-0", "ua", uint64(i+1), b)
+		s.Series["pprox_audit_worst_epoch_batch"] = 6
+		if err := c.Ingest(s); err != nil {
+			t.Fatal(err)
+		}
+		if i < len(batches)-1 {
+			clk.advance(250 * time.Millisecond)
+		}
+	}
+	fleet := c.Fleet()
+	// Four deltas of 10 after the oldest retained snapshot over a 1s
+	// arrival span.
+	if got := fleet.Nodes[0].GoodputRPS; got != 40 {
+		t.Errorf("node goodput = %g, want 40", got)
+	}
+	// Worst watermark is the min over flush sizes (5) and the exported
+	// audit gauge (6).
+	if got := fleet.Rollups.WorstEpochBatch; got != 5 {
+		t.Errorf("worst epoch batch = %d, want 5", got)
+	}
+}
+
+// TestRetentionBound: history per node never exceeds Retention.
+func TestRetentionBound(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCollector(CollectorConfig{Retention: 4, Now: clk.now})
+	for seq := uint64(1); seq <= 20; seq++ {
+		if err := c.Ingest(snap("ua-0", "ua", seq, 8)); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(250 * time.Millisecond)
+	}
+	fleet := c.Fleet()
+	if got := fleet.Nodes[0].Snapshots; got != 4 {
+		t.Errorf("retained snapshots = %d, want 4", got)
+	}
+	if got := fleet.Nodes[0].Seq; got != 20 {
+		t.Errorf("latest seq = %d, want 20", got)
+	}
+}
+
+// TestIngestRejectsAnonymous: snapshots without a node name are refused.
+func TestIngestRejectsAnonymous(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	if err := c.Ingest(Snapshot{}); err == nil {
+		t.Fatal("expected error for snapshot without node name")
+	}
+	if got := c.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+}
+
+// TestHandlers covers the HTTP surface: method gating, malformed bodies,
+// and a round trip through ingest to the fleet report.
+func TestHandlers(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCollector(CollectorConfig{Now: clk.now})
+	ingest, fleetH := c.IngestHandler(), c.FleetHandler()
+
+	rec := httptest.NewRecorder()
+	ingest.ServeHTTP(rec, httptest.NewRequest("GET", "/telemetry", nil))
+	if rec.Code != 405 {
+		t.Errorf("GET /telemetry = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	ingest.ServeHTTP(rec, httptest.NewRequest("POST", "/telemetry", strings.NewReader("not json")))
+	if rec.Code != 400 {
+		t.Errorf("malformed POST = %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	body := `{"node":"ua-0","role":"ua","seq":1,"epoch":3,"build":{}}`
+	ingest.ServeHTTP(rec, httptest.NewRequest("POST", "/telemetry", strings.NewReader(body)))
+	if rec.Code != 204 {
+		t.Fatalf("valid POST = %d, want 204: %s", rec.Code, rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	fleetH.ServeHTTP(rec, httptest.NewRequest("POST", "/fleet", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST /fleet = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	fleetH.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /fleet = %d, want 200", rec.Code)
+	}
+	if got := rec.Body.String(); !strings.Contains(got, `"node": "ua-0"`) {
+		t.Errorf("fleet report missing ingested node: %s", got)
+	}
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pprox/internal/metrics"
+)
+
+// StageSecondsFamily is the per-stage latency histogram merged across
+// nodes for the fleet's per-stage quantile rollup.
+const StageSecondsFamily = "pprox_proxy_stage_seconds"
+
+// MergedHistogram is a cross-node sum of cumulative bucket counts.
+// Summing cumulative counts per bucket bound is exact: the merged
+// histogram is identical to one histogram that observed every node's
+// raw samples, so quantiles read from it carry no merge error beyond
+// the bucket resolution every scrape already has.
+type MergedHistogram struct {
+	les []float64 // ascending bucket bounds, +Inf last
+	cum []float64 // merged cumulative counts, aligned with les
+}
+
+// Count is the merged observation count (the +Inf cumulative bucket).
+func (m *MergedHistogram) Count() uint64 {
+	if len(m.cum) == 0 {
+		return 0
+	}
+	return uint64(m.cum[len(m.cum)-1])
+}
+
+// Quantile mirrors metrics.Histogram.Quantile: the smallest bucket
+// bound whose cumulative count reaches q of the total. overflow reports
+// that the mass lives beyond the last finite bound; the returned value
+// is then the last finite bound ×10 (the perf-SLO clamp convention) so
+// it stays JSON-encodable.
+func (m *MergedHistogram) Quantile(q float64) (v float64, overflow bool) {
+	n := len(m.les)
+	if n == 0 || m.cum[n-1] == 0 {
+		return 0, false
+	}
+	target := q * m.cum[n-1]
+	for i, c := range m.cum {
+		if c >= target {
+			if !math.IsInf(m.les[i], 1) {
+				return m.les[i], false
+			}
+			break
+		}
+	}
+	var last float64
+	for _, le := range m.les {
+		if !math.IsInf(le, 1) {
+			last = le
+		}
+	}
+	return last * 10, true
+}
+
+// leCum is one node's contribution to one stage: bucket bound → merged
+// cumulative count.
+type leCum map[float64]float64
+
+// MergeStageHistograms merges the stage-latency histogram across node
+// series sets (Snapshot.Series maps), grouped by the stage label and
+// pooled across layers and nodes. Nodes whose bucket layouts differ are
+// reconciled by intersecting bounds — each node's cumulative counts stay
+// valid on any subset of its bounds, so the intersection merge remains
+// exact at the shared bounds.
+func MergeStageHistograms(sets []map[string]float64) map[string]*MergedHistogram {
+	prefix := StageSecondsFamily + "_bucket"
+	perStage := make(map[string][]leCum)
+	for _, set := range sets {
+		byStage := make(map[string]leCum)
+		for series, v := range set {
+			if !strings.HasPrefix(series, prefix) {
+				continue
+			}
+			name, labels := metrics.ParseSeries(series)
+			if name != prefix {
+				continue
+			}
+			le, err := strconv.ParseFloat(labels["le"], 64)
+			if err != nil {
+				continue
+			}
+			stage := labels["stage"]
+			h := byStage[stage]
+			if h == nil {
+				h = make(leCum)
+				byStage[stage] = h
+			}
+			// The same node may export one histogram per layer (UA and
+			// IA in one process); cumulative counts at equal bounds sum.
+			h[le] += v
+		}
+		for stage, h := range byStage {
+			perStage[stage] = append(perStage[stage], h)
+		}
+	}
+
+	out := make(map[string]*MergedHistogram, len(perStage))
+	for stage, hists := range perStage {
+		if merged := mergeOne(hists); merged != nil {
+			out[stage] = merged
+		}
+	}
+	return out
+}
+
+func mergeOne(hists []leCum) *MergedHistogram {
+	if len(hists) == 0 {
+		return nil
+	}
+	var les []float64
+	for le := range hists[0] {
+		shared := true
+		for _, h := range hists[1:] {
+			if _, ok := h[le]; !ok {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			les = append(les, le)
+		}
+	}
+	if len(les) == 0 {
+		return nil
+	}
+	sort.Float64s(les)
+	cum := make([]float64, len(les))
+	for i, le := range les {
+		for _, h := range hists {
+			cum[i] += h[le]
+		}
+	}
+	return &MergedHistogram{les: les, cum: cum}
+}

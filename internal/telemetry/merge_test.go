@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pprox/internal/metrics"
+)
+
+// TestMergeMatchesPooledHistogram pins the exactness claim: merging
+// per-node stage histograms by summing cumulative bucket counts yields
+// the same quantiles as one histogram that observed every node's raw
+// samples. Three nodes (one of them exporting two layers, as a combined
+// UA+IA process does) observe disjoint random latency sets; a pooled
+// reference histogram with the same bucket layout observes all of them.
+func TestMergeMatchesPooledHistogram(t *testing.T) {
+	pooledReg := metrics.NewRegistry()
+	pooled := pooledReg.Histogram("pooled_seconds", "reference", nil)
+
+	rng := rand.New(rand.NewSource(42))
+	var sets []map[string]float64
+	for n := 0; n < 3; n++ {
+		reg := metrics.NewRegistry()
+		vec := reg.HistogramVec(StageSecondsFamily,
+			"Time spent per proxy pipeline stage.", nil, "layer", "node", "stage")
+		layers := []string{"ua"}
+		if n == 0 {
+			layers = []string{"ua", "ia"}
+		}
+		for _, layer := range layers {
+			h := vec.With(layer, fmt.Sprintf("node-%d", n), "serve")
+			for i := 0; i < 200; i++ {
+				// Log-uniform across [1ms, 1s], inside DefBuckets' span.
+				v := math.Pow(10, -3+3*rng.Float64())
+				h.Observe(v)
+				pooled.Observe(v)
+			}
+		}
+		sets = append(sets, reg.Snapshot())
+	}
+
+	merged := MergeStageHistograms(sets)
+	m := merged["serve"]
+	if m == nil {
+		t.Fatalf("no merged histogram for stage serve; got stages %v", stageNames(merged))
+	}
+	if got, want := m.Count(), pooled.Count(); got != want {
+		t.Fatalf("merged count = %d, pooled count = %d", got, want)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1.0} {
+		got, overflow := m.Quantile(q)
+		if overflow {
+			t.Fatalf("q=%g: unexpected overflow", q)
+		}
+		if want := pooled.Quantile(q); got != want {
+			t.Errorf("q=%g: merged quantile = %g, pooled = %g", q, got, want)
+		}
+	}
+}
+
+// TestMergeIntersectsDifferingLayouts merges two nodes whose bucket
+// layouts differ: the merge keeps the shared bounds (cumulative counts
+// stay valid on any subset of bounds) and the total count survives via
+// the +Inf bucket both layouts carry.
+func TestMergeIntersectsDifferingLayouts(t *testing.T) {
+	mkSet := func(buckets []float64, obs []float64) map[string]float64 {
+		reg := metrics.NewRegistry()
+		vec := reg.HistogramVec(StageSecondsFamily, "t", buckets, "layer", "node", "stage")
+		h := vec.With("ua", "n", "serve")
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return reg.Snapshot()
+	}
+	setA := mkSet([]float64{0.01, 0.1, 1}, []float64{0.005, 0.05, 0.5})
+	setB := mkSet([]float64{0.1, 1, 10}, []float64{0.05, 0.5, 5})
+
+	m := MergeStageHistograms([]map[string]float64{setA, setB})["serve"]
+	if m == nil {
+		t.Fatal("no merged histogram for stage serve")
+	}
+	if got, want := m.Count(), uint64(6); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	// Shared finite bounds are {0.1, 1}: cumulative 3 at 0.1 (0.005,
+	// 0.05 from A pooled with 0.05 from B), 5 at 1.
+	if v, overflow := m.Quantile(0.5); overflow || v != 0.1 {
+		t.Errorf("p50 = %g (overflow=%v), want 0.1", v, overflow)
+	}
+	if v, overflow := m.Quantile(0.8); overflow || v != 1 {
+		t.Errorf("p80 = %g (overflow=%v), want 1", v, overflow)
+	}
+	// The 5s observation lives beyond the shared finite bounds: the
+	// tail quantile clamps to last-finite-bound ×10 and reports it.
+	if v, overflow := m.Quantile(1.0); !overflow || v != 10 {
+		t.Errorf("p100 = %g (overflow=%v), want 10 with overflow", v, overflow)
+	}
+}
+
+// TestMergeSkipsForeignSeries ignores non-histogram and foreign series.
+func TestMergeSkipsForeignSeries(t *testing.T) {
+	set := map[string]float64{
+		"pprox_proxy_requests_served_total{layer=\"ua\"}":        12,
+		"pprox_proxy_stage_seconds_sum{stage=\"serve\"}":         1.5,
+		"pprox_proxy_stage_seconds_count{stage=\"serve\"}":       3,
+		"pprox_proxy_stage_seconds_bucket{stage=\"s\",le=\"x\"}": 1, // unparsable le
+	}
+	if merged := MergeStageHistograms([]map[string]float64{set}); len(merged) != 0 {
+		t.Fatalf("expected no merged stages, got %v", stageNames(merged))
+	}
+}
+
+func stageNames(m map[string]*MergedHistogram) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
