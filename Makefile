@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-json bench-compare audit-smoke cache-smoke batch-smoke ops-smoke clean
+.PHONY: all build vet test race verify bench bench-json bench-compare audit-smoke cache-smoke batch-smoke ops-smoke scale-smoke clean
 
 all: verify
 
@@ -84,6 +84,16 @@ batch-smoke:
 # fleet.json for CI artifact upload.
 ops-smoke:
 	$(GO) run ./cmd/pprox-ops -smoke -out fleet.json
+
+# Elastic fleet smoke test: deploy an in-process cluster with the live
+# route registry and the autoscale reconciler, ramp request load up
+# (a UA/IA pair is spawned and admitted at the next shuffle-epoch
+# boundary) then down (the extra pair drains its final epoch whole and
+# deregisters), and fail unless the privacy audit stays ok through both
+# transitions and fleet goodput recovers on the remaining pair. Writes
+# the final /fleet report to fleet.json for CI artifact upload.
+scale-smoke:
+	$(GO) run ./cmd/pprox-ops -scale-smoke -out fleet.json
 
 clean:
 	rm -rf bin

@@ -131,6 +131,17 @@ func runFleetScrape(opsAddr string, timeout time.Duration, out string) (violated
 			violated = true
 		}
 	}
+	if fv := fleet.Rollups.Fleet; fv != nil {
+		fmt.Fprintf(w, "  elastic fleet: %d pairs current / %d desired\n",
+			fv.CurrentPairs, fv.DesiredPairs)
+		for _, ep := range fv.Endpoints {
+			marker := ""
+			if ep.State == "draining" {
+				marker = "  (flushing final epoch whole, then deregisters)"
+			}
+			fmt.Fprintf(w, "    %-4s %-12s %s%s\n", ep.Service, ep.Addr, ep.State, marker)
+		}
+	}
 	for stage, q := range fleet.Rollups.StageQuantiles {
 		fmt.Fprintf(w, "  stage %-14s p50 %.3gms  p99 %.3gms  (%d obs, fleet-merged)\n",
 			stage, q.P50*1000, q.P99*1000, q.Count)

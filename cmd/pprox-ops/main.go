@@ -40,11 +40,15 @@ import (
 	"time"
 
 	"pprox/internal/audit"
+	"pprox/internal/autoscale"
+	"pprox/internal/client"
 	"pprox/internal/cluster"
+	"pprox/internal/fleet"
 	"pprox/internal/hopwire"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
 	"pprox/internal/perfslo"
+	"pprox/internal/proxy"
 	"pprox/internal/telemetry"
 )
 
@@ -61,37 +65,85 @@ func main() {
 	retention := flag.Int("retention", telemetry.DefaultRetention, "snapshots retained per node")
 	staleAfter := flag.Duration("stale-after", 0, "fixed staleness threshold (0 = adaptive: two observed epoch gaps)")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address, e.g. localhost:6061 (off when empty)")
+	hostFleet := flag.Bool("fleet", false, "host the fleet route registry: pprox-proxy -fleet instances register/heartbeat/drain here, and the /fleet rollup carries live membership (DESIGN.md §4j)")
 	smoke := flag.Bool("smoke", false, "boot an in-process cluster with the telemetry plane and assert the fleet view tracks it")
-	out := flag.String("out", "", "smoke mode: write the final /fleet report (JSON) to this file")
+	scaleSmoke := flag.Bool("scale-smoke", false, "boot an in-process ELASTIC cluster, ramp load up (pair added) then down (pair drained at an epoch boundary), and assert the audit stays ok with goodput recovered")
+	out := flag.String("out", "", "smoke modes: write the final /fleet report (JSON) to this file")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
 
 	logger := obslog.New(os.Stderr, "pprox-ops", obslog.ParseLevel(*logLevel))
-	if *smoke {
+	switch {
+	case *smoke:
 		if err := runSmoke(*out, logger); err != nil {
 			logger.Error("smoke test failed", "error", err.Error())
 			os.Exit(1)
 		}
 		logger.Info("smoke test passed")
 		return
+	case *scaleSmoke:
+		if err := runScaleSmoke(*out, logger); err != nil {
+			logger.Error("scale smoke test failed", "error", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("scale smoke test passed")
+		return
 	}
-	if err := runServe(*listen, *retention, *staleAfter, *debugAddr, logger); err != nil {
+	if err := runServe(*listen, *retention, *staleAfter, *debugAddr, *hostFleet, logger); err != nil {
 		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func runServe(listen string, retention int, staleAfter time.Duration, debugAddr string, logger *slog.Logger) error {
-	col := telemetry.NewCollector(telemetry.CollectorConfig{
+func runServe(listen string, retention int, staleAfter time.Duration, debugAddr string, hostFleet bool, logger *slog.Logger) error {
+	ccfg := telemetry.CollectorConfig{
 		Retention:  retention,
 		StaleAfter: staleAfter,
 		Logger:     logger,
-	})
+	}
+	var freg *fleet.Registry
+	if hostFleet {
+		// Agents heartbeat every 2s; five missed beats means the
+		// instance is gone and staleness pruning collects the entry.
+		freg = fleet.NewRegistry(fleet.Config{StaleAfter: 10 * time.Second})
+		reg := freg
+		ccfg.Overview = func() *fleet.Overview {
+			pairs := reg.Count("ua", fleet.StatePending) + reg.Count("ua", fleet.StateActive)
+			return fleet.BuildOverview(reg, nil, pairs)
+		}
+	}
+	col := telemetry.NewCollector(ccfg)
 	reg := metrics.NewRegistry()
 	metrics.RegisterBuildInfo(reg)
 	metrics.RegisterRuntimeMetrics(reg)
 	col.RegisterMetrics(reg)
-	handler := metrics.MuxRoutes(reg, col.Health, col.Routes(), http.NotFoundHandler())
+	routes := col.Routes()
+	if freg != nil {
+		freg.RegisterMetrics(reg)
+		for p, h := range (&fleet.Server{Registry: freg}).Routes() {
+			routes[p] = h
+		}
+		// Housekeeping: remote proxies cannot signal shuffle-epoch
+		// boundaries to an out-of-process registry, so pending endpoints
+		// are admitted on the idle path, and dead ones pruned.
+		stopHousekeeping := make(chan struct{})
+		defer close(stopHousekeeping)
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopHousekeeping:
+					return
+				case <-t.C:
+					freg.Prune()
+					freg.AdmitIdle(5 * time.Second)
+				}
+			}
+		}()
+		logger.Info("fleet registry hosted", "stale_after", "10s")
+	}
+	handler := metrics.MuxRoutes(reg, col.Health, routes, http.NotFoundHandler())
 
 	stopDebug := func() error { return nil }
 	if debugAddr != "" {
@@ -186,6 +238,26 @@ func renderFleet(w io.Writer, r telemetry.FleetReport) {
 		fmt.Fprintf(w, "%-10s %-5s %-6s %6.1fs %8d %8d %9.1f %-9s %-9s %d(%d)\n",
 			n.Node, n.Role, state, n.AgeSeconds, n.Epoch, n.Seq, n.GoodputRPS,
 			orDash(n.AuditState), orDash(n.PerfState), n.Transport.Pushes, n.Transport.Errors)
+	}
+	if fv := r.Rollups.Fleet; fv != nil {
+		fmt.Fprintf(w, "\nelastic fleet: %d pairs current / %d desired\n", fv.CurrentPairs, fv.DesiredPairs)
+		for _, ep := range fv.Endpoints {
+			fmt.Fprintf(w, "  %-4s %-12s %s\n", ep.Service, ep.Addr, strings.ToUpper(ep.State))
+		}
+		if n := len(fv.Decisions); n > 0 {
+			fmt.Fprintf(w, "  recent scaling decisions:\n")
+			start := n - 3
+			if start < 0 {
+				start = 0
+			}
+			for _, dec := range fv.Decisions[start:] {
+				line := fmt.Sprintf("    #%d %-10s %d→%d  rps %.1f  occ %.2f", dec.Seq, dec.Action, dec.Current, dec.Desired, dec.RPS, dec.Occupancy)
+				if dec.Err != "" {
+					line += "  err: " + dec.Err
+				}
+				fmt.Fprintln(w, line)
+			}
+		}
 	}
 	if len(r.Rollups.StageQuantiles) > 0 {
 		fmt.Fprintf(w, "\nmerged stage latency (ms):\n")
@@ -339,6 +411,199 @@ func runSmoke(out string, logger *slog.Logger) error {
 	}
 	if report.Stale != 1 || report.Fresh != 2 {
 		return fmt.Errorf("fleet counts fresh=%d stale=%d, want 2/1", report.Fresh, report.Stale)
+	}
+	return nil
+}
+
+// Scale-smoke shape: an elastic cluster driven through a load ramp that
+// forces one scale-up and one scale-down, with the privacy audit
+// asserted ok at every phase — the CI gate for DESIGN.md §4j.
+const scaleShuffle = 8
+
+func runScaleSmoke(out string, logger *slog.Logger) error {
+	// A vanishingly small pair capacity makes any observed traffic
+	// demand Max pairs and an idle window demand Min, so the ramp below
+	// forces exactly one scale-up and one scale-down regardless of
+	// wall-clock jitter. Interval 0: this harness ticks the reconciler
+	// itself so every assertion lands on a known loop state.
+	ctrl := &autoscale.Controller{
+		PairCapacityRPS:   0.001,
+		TargetUtilization: 1,
+		Min:               1,
+		Max:               2,
+		Hysteresis:        1,
+	}
+	d, err := cluster.Deploy(cluster.Spec{
+		ProxyEnabled:   true,
+		UA:             1,
+		IA:             1,
+		Encryption:     true,
+		ItemPseudonyms: true,
+		Shuffle:        scaleShuffle,
+		ShuffleTimeout: 300 * time.Millisecond,
+		// Batch mode so epochs travel whole between hops: with two IA
+		// backends, per-message forwarding would split one UA epoch
+		// across them into sub-S releases (§4j).
+		Batch:             true,
+		UseStub:           true,
+		LRSFrontends:      1,
+		OpsAddr:           "ops-0",
+		Audit:             &audit.Config{},
+		Elastic:           &cluster.ElasticSpec{Controller: ctrl},
+		TelemetryInterval: 50 * time.Millisecond,
+		Logger:            logger,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	rec := d.Reconciler
+
+	// Keep-alives off so every request dials: the balancer's per-dial
+	// round robin then splits each two-pair round exactly S/S across
+	// the UAs and every shuffler flushes on occupancy, never the timer.
+	httpClient := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			DialContext:       d.Balancer.DialContext,
+			DisableKeepAlives: true,
+		},
+	}
+	cl := client.New(proxy.Bundle(d.UAKeys, d.IAKeys), httpClient, d.Entry)
+	round := func(size int) error {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		failed := 0
+		for i := 0; i < size; i++ {
+			u := fmt.Sprintf("scale-user-%02d", i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if _, err := cl.Get(ctx, u); err != nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if failed != 0 {
+			return fmt.Errorf("%d of %d requests failed", failed, size)
+		}
+		return nil
+	}
+	auditOK := func(phase string) error {
+		if st := d.Auditor.State(); st != audit.StateOK {
+			return fmt.Errorf("audit state %s during %q, want ok: %+v", st, phase, d.Auditor.Report())
+		}
+		return nil
+	}
+
+	// Phase 1 — baseline on one pair. The first tick has no signal
+	// window yet and must hold.
+	if err := round(scaleShuffle); err != nil {
+		return err
+	}
+	if dec := rec.Tick(); dec.Action != fleet.ActionHold {
+		return fmt.Errorf("first tick = %+v, want hold", dec)
+	}
+	if err := auditOK("baseline"); err != nil {
+		return err
+	}
+
+	// Phase 2 — ramp up: the observed rate demands a second pair.
+	if err := round(scaleShuffle); err != nil {
+		return err
+	}
+	dec := rec.Tick()
+	if dec.Action != fleet.ActionUp || dec.Desired != 2 {
+		return fmt.Errorf("tick under load = %+v, want scale-up to 2", dec)
+	}
+	logger.Info("scaled up", "pairs", d.Pairs())
+	// The pending pair is admitted at the next epoch boundary.
+	if err := round(scaleShuffle); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Registry.Count("ua", fleet.StateActive) != 2 ||
+		d.Registry.Count("ia", fleet.StateActive) != 2 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pair never admitted: %+v", d.Registry.Membership())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	logger.Info("pair admitted at epoch boundary")
+
+	// Phase 3 — churned steady state across both pairs.
+	for i := 0; i < 2; i++ {
+		if err := round(2 * scaleShuffle); err != nil {
+			return err
+		}
+	}
+	rec.Tick() // consume the loaded window (desired == current: hold)
+	if err := auditOK("two-pair traffic"); err != nil {
+		return err
+	}
+
+	// Phase 4 — ramp down: an idle window drains the extra pair at an
+	// epoch boundary, final epoch whole.
+	time.Sleep(400 * time.Millisecond)
+	dec = rec.Tick()
+	if dec.Action != fleet.ActionDown || dec.Desired != 1 {
+		return fmt.Errorf("idle tick = %+v, want scale-down to 1", dec)
+	}
+	if d.Pairs() != 1 {
+		return fmt.Errorf("pairs after scale-down = %d, want 1", d.Pairs())
+	}
+	if st := d.Registry.Stats(); st.Drains != 2 || st.Deregistrations != 2 {
+		return fmt.Errorf("registry stats after drain = %+v, want 2 drains and 2 deregistrations", st)
+	}
+	if err := auditOK("after drain"); err != nil {
+		return err
+	}
+	logger.Info("scaled down", "pairs", d.Pairs())
+
+	// Phase 5 — goodput recovery on the remaining pair.
+	for i := 0; i < 2; i++ {
+		if err := round(scaleShuffle); err != nil {
+			return err
+		}
+	}
+	if err := auditOK("post-drain traffic"); err != nil {
+		return err
+	}
+	time.Sleep(400 * time.Millisecond) // final epochs reach the collector
+
+	report, err := fetchFleet(d.HTTPClient(5*time.Second), "http://ops-0")
+	if err != nil {
+		return err
+	}
+	renderFleet(os.Stdout, report)
+	if out != "" {
+		if err := writeJSON(out, report); err != nil {
+			return err
+		}
+		logger.Info("fleet report written", "path", out)
+	}
+	if report.Rollups.GoodputRPS <= 0 {
+		return fmt.Errorf("fleet goodput %.1f rps after scale-down, want > 0", report.Rollups.GoodputRPS)
+	}
+	fv := report.Rollups.Fleet
+	if fv == nil {
+		return fmt.Errorf("/fleet rollup carries no fleet overview")
+	}
+	if fv.CurrentPairs != 1 || fv.DesiredPairs != 1 {
+		return fmt.Errorf("fleet overview %d/%d pairs, want 1/1", fv.CurrentPairs, fv.DesiredPairs)
+	}
+	var up, down bool
+	for _, dd := range fv.Decisions {
+		up = up || dd.Action == fleet.ActionUp
+		down = down || dd.Action == fleet.ActionDown
+	}
+	if !up || !down {
+		return fmt.Errorf("decision ring %+v missing the scale-up or scale-down", fv.Decisions)
 	}
 	return nil
 }

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -39,6 +40,7 @@ import (
 	"pprox/internal/enclave"
 	"pprox/internal/eventloop"
 	"pprox/internal/faults"
+	"pprox/internal/fleet"
 	"pprox/internal/hopwire"
 	"pprox/internal/metrics"
 	"pprox/internal/obslog"
@@ -71,6 +73,10 @@ type options struct {
 	opsAddr        string
 	node           string
 	telemetryEvery time.Duration
+	fleetURL       string
+	fleetService   string
+	advertise      string
+	drainTimeout   time.Duration
 	debugAddr      string
 	traceLog       string
 	logLevel       string
@@ -113,6 +119,10 @@ func main() {
 	flag.StringVar(&o.opsAddr, "ops-addr", "", "pprox-ops collector address, e.g. localhost:9090: stream one telemetry snapshot per shuffle epoch (off when empty)")
 	flag.StringVar(&o.node, "node", "", "node name reported to -ops-addr (default: the role)")
 	flag.DurationVar(&o.telemetryEvery, "telemetry-interval", 0, "telemetry heartbeat when no shuffle epochs fire (default: -shuffle-timeout, or 250ms)")
+	flag.StringVar(&o.fleetURL, "fleet", "", "fleet registry base URL, e.g. http://ops:9090: register on boot, heartbeat, and drain at a shuffle-epoch boundary on SIGTERM (DESIGN.md §4j; off when empty)")
+	flag.StringVar(&o.fleetService, "fleet-service", "", "service name announced to the fleet registry (default: the role)")
+	flag.StringVar(&o.advertise, "advertise", "", "address peers should dial for this instance (default: the bound listen address)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 0, "bound on the graceful drain before stragglers are refused (default: 2×-shuffle-timeout + 5s)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "pprof listen address, e.g. localhost:6060 (off when empty)")
 	flag.StringVar(&o.traceLog, "trace-log", "", "append privacy-safe trace records (JSON lines) to this file")
 	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
@@ -450,6 +460,42 @@ func run(o options, logger *slog.Logger) error {
 		"shuffle", o.shuffle, "workers", o.workers, "mode", mode,
 		"batch", o.batch && r == proxy.RoleUA, "audit", o.auditSLO)
 
+	// Fleet membership: register with the route registry once the
+	// listener is up, heartbeat until shutdown, and leave through the
+	// §4j drain protocol on SIGTERM.
+	var agent *fleet.Agent
+	if o.fleetURL != "" {
+		service := o.fleetService
+		if service == "" {
+			service = o.role
+		}
+		advertise := o.advertise
+		if advertise == "" {
+			advertise = l.Addr().String()
+		}
+		base := o.fleetURL
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		lg := logger.With("node", o.role)
+		agent, err = fleet.NewAgent(fleet.AgentConfig{
+			BaseURL: strings.TrimRight(base, "/"),
+			Service: service,
+			Addr:    advertise,
+			Logger:  func(format string, args ...any) { lg.Warn(fmt.Sprintf(format, args...)) },
+		})
+		if err != nil {
+			return err
+		}
+		regCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = agent.Start(regCtx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("fleet registration: %w", err)
+		}
+		logger.Info("fleet registered", "registry", base, "service", service, "advertise", advertise)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -457,10 +503,15 @@ func run(o options, logger *slog.Logger) error {
 	retried, failFast := layer.RetryStats()
 	logger.Info("shutting down",
 		"served", served, "failed", failed, "retries", retried, "fail_fast", failFast)
-	// Drain order: the final telemetry snapshot flushes while this
-	// process's listener is still up (the collector is a separate
-	// process, but a shared shutdown sweep should see the last epoch's
-	// counters either way), then the listeners close.
+	// Drain order: the fleet drain runs first (routing stops, in-flight
+	// work finishes, the final shuffle epoch leaves whole, we deregister),
+	// then the final telemetry snapshot flushes while this process's
+	// listener is still up (the collector is a separate process, but a
+	// shared shutdown sweep should see the last epoch's counters either
+	// way), then the listeners close.
+	if agent != nil {
+		drainFleet(agent, layer, o, logger)
+	}
 	if emitter != nil {
 		if err := emitter.Close(); err != nil {
 			logger.Warn("final telemetry flush failed", "error", err.Error())
@@ -470,6 +521,40 @@ func run(o options, logger *slog.Logger) error {
 		logger.Warn("debug server shutdown", "error", err.Error())
 	}
 	return shutdown()
+}
+
+// drainFleet runs the §4j scale-down protocol for a SIGTERM'd instance:
+// the registry stops routing to us first, then the layer soft-drains —
+// in-flight requests finish and the final shuffle epoch leaves WHOLE via
+// the shuffler's own flush, never a forced sub-S release — and only then
+// do we deregister. A drain that outlives the timeout hard-refuses
+// stragglers so shutdown stays bounded.
+func drainFleet(agent *fleet.Agent, layer *proxy.Layer, o options, logger *slog.Logger) {
+	timeout := o.drainTimeout
+	if timeout <= 0 {
+		timeout = 2*o.shuffleTimeout + 5*time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := agent.Drain(ctx); err != nil {
+		logger.Warn("fleet drain announcement failed", "error", err.Error())
+	}
+	layer.BeginDrain()
+	if err := layer.AwaitDrained(ctx); err != nil {
+		logger.Warn("graceful drain timed out; refusing stragglers", "error", err.Error())
+		layer.RefuseNew()
+		grace, cancelGrace := context.WithTimeout(context.Background(), time.Second)
+		_ = layer.AwaitDrained(grace)
+		cancelGrace()
+	}
+	agent.Stop()
+	dctx, cancelDereg := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelDereg()
+	if err := agent.Deregister(dctx); err != nil {
+		logger.Warn("fleet deregister failed; staleness pruning will collect the entry", "error", err.Error())
+	}
+	rep := layer.DrainReport()
+	logger.Info("fleet drain complete", "clean", rep.Clean, "sheds", rep.Sheds)
 }
 
 // addPerfObjectives installs the per-stage latency objectives this

@@ -29,6 +29,12 @@ type Controller struct {
 	// count is below current by more than this fraction of a pair's
 	// capacity.
 	Hysteresis float64
+	// OccupancyFloor arms the occupancy-driven scale-down override used
+	// by DesiredLive: when the mean released shuffle batch falls below
+	// this fraction of S, starved buffers are paying timer-bound epoch
+	// fills (§8.1.2, Fig. 8) and the hysteresis band no longer protects
+	// the current count. Zero disables the override.
+	OccupancyFloor float64
 }
 
 // DefaultController returns the paper-calibrated policy.
@@ -39,26 +45,16 @@ func DefaultController() *Controller {
 		Min:               1,
 		Max:               16,
 		Hysteresis:        0.25,
+		OccupancyFloor:    0.5,
 	}
 }
 
 // Desired returns the instance-pair count for the observed rate, given the
 // current count.
 func (c *Controller) Desired(observedRPS float64, current int) int {
-	if current < c.Min {
-		current = c.Min
-	}
-	if current > c.Max {
-		current = c.Max
-	}
+	current = c.clamp(current)
 	perPair := c.PairCapacityRPS * c.TargetUtilization
-	raw := int(math.Ceil(observedRPS / perPair))
-	if raw < c.Min {
-		raw = c.Min
-	}
-	if raw > c.Max {
-		raw = c.Max
-	}
+	raw := c.clamp(int(rawPairs(observedRPS, perPair)))
 	if raw >= current {
 		return raw // scale up immediately: saturation hurts now
 	}
@@ -68,6 +64,22 @@ func (c *Controller) Desired(observedRPS float64, current int) int {
 		return raw
 	}
 	return current
+}
+
+// rawPairs is the unclamped pair demand for a rate.
+func rawPairs(observedRPS, perPair float64) float64 {
+	return math.Ceil(observedRPS / perPair)
+}
+
+// clamp bounds a pair count to [Min, Max].
+func (c *Controller) clamp(n int) int {
+	if n < c.Min {
+		n = c.Min
+	}
+	if n > c.Max {
+		n = c.Max
+	}
+	return n
 }
 
 // RateEstimator measures the request arrival rate with an exponentially

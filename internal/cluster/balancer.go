@@ -28,21 +28,54 @@ import (
 // health probe. A backend whose dials keep failing is ejected from the
 // rotation; after the cooldown one dial per cooldown is admitted as a
 // trial, and a successful trial re-admits the backend.
+//
+// Backend sets are either static (Register) or live (UseSource): a
+// source-driven service re-reads its backend list from the fleet
+// registry's routable set whenever the registry's generation number
+// moves. Either way, a backend that survives an update keeps its breaker
+// — ejection state is the balancer's accumulated knowledge about a
+// backend's health, and a membership change elsewhere in the set is no
+// evidence about this backend.
 type Balancer struct {
 	under transport.Dialer
 
 	mu       sync.Mutex
 	services map[string]*service
+	src      RouteSource
 	// breaker policy applied to services registered afterwards; zero
 	// threshold disables ejection.
 	threshold int
 	cooldown  time.Duration
 }
 
+// RouteSource is a live backend-set provider (fleet.Registry). Generation
+// must be cheap — the balancer polls it on every dial of a source-driven
+// service.
+type RouteSource interface {
+	// Generation is the routable-set version; any change moves it.
+	Generation() uint64
+	// Routable returns the service's currently routable backends.
+	Routable(service string) []string
+}
+
+// backend pairs an address with its breaker so updates can preserve
+// breaker state per address rather than per slice position.
+type backend struct {
+	addr string
+	br   *resilience.Breaker
+}
+
 type service struct {
-	backends []string
-	breakers []*resilience.Breaker // parallel to backends; entries may be nil
+	// backends is rebuilt wholesale on every update, so a slice value
+	// read under the lock stays a consistent immutable snapshot after
+	// the lock is released.
+	backends []*backend
 	next     atomic.Uint64
+	// lastGen is the source generation backends was built from; compared
+	// against RouteSource.Generation per dial for source-driven services.
+	lastGen atomic.Uint64
+	// live marks the service as source-driven.
+	live bool
 }
 
 // NewBalancer wraps a dialer (usually the memnet Network).
@@ -59,18 +92,79 @@ func (b *Balancer) SetBreakerPolicy(threshold int, cooldown time.Duration) {
 	b.cooldown = cooldown
 }
 
-// Register maps a service name to its backend addresses.
+// Register maps a service name to its backend addresses. Re-registering
+// a name updates the backend set in place: surviving backends keep their
+// breaker (and thus their ejection state), new backends get a fresh one.
 func (b *Balancer) Register(name string, backends ...string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	svc := &service{backends: append([]string(nil), backends...)}
-	svc.breakers = make([]*resilience.Breaker, len(svc.backends))
-	for i := range svc.breakers {
+	b.setBackendsLocked(b.serviceLocked(name), backends)
+}
+
+// UseSource routes the named services from a live RouteSource: their
+// backend sets follow the source's routable sets, refreshed whenever the
+// source generation moves. Services keep any statically registered
+// backends until the first refresh.
+func (b *Balancer) UseSource(src RouteSource, services ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.src = src
+	gen := src.Generation()
+	for _, name := range services {
+		svc := b.serviceLocked(name)
+		svc.live = true
+		b.setBackendsLocked(svc, src.Routable(name))
+		svc.lastGen.Store(gen)
+	}
+}
+
+// serviceLocked returns the named service, creating it if needed.
+func (b *Balancer) serviceLocked(name string) *service {
+	svc := b.services[name]
+	if svc == nil {
+		svc = &service{}
+		b.services[name] = svc
+	}
+	return svc
+}
+
+// setBackendsLocked replaces a service's backend set, carrying breakers
+// over by address.
+func (b *Balancer) setBackendsLocked(svc *service, addrs []string) {
+	prev := make(map[string]*backend, len(svc.backends))
+	for _, bk := range svc.backends {
+		prev[bk.addr] = bk
+	}
+	next := make([]*backend, 0, len(addrs))
+	for _, addr := range addrs {
+		if bk := prev[addr]; bk != nil {
+			next = append(next, bk)
+			continue
+		}
 		// Trial mode (no probe function): the next dial after the
 		// cooldown is the health probe.
-		svc.breakers[i] = resilience.NewBreaker(b.threshold, b.cooldown, nil)
+		next = append(next, &backend{addr: addr, br: resilience.NewBreaker(b.threshold, b.cooldown, nil)})
 	}
-	b.services[name] = svc
+	svc.backends = next
+}
+
+// snapshot returns the service's current backend slice, refreshing a
+// source-driven service first if the source generation moved. The
+// returned slice is immutable.
+func (b *Balancer) snapshot(name string) (*service, []*backend) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	svc := b.services[name]
+	if svc == nil {
+		return nil, nil
+	}
+	if svc.live && b.src != nil {
+		if gen := b.src.Generation(); gen != svc.lastGen.Load() {
+			b.setBackendsLocked(svc, b.src.Routable(name))
+			svc.lastGen.Store(gen)
+		}
+	}
+	return svc, svc.backends
 }
 
 // DialContext implements transport.Dialer with round-robin backend
@@ -83,26 +177,24 @@ func (b *Balancer) DialContext(ctx context.Context, network, addr string) (net.C
 	if host, _, err := net.SplitHostPort(addr); err == nil {
 		name = host
 	}
-	b.mu.Lock()
-	svc, ok := b.services[name]
-	b.mu.Unlock()
-	if !ok {
+	svc, backends := b.snapshot(name)
+	if svc == nil {
 		return b.under.DialContext(ctx, network, addr)
 	}
-	if len(svc.backends) == 0 {
+	if len(backends) == 0 {
 		return nil, fmt.Errorf("cluster: service %q has no backends", name)
 	}
 	var lastErr error
 	ejected := 0
-	for attempt := 0; attempt < len(svc.backends); attempt++ {
-		i := int(svc.next.Add(1)-1) % len(svc.backends)
-		br := svc.breakers[i]
-		if !br.Allow() {
+	for attempt := 0; attempt < len(backends); attempt++ {
+		i := int(svc.next.Add(1)-1) % len(backends)
+		bk := backends[i]
+		if !bk.br.Allow() {
 			ejected++
 			continue
 		}
-		conn, err := b.under.DialContext(ctx, network, svc.backends[i])
-		br.Report(err == nil)
+		conn, err := b.under.DialContext(ctx, network, bk.addr)
+		bk.br.Report(err == nil)
 		if err == nil {
 			return conn, nil
 		}
@@ -117,19 +209,31 @@ func (b *Balancer) DialContext(ctx context.Context, network, addr string) (net.C
 	return nil, fmt.Errorf("cluster: service %q: all backends failed: %w", name, lastErr)
 }
 
+// Backends returns the service's current backend addresses, for tests and
+// operational visibility.
+func (b *Balancer) Backends(name string) []string {
+	_, backends := b.snapshot(name)
+	out := make([]string, len(backends))
+	for i, bk := range backends {
+		out[i] = bk.addr
+	}
+	return out
+}
+
 // Ejected returns the currently ejected backends of a service, for tests
 // and operational visibility.
 func (b *Balancer) Ejected(name string) []string {
 	b.mu.Lock()
 	svc := b.services[name]
-	b.mu.Unlock()
-	if svc == nil {
-		return nil
+	var backends []*backend
+	if svc != nil {
+		backends = svc.backends
 	}
+	b.mu.Unlock()
 	var out []string
-	for i, br := range svc.breakers {
-		if br.State() == resilience.StateOpen {
-			out = append(out, svc.backends[i])
+	for _, bk := range backends {
+		if bk.br.State() == resilience.StateOpen {
+			out = append(out, bk.addr)
 		}
 	}
 	return out
@@ -140,11 +244,11 @@ func (b *Balancer) stats() (ejections, readmissions uint64, ejectedNow int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, svc := range b.services {
-		for _, br := range svc.breakers {
-			opens, readmits := br.Stats()
+		for _, bk := range svc.backends {
+			opens, readmits := bk.br.Stats()
 			ejections += opens
 			readmissions += readmits
-			if br.State() == resilience.StateOpen {
+			if bk.br.State() == resilience.StateOpen {
 				ejectedNow++
 			}
 		}

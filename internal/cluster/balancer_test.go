@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"pprox/internal/fleet"
+)
+
+// fakeDialer succeeds or refuses per address and counts dials.
+type fakeDialer struct {
+	dead  map[string]bool
+	dials map[string]int
+}
+
+func newFakeDialer() *fakeDialer {
+	return &fakeDialer{dead: map[string]bool{}, dials: map[string]int{}}
+}
+
+func (f *fakeDialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	f.dials[addr]++
+	if f.dead[addr] {
+		return nil, errors.New("connection refused")
+	}
+	c1, c2 := net.Pipe()
+	go c2.Close()
+	return c1, nil
+}
+
+func ejectBackend(t *testing.T, b *Balancer, service, addr string, threshold int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < threshold*4; i++ {
+		if conn, err := b.DialContext(ctx, "mem", service); err == nil {
+			conn.Close()
+		}
+	}
+	for _, ej := range b.Ejected(service) {
+		if ej == addr {
+			return
+		}
+	}
+	t.Fatalf("backend %s never ejected; ejected = %v", addr, b.Ejected(service))
+}
+
+// TestRegisterPreservesBreakerStateAcrossReRegistration is the regression
+// test for the wholesale-replacement bug: re-registering a service used to
+// rebuild every breaker, silently re-admitting ejected backends.
+func TestRegisterPreservesBreakerStateAcrossReRegistration(t *testing.T) {
+	under := newFakeDialer()
+	under.dead["b1"] = true
+	b := NewBalancer(under)
+	b.SetBreakerPolicy(2, time.Hour) // cooldown long enough to never re-trial
+	b.Register("svc", "b1", "b2")
+
+	ejectBackend(t, b, "svc", "b1", 2)
+	deadDials := under.dials["b1"]
+
+	// Re-register with one backend added: b1's ejection must survive.
+	b.Register("svc", "b1", "b2", "b3")
+	if ej := b.Ejected("svc"); len(ej) != 1 || ej[0] != "b1" {
+		t.Fatalf("ejection state lost on re-registration: ejected = %v", ej)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		conn, err := b.DialContext(ctx, "mem", "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	if under.dials["b1"] != deadDials {
+		t.Fatalf("ejected backend dialed %d more times after re-registration",
+			under.dials["b1"]-deadDials)
+	}
+	if under.dials["b3"] == 0 {
+		t.Fatalf("new backend b3 never dialed")
+	}
+}
+
+func TestRegisterDropsRemovedBackends(t *testing.T) {
+	under := newFakeDialer()
+	b := NewBalancer(under)
+	b.Register("svc", "b1", "b2")
+	b.Register("svc", "b2")
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		conn, err := b.DialContext(ctx, "mem", "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	if under.dials["b1"] != 0 {
+		t.Fatalf("removed backend b1 still dialed %d times", under.dials["b1"])
+	}
+}
+
+// TestBalancerFollowsRouteSource wires the balancer to a fleet registry
+// and verifies it tracks admissions, drains and deregistrations through
+// the generation number — including breaker preservation across refreshes.
+func TestBalancerFollowsRouteSource(t *testing.T) {
+	under := newFakeDialer()
+	b := NewBalancer(under)
+	b.SetBreakerPolicy(2, time.Hour)
+
+	reg := fleet.NewRegistry(fleet.Config{})
+	reg.Register("svc", "b1")
+	b.UseSource(reg, "svc")
+	if got := b.Backends("svc"); len(got) != 1 || got[0] != "b1" {
+		t.Fatalf("initial backends = %v, want [b1]", got)
+	}
+
+	// A pending registration must not appear until the epoch boundary.
+	reg.Register("svc", "b2")
+	if got := b.Backends("svc"); len(got) != 1 {
+		t.Fatalf("pending endpoint routable: %v", got)
+	}
+	reg.EpochBoundary()
+	if got := b.Backends("svc"); len(got) != 2 {
+		t.Fatalf("backends after admission = %v, want [b1 b2]", got)
+	}
+
+	// Eject b1, then churn the set (admit b3): b1 must stay ejected.
+	under.dead["b1"] = true
+	ejectBackend(t, b, "svc", "b1", 2)
+	reg.Register("svc", "b3")
+	reg.EpochBoundary()
+	if got := b.Backends("svc"); len(got) != 3 {
+		t.Fatalf("backends = %v, want 3", got)
+	}
+	if ej := b.Ejected("svc"); len(ej) != 1 || ej[0] != "b1" {
+		t.Fatalf("ejection lost across source refresh: %v", ej)
+	}
+
+	// Drain b2: the balancer stops handing it out on the next refresh.
+	reg.BeginDrain("svc", "b2")
+	for k := range under.dials {
+		delete(under.dials, k)
+	}
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		conn, err := b.DialContext(ctx, "mem", "svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	if under.dials["b2"] != 0 {
+		t.Fatalf("draining backend b2 dialed %d times", under.dials["b2"])
+	}
+	if under.dials["b3"] == 0 {
+		t.Fatalf("active backend b3 never dialed")
+	}
+}
+
+func TestUseSourceKeepsStaticServicesStatic(t *testing.T) {
+	under := newFakeDialer()
+	b := NewBalancer(under)
+	b.Register("static", "s1")
+	reg := fleet.NewRegistry(fleet.Config{})
+	reg.Register("svc", "b1")
+	b.UseSource(reg, "svc")
+	reg.Register("static", "ghost") // registry entry for a non-live service
+	reg.EpochBoundary()
+	if got := b.Backends("static"); len(got) != 1 || got[0] != "s1" {
+		t.Fatalf("static service followed the source: %v", got)
+	}
+}
+
+func TestBreakerCooldownStillReAdmitsUnderSource(t *testing.T) {
+	under := newFakeDialer()
+	b := NewBalancer(under)
+	b.SetBreakerPolicy(2, 20*time.Millisecond)
+	reg := fleet.NewRegistry(fleet.Config{})
+	reg.Register("svc", "b1")
+	reg.Register("svc", "b2")
+	reg.EpochBoundary()
+	b.UseSource(reg, "svc")
+
+	under.dead["b1"] = true
+	ejectBackend(t, b, "svc", "b1", 2)
+	under.dead["b1"] = false
+
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b.Ejected("svc")) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovered backend never re-admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+		if conn, err := b.DialContext(ctx, "mem", "svc"); err == nil {
+			conn.Close()
+		}
+	}
+}

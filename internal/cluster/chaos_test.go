@@ -11,10 +11,12 @@ import (
 	"time"
 
 	"pprox/internal/adversary"
+	"pprox/internal/client"
 	"pprox/internal/cluster"
 	"pprox/internal/faults"
 	"pprox/internal/message"
 	"pprox/internal/ppcrypto"
+	"pprox/internal/proxy"
 	"pprox/internal/resilience"
 )
 
@@ -48,6 +50,12 @@ func lrsPostLabel(body []byte) string {
 // linkable signal.
 func TestChaosKillRestartGoodputAndLinking(t *testing.T) {
 	const s = 4
+	// Each batch posts one epoch's worth per UA so shufflers flush on
+	// occupancy; the timer is a backstop only. Timer-split partial
+	// epochs would sit right at the accuracy threshold (a 2-message
+	// epoch correlates at 0.5) and made this test flake under the CPU
+	// contention of a parallel full-suite run.
+	const n = 2 * s
 	rec := adversary.NewRecorder()
 	d, err := cluster.Deploy(cluster.Spec{
 		ProxyEnabled:   true,
@@ -56,7 +64,7 @@ func TestChaosKillRestartGoodputAndLinking(t *testing.T) {
 		Encryption:     true,
 		ItemPseudonyms: true,
 		Shuffle:        s,
-		ShuffleTimeout: 100 * time.Millisecond,
+		ShuffleTimeout: 500 * time.Millisecond,
 		LRSFrontends:   2,
 		Resilience:     chaosPolicy(),
 		NodeMiddleware: func(addr string, h http.Handler) http.Handler {
@@ -72,7 +80,17 @@ func TestChaosKillRestartGoodputAndLinking(t *testing.T) {
 	defer d.Close()
 
 	ctx := context.Background()
-	cl := d.Client(10 * time.Second)
+	// Keep-alives off so every request dials: the balancer's per-dial
+	// round robin then splits each n-post batch exactly s/s across the
+	// two UAs and both shufflers fill to occupancy.
+	httpClient := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			DialContext:       d.Balancer.DialContext,
+			DisableKeepAlives: true,
+		},
+	}
+	cl := client.New(proxy.Bundle(d.UAKeys, d.IAKeys), httpClient, d.Entry)
 
 	var mu sync.Mutex
 	var users []string
@@ -84,7 +102,7 @@ func TestChaosKillRestartGoodputAndLinking(t *testing.T) {
 	postBatch := func(phase string, b int) int {
 		var wg sync.WaitGroup
 		ok := 0
-		for i := 0; i < s; i++ {
+		for i := 0; i < n; i++ {
 			u := fmt.Sprintf("user-%s-%d-%d", phase, b, i)
 			mu.Lock()
 			users = append(users, u)
@@ -110,8 +128,8 @@ func TestChaosKillRestartGoodputAndLinking(t *testing.T) {
 	for b := 0; b < 3; b++ {
 		healthy += postBatch("healthy", b)
 	}
-	if healthy != 3*s {
-		t.Fatalf("healthy phase: %d/%d posts succeeded", healthy, 3*s)
+	if healthy != 3*n {
+		t.Fatalf("healthy phase: %d/%d posts succeeded", healthy, 3*n)
 	}
 
 	// Phase 2: crash one IA instance and one LRS front end mid-run. The
@@ -128,9 +146,9 @@ func TestChaosKillRestartGoodputAndLinking(t *testing.T) {
 		outage += postBatch("outage", b)
 	}
 	t.Logf("outage phase: %d/%d posts succeeded; ejected ia=%v lrs=%v",
-		outage, 3*s, d.Balancer.Ejected("ia"), d.Balancer.Ejected("lrs"))
-	if outage < 3*s*3/4 {
-		t.Errorf("outage phase: only %d/%d posts succeeded, want ≥ 75%%", outage, 3*s)
+		outage, 3*n, d.Balancer.Ejected("ia"), d.Balancer.Ejected("lrs"))
+	if outage < 3*n*3/4 {
+		t.Errorf("outage phase: only %d/%d posts succeeded, want ≥ 75%%", outage, 3*n)
 	}
 
 	// Phase 3: restart both nodes, let breakers probe, and demand full
@@ -146,8 +164,8 @@ func TestChaosKillRestartGoodputAndLinking(t *testing.T) {
 	for b := 0; b < 3; b++ {
 		recovered += postBatch("recovered", b)
 	}
-	if recovered != 3*s {
-		t.Errorf("recovered phase: %d/%d posts succeeded, goodput did not recover", recovered, 3*s)
+	if recovered != 3*n {
+		t.Errorf("recovered phase: %d/%d posts succeeded, goodput did not recover", recovered, 3*n)
 	}
 
 	// The adversary correlates edge arrivals with LRS arrivals in order.

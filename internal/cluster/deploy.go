@@ -14,6 +14,7 @@ import (
 	"pprox/internal/audit"
 	"pprox/internal/client"
 	"pprox/internal/enclave"
+	"pprox/internal/fleet"
 	"pprox/internal/hopwire"
 	"pprox/internal/lrs/engine"
 	"pprox/internal/message"
@@ -118,6 +119,18 @@ type Spec struct {
 	// PerfThresholds overrides the derived per-stage latency thresholds,
 	// in seconds, keyed by stage label (proxy.StageServe etc.).
 	PerfThresholds map[string]float64
+	// Fleet deploys the live route registry (DESIGN.md §4j): every
+	// UA/IA/LRS endpoint registers with it, the balancer consumes its
+	// routable sets instead of the static backend lists, and membership
+	// changes are epoch-aligned — new endpoints are admitted at shuffle-
+	// epoch boundaries, departing ones drain their final epoch whole.
+	// Requires ProxyEnabled. Spec.Elastic implies Fleet.
+	Fleet bool
+	// Elastic arms the closed autoscaling loop on top of the fleet
+	// registry: a reconciler samples live signals (UA request rate,
+	// shuffle occupancy, and — with OpsAddr set — collector goodput) and
+	// drives the deployed pair count through AddPair/DrainPair.
+	Elastic *ElasticSpec
 	// OpsAddr deploys the fleet telemetry plane: a collector node
 	// (cmd/pprox-ops equivalent) served at this in-memory address, plus
 	// one telemetry emitter per node streaming epoch-granular snapshots
@@ -216,13 +229,44 @@ type Deployment struct {
 	// deployment registry because the collector sits outside the trust
 	// boundary.
 	OpsMetrics *metrics.Registry
+	// Registry is the live fleet route registry (nil unless Spec.Fleet).
+	Registry *fleet.Registry
+	// Reconciler is the autoscaling loop closing live signals over the
+	// registry (nil unless Spec.Elastic). With ElasticSpec.Interval ≤ 0
+	// it never ticks on its own; tests drive it with Tick.
+	Reconciler *fleet.Reconciler
 
 	spec Spec
+	// mu guards the mutable membership state below — nodes, order, the
+	// layer slices and the pair bookkeeping — which the elastic fleet
+	// mutates after deploy, concurrently with chaos tests and Close.
+	mu sync.Mutex
 	// nodes tracks every served node by address so chaos tests can kill
 	// and restart individual instances; order preserves bring-up order
 	// for reverse shutdown.
 	nodes map[string]*runningNode
 	order []string
+	// layers maps a node address to its proxy layer, for drain victim
+	// lookup; drained holds retired layers so the auditor can keep
+	// checking their drain reports stayed clean.
+	layers  map[string]*proxy.Layer
+	drained []*proxy.Layer
+	// nextUA/nextIA number the next spawned instance of each layer.
+	nextUA, nextIA int
+
+	// Builder state Deploy captures so AddPair can provision new
+	// instances exactly like the initial ones.
+	platform    *enclave.Platform
+	attestation *enclave.AttestationService
+	iaOpts      proxy.IAOptions
+	interClient *http.Client
+
+	// drainMu serializes DrainPair calls so two concurrent drains cannot
+	// pick the same victim pair.
+	drainMu sync.Mutex
+
+	fleetEmitter  *telemetry.Emitter
+	stopReconcile func()
 }
 
 // runningNode is one HTTP server the deployment runs, restartable in
@@ -253,6 +297,12 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 	if spec.Batch && !(spec.ProxyEnabled && spec.Encryption && spec.Shuffle > 1) {
 		return nil, errors.New("cluster: batch mode needs the encrypted proxy path with S > 1")
 	}
+	if spec.Elastic != nil {
+		spec.Fleet = true
+	}
+	if spec.Fleet && !spec.ProxyEnabled {
+		return nil, errors.New("cluster: fleet mode needs the proxy deployed")
+	}
 
 	d = &Deployment{
 		Net:     transport.NewNetwork(),
@@ -260,6 +310,13 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		Metrics: metrics.NewRegistry(),
 		Traces:  trace.NewCollector(),
 		nodes:   make(map[string]*runningNode),
+		layers:  make(map[string]*proxy.Layer),
+		nextUA:  spec.UA,
+		nextIA:  spec.IA,
+	}
+	if spec.Fleet {
+		d.Registry = fleet.NewRegistry(fleet.Config{})
+		d.Registry.RegisterMetrics(d.Metrics)
 	}
 	d.Balancer = NewBalancer(d.Net)
 	if spec.Resilience != nil {
@@ -382,9 +439,13 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 		return d, nil
 	}
 
-	// Proxy layers: IA first (talks to the LRS), then UA.
+	// Proxy layers: IA first (talks to the LRS), then UA. The builder
+	// state is kept on the deployment so AddPair provisions later
+	// instances exactly like these.
 	interClient := transport.HTTPClient(d.Balancer, 30*time.Second)
 	iaOpts := proxy.IAOptions{DisableItemPseudonymization: !spec.ItemPseudonyms}
+	d.platform, d.attestation = platform, as
+	d.iaOpts, d.interClient = iaOpts, interClient
 	iaBackends := make([]string, spec.IA)
 	for i := 0; i < spec.IA; i++ {
 		addr := fmt.Sprintf("ia-%d", i)
@@ -423,6 +484,22 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 	}
 	d.Balancer.Register("ua", uaBackends...)
 
+	// Fleet mode: seed the registry with the initial membership and hand
+	// the balancer over to it. The first endpoint of each service is
+	// admitted on registration; one pre-traffic epoch boundary promotes
+	// the rest (no epoch is in flight before the first request), so the
+	// deployment comes up with its full initial capacity routable.
+	if d.Registry != nil {
+		for _, addr := range iaBackends {
+			d.Registry.Register("ia", addr)
+		}
+		for _, addr := range uaBackends {
+			d.Registry.Register("ua", addr)
+		}
+		d.Registry.EpochBoundary()
+		d.Balancer.UseSource(d.Registry, "ua", "ia", "lrs")
+	}
+
 	// Backend ejection starves the surviving shufflers' buffers, so it is
 	// a degraded-path SLO signal in its own right.
 	if d.Auditor != nil {
@@ -432,12 +509,33 @@ func Deploy(spec Spec) (d *Deployment, err error) {
 				return len(d.Balancer.Ejected(svc)) > 0
 			})
 		}
+		if d.Registry != nil {
+			// A drained instance that closed with messages still buffered
+			// released a sub-S batch: the exact epoch split the drain
+			// protocol exists to prevent, and a direct breach of the 1/S
+			// linking bound. Scale-down events must never trip this.
+			d.Auditor.AddViolationCheck("fleet drain split a shuffle epoch", d.dirtyDrain)
+		}
 	}
 
 	// Objectives are complete once every layer is served; only now can
 	// the evaluator's per-objective series register.
 	if d.PerfSLO != nil {
 		d.PerfSLO.RegisterMetrics(d.Metrics)
+	}
+
+	// The autoscaling loop and the fleet-view emitter come up last, once
+	// the initial membership is final: the reconciler's first sample then
+	// sees the full fleet, and the emitter's first snapshot carries it.
+	if spec.Elastic != nil {
+		if err := d.startReconciler(spec); err != nil {
+			return nil, err
+		}
+	}
+	if d.Ops != nil && d.Registry != nil {
+		if err := d.startFleetTelemetry(); err != nil {
+			return nil, err
+		}
 	}
 
 	d.Entry = "http://ua"
@@ -509,10 +607,17 @@ func (d *Deployment) deployLRS(spec Spec) error {
 			if err != nil {
 				return err
 			}
+			d.mu.Lock()
 			d.nodes[addr].emitter = em
+			d.mu.Unlock()
 		}
 	}
 	d.Balancer.Register("lrs", backends...)
+	if d.Registry != nil {
+		for _, addr := range backends {
+			d.Registry.Register("lrs", addr)
+		}
+	}
 	return nil
 }
 
@@ -572,8 +677,8 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 			return err
 		}
 	}
-	if d.Auditor != nil || d.PerfSLO != nil || em != nil {
-		a, eval, node := d.Auditor, d.PerfSLO, addr
+	if d.Auditor != nil || d.PerfSLO != nil || em != nil || d.Registry != nil {
+		a, eval, node, reg := d.Auditor, d.PerfSLO, addr, d.Registry
 		// The tracer is already installed, so its epoch — read BEFORE
 		// the flush hook advances it — is exactly the epoch number the
 		// flushed trace records carry: a perfslo breach exemplar resolves
@@ -599,6 +704,12 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 			if emitter != nil {
 				emitter.ObserveEpoch(batch)
 			}
+			// A flush is a shuffle-epoch boundary: the moment no epoch is
+			// in flight on this instance, so pending fleet members can be
+			// admitted onto a fresh epoch. One atomic load when none are.
+			if reg != nil {
+				reg.EpochBoundary()
+			}
 		})
 	}
 	if err := d.serve(addr, metrics.MuxRoutes(d.Metrics, layer.Health, d.opRoutes(), layer)); err != nil {
@@ -607,7 +718,10 @@ func (d *Deployment) serveLayer(addr string, layer *proxy.Layer, spec Spec) erro
 		}
 		return err
 	}
+	d.mu.Lock()
 	d.nodes[addr].emitter = em
+	d.layers[addr] = layer
+	d.mu.Unlock()
 	return nil
 }
 
@@ -787,8 +901,10 @@ func (d *Deployment) serve(addr string, h http.Handler) error {
 		return err
 	}
 	n := &runningNode{handler: h, shutdown: d.serveListener(l, h)}
+	d.mu.Lock()
 	d.nodes[addr] = n
 	d.order = append(d.order, addr)
+	d.mu.Unlock()
 	return nil
 }
 
@@ -807,7 +923,9 @@ func (d *Deployment) serveListener(l net.Listener, h http.Handler) func() error 
 // refused, exactly as after a process crash. The chaos experiments use it
 // together with Restart.
 func (d *Deployment) Kill(addr string) error {
+	d.mu.Lock()
 	n := d.nodes[addr]
+	d.mu.Unlock()
 	if n == nil {
 		return fmt.Errorf("cluster: no node %q", addr)
 	}
@@ -830,7 +948,9 @@ func (d *Deployment) Kill(addr string) error {
 // handler — the crashed process rejoining the deployment. Balancer
 // breakers re-admit it on their next trial dial.
 func (d *Deployment) Restart(addr string) error {
+	d.mu.Lock()
 	n := d.nodes[addr]
+	d.mu.Unlock()
 	if n == nil {
 		return fmt.Errorf("cluster: no node %q", addr)
 	}
@@ -869,24 +989,40 @@ func (d *Deployment) Client(timeout time.Duration) *client.Client {
 // Close shuts every server down and closes the network, waiting out any
 // in-flight profile capture.
 func (d *Deployment) Close() error {
+	// The reconciler stops first — its stop waits out an in-flight tick,
+	// so no AddPair/DrainPair can race the teardown below.
+	if d.stopReconcile != nil {
+		d.stopReconcile()
+	}
 	d.Profiles.Wait()
+	d.mu.Lock()
+	order := append([]string(nil), d.order...)
+	uaLayers := append([]*proxy.Layer(nil), d.UALayers...)
+	iaLayers := append([]*proxy.Layer(nil), d.IALayers...)
+	d.mu.Unlock()
 	// Emitters close first — their final snapshot flush needs the ops
 	// node still listening (it is killed last, being served first).
-	for _, addr := range d.order {
-		if n := d.nodes[addr]; n != nil && n.emitter != nil {
+	if d.fleetEmitter != nil {
+		d.fleetEmitter.Close()
+	}
+	for _, addr := range order {
+		d.mu.Lock()
+		n := d.nodes[addr]
+		d.mu.Unlock()
+		if n != nil && n.emitter != nil {
 			n.emitter.Close()
 		}
 	}
 	var firstErr error
-	for i := len(d.order) - 1; i >= 0; i-- {
-		if err := d.Kill(d.order[i]); err != nil && firstErr == nil {
+	for i := len(order) - 1; i >= 0; i-- {
+		if err := d.Kill(order[i]); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	for _, l := range d.UALayers {
+	for _, l := range uaLayers {
 		l.Close()
 	}
-	for _, l := range d.IALayers {
+	for _, l := range iaLayers {
 		l.Close()
 	}
 	if err := d.Net.Close(); err != nil && firstErr == nil {

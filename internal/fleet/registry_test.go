@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func testClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	now := start
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestRegisterFirstEndpointIsActive(t *testing.T) {
+	r := NewRegistry(Config{})
+	if st := r.Register("ua", "h1:1"); st != StateActive {
+		t.Fatalf("first endpoint state = %v, want active", st)
+	}
+	if got := r.Routable("ua"); len(got) != 1 || got[0] != "h1:1" {
+		t.Fatalf("Routable = %v, want [h1:1]", got)
+	}
+}
+
+func TestRegisterSecondEndpointPendsUntilEpochBoundary(t *testing.T) {
+	r := NewRegistry(Config{})
+	r.Register("ua", "h1:1")
+	gen := r.Generation()
+	if st := r.Register("ua", "h2:1"); st != StatePending {
+		t.Fatalf("second endpoint state = %v, want pending", st)
+	}
+	if got := r.Routable("ua"); len(got) != 1 {
+		t.Fatalf("pending endpoint is routable: %v", got)
+	}
+	if r.Generation() != gen {
+		t.Fatalf("pending registration moved the generation")
+	}
+	if n := r.EpochBoundary(); n != 1 {
+		t.Fatalf("EpochBoundary admitted %d, want 1", n)
+	}
+	if got := r.Routable("ua"); len(got) != 2 {
+		t.Fatalf("Routable after boundary = %v, want 2 endpoints", got)
+	}
+	if r.Generation() == gen {
+		t.Fatalf("admission did not move the generation")
+	}
+	if n := r.EpochBoundary(); n != 0 {
+		t.Fatalf("idempotent EpochBoundary admitted %d, want 0", n)
+	}
+}
+
+func TestReRegisterKeepsStateAndRefreshesHeartbeat(t *testing.T) {
+	now, advance := testClock(time.Unix(1000, 0))
+	r := NewRegistry(Config{StaleAfter: 10 * time.Second, Now: now})
+	r.Register("ua", "h1:1")
+	advance(8 * time.Second)
+	if st := r.Register("ua", "h1:1"); st != StateActive {
+		t.Fatalf("re-register state = %v, want active", st)
+	}
+	advance(8 * time.Second) // 16s after first beat, 8s after refresh
+	if got := r.Routable("ua"); len(got) != 1 {
+		t.Fatalf("refreshed endpoint was pruned: %v", got)
+	}
+}
+
+func TestDrainRemovesFromRoutableKeepsRegistered(t *testing.T) {
+	r := NewRegistry(Config{})
+	r.Register("ua", "h1:1")
+	r.Register("ua", "h2:1")
+	r.EpochBoundary()
+	gen := r.Generation()
+	if !r.BeginDrain("ua", "h1:1") {
+		t.Fatalf("BeginDrain returned false for known endpoint")
+	}
+	if got := r.Routable("ua"); len(got) != 1 || got[0] != "h2:1" {
+		t.Fatalf("Routable during drain = %v, want [h2:1]", got)
+	}
+	if r.Generation() == gen {
+		t.Fatalf("drain did not move the generation")
+	}
+	if n := r.Count("ua", StateDraining); n != 1 {
+		t.Fatalf("draining count = %d, want 1", n)
+	}
+	// Drain is one-way: re-register cannot re-admit.
+	if st := r.Register("ua", "h1:1"); st != StateDraining {
+		t.Fatalf("re-register of draining endpoint = %v, want draining", st)
+	}
+	r.EpochBoundary()
+	if n := r.Count("ua", StateActive); n != 1 {
+		t.Fatalf("epoch boundary re-admitted a draining endpoint")
+	}
+	if !r.Deregister("ua", "h1:1") {
+		t.Fatalf("Deregister returned false")
+	}
+	if n := r.Count("ua", StateDraining); n != 0 {
+		t.Fatalf("deregistered endpoint still counted")
+	}
+}
+
+func TestDrainPendingEndpoint(t *testing.T) {
+	r := NewRegistry(Config{})
+	r.Register("ua", "h1:1")
+	r.Register("ua", "h2:1") // pending
+	r.BeginDrain("ua", "h2:1")
+	if n := r.EpochBoundary(); n != 0 {
+		t.Fatalf("EpochBoundary admitted a drained-while-pending endpoint")
+	}
+	if got := r.Routable("ua"); len(got) != 1 {
+		t.Fatalf("Routable = %v, want only h1:1", got)
+	}
+}
+
+func TestStalenessPruning(t *testing.T) {
+	now, advance := testClock(time.Unix(1000, 0))
+	r := NewRegistry(Config{StaleAfter: 5 * time.Second, Now: now})
+	r.Register("ua", "h1:1")
+	r.Register("ua", "h2:1")
+	r.EpochBoundary()
+	advance(3 * time.Second)
+	r.Heartbeat("ua", "h2:1")
+	advance(3 * time.Second) // h1 last beat 6s ago, h2 3s ago
+	gen := r.Generation()
+	if got := r.Routable("ua"); len(got) != 1 || got[0] != "h2:1" {
+		t.Fatalf("Routable after staleness = %v, want [h2:1]", got)
+	}
+	if r.Generation() == gen {
+		t.Fatalf("prune did not move the generation")
+	}
+	if s := r.Stats(); s.Prunes != 1 {
+		t.Fatalf("prunes = %d, want 1", s.Prunes)
+	}
+	if r.Heartbeat("ua", "h1:1") {
+		t.Fatalf("heartbeat for pruned endpoint returned true; agent would never re-register")
+	}
+}
+
+func TestAdmitIdle(t *testing.T) {
+	now, advance := testClock(time.Unix(1000, 0))
+	r := NewRegistry(Config{Now: now})
+	r.Register("ua", "h1:1")
+	r.Register("ua", "h2:1") // pending
+	if n := r.AdmitIdle(2 * time.Second); n != 0 {
+		t.Fatalf("AdmitIdle admitted a fresh registration")
+	}
+	advance(3 * time.Second)
+	if n := r.AdmitIdle(2 * time.Second); n != 1 {
+		t.Fatalf("AdmitIdle = %d, want 1 after waiting past the cutoff", n)
+	}
+}
+
+func TestRoutableRegistrationOrder(t *testing.T) {
+	r := NewRegistry(Config{})
+	r.Register("ua", "h1:1")
+	r.Register("ua", "h2:1")
+	r.Register("ua", "h3:1")
+	r.EpochBoundary()
+	got := r.Routable("ua")
+	want := []string{"h1:1", "h2:1", "h3:1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Routable = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMembershipSorted(t *testing.T) {
+	r := NewRegistry(Config{})
+	r.Register("ua", "h2:1")
+	r.Register("ia", "h1:2")
+	r.Register("ua", "h1:1")
+	m := r.Membership()
+	if len(m) != 3 {
+		t.Fatalf("Membership = %d entries, want 3", len(m))
+	}
+	if m[0].Service != "ia" || m[1].Addr != "h1:1" || m[2].Addr != "h2:1" {
+		t.Fatalf("Membership order wrong: %+v", m)
+	}
+	if m[0].State != "active" || m[1].State != "pending" || m[2].State != "active" {
+		t.Fatalf("Membership states wrong: %+v", m)
+	}
+}

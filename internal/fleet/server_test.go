@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newFleetServer(t *testing.T, reg *Registry) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	for path, h := range (&Server{Registry: reg}).Routes() {
+		mux.Handle(path, h)
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestAgentLifecycleOverHTTP(t *testing.T) {
+	reg := NewRegistry(Config{})
+	ts := newFleetServer(t, reg)
+
+	ctx := context.Background()
+	ag, err := NewAgent(AgentConfig{BaseURL: ts.URL, Service: "ua", Addr: "h1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Register(ctx); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if got := reg.Routable("ua"); len(got) != 1 || got[0] != "h1:1" {
+		t.Fatalf("Routable after register = %v", got)
+	}
+
+	// Second instance pends, then a boundary admits it.
+	ag2, _ := NewAgent(AgentConfig{BaseURL: ts.URL, Service: "ua", Addr: "h2:1"})
+	if err := ag2.Register(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Count("ua", StatePending); n != 1 {
+		t.Fatalf("pending = %d, want 1", n)
+	}
+	reg.EpochBoundary()
+
+	if err := ag.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := reg.Routable("ua"); len(got) != 1 || got[0] != "h2:1" {
+		t.Fatalf("Routable after drain = %v, want [h2:1]", got)
+	}
+	if err := ag.Deregister(ctx); err != nil {
+		t.Fatalf("deregister: %v", err)
+	}
+	if n := reg.Count("ua", StateDraining); n != 0 {
+		t.Fatalf("draining endpoint survived deregister")
+	}
+}
+
+func TestMembersEndpoint(t *testing.T) {
+	reg := NewRegistry(Config{})
+	reg.Register("ua", "h1:1")
+	reg.Register("ia", "h1:2")
+	ts := newFleetServer(t, reg)
+
+	resp, err := http.Get(ts.URL + MembersPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Generation uint64     `json:"generation"`
+		Members    []Endpoint `json:"members"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Members) != 2 {
+		t.Fatalf("members = %+v, want 2", body.Members)
+	}
+	if body.Generation != reg.Generation() {
+		t.Fatalf("generation = %d, want %d", body.Generation, reg.Generation())
+	}
+}
+
+func TestHeartbeatUnknownEndpointIs404(t *testing.T) {
+	reg := NewRegistry(Config{})
+	ts := newFleetServer(t, reg)
+	ag, _ := NewAgent(AgentConfig{BaseURL: ts.URL, Service: "ua", Addr: "ghost:1"})
+	code, err := ag.post(context.Background(), HeartbeatPath)
+	if err == nil || code != http.StatusNotFound {
+		t.Fatalf("heartbeat for unknown endpoint: code=%d err=%v, want 404", code, err)
+	}
+}
+
+func TestAgentHeartbeatReRegistersAfterPrune(t *testing.T) {
+	reg := NewRegistry(Config{})
+	ts := newFleetServer(t, reg)
+	ag, err := NewAgent(AgentConfig{
+		BaseURL:  ts.URL,
+		Service:  "ua",
+		Addr:     "h1:1",
+		Interval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer ag.Stop()
+
+	// Simulate a registry restart losing the entry: the 404 heartbeat
+	// must drive a re-register.
+	reg.Deregister("ua", "h1:1")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(reg.Routable("ua")) == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("agent never re-registered after prune")
+}
+
+func TestServerRejectsBadBodies(t *testing.T) {
+	reg := NewRegistry(Config{})
+	ts := newFleetServer(t, reg)
+	resp, err := http.Post(ts.URL+RegisterPath, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + RegisterPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET register status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -3,6 +3,7 @@ package hopwire
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -30,10 +31,18 @@ type Client struct {
 	idleTTL         time.Duration
 	maxIdle         int
 	cooldown        time.Duration
+	probeTimeout    time.Duration
 
 	// seq mints exchange ids for single frames (batch frames carry the
 	// epoch id their builder minted).
 	seq atomic.Uint64
+
+	// verified latches once any frame exchange has completed against the
+	// peer. Until then the peer may be a frame-illiterate HTTP server
+	// whose request parser stops reading mid-frame — an unbounded write
+	// of a large frame would then wedge until the exchange deadline, so
+	// unverified writes are probe-bounded (see exchange).
+	verified atomic.Bool
 
 	mu               sync.Mutex
 	idle             []*poolConn
@@ -78,6 +87,7 @@ func NewClient(d transport.Dialer, next string) (*Client, error) {
 		idleTTL:         defaultIdleTTL,
 		maxIdle:         defaultMaxIdle,
 		cooldown:        defaultUnsupportedCooldown,
+		probeTimeout:    probeWriteTimeout,
 	}, nil
 }
 
@@ -317,8 +327,30 @@ func (c *Client) exchange(ctx context.Context, pc *poolConn, frame []byte, epoch
 		return 0, nil, false, err
 	}
 
+	verified := c.verified.Load()
+	if !verified {
+		// Probe-bound the write until the peer has proven it speaks
+		// frames: a frame-illiterate server stops reading mid-frame, so
+		// an unbounded write of a large frame would wedge for the whole
+		// exchange deadline without ever producing the non-frame
+		// response that latches the fallback.
+		probe := time.Now().Add(c.probeTimeout)
+		if probe.Before(deadline) {
+			pc.SetWriteDeadline(probe)
+		}
+	}
 	if _, err := pc.Write(frame); err != nil {
+		var ne net.Error
+		if !verified && errors.As(err, &ne) && ne.Timeout() {
+			// The peer stopped reading our frame: it does not speak the
+			// protocol. gotBytes=true so RoundTrip does not retry the
+			// probe on a fresh dial.
+			return 0, nil, true, ErrUnsupported
+		}
 		return 0, nil, false, fmt.Errorf("hopwire: write to %s: %w", c.addr, err)
+	}
+	if !verified {
+		pc.SetWriteDeadline(deadline)
 	}
 
 	hdr := make([]byte, message.FrameHeaderSize)
@@ -332,6 +364,9 @@ func (c *Client) exchange(ctx context.Context, pc *poolConn, frame []byte, epoch
 		// caller falls back to HTTP (and RoundTrip latches the verdict).
 		return 0, nil, true, ErrUnsupported
 	}
+	// A frame came back: the peer speaks the protocol, so later writes
+	// need no probe bound.
+	c.verified.Store(true)
 	h, err := message.ParseFrameHeader(hdr)
 	if err != nil {
 		return 0, nil, true, err

@@ -50,6 +50,14 @@ const (
 	// defaultUnsupportedCooldown is how long the client stays on the
 	// HTTP fallback after a peer proved frame-illiterate.
 	defaultUnsupportedCooldown = 30 * time.Second
+	// probeWriteTimeout bounds the FIRST frame write to a peer that has
+	// never completed a frame exchange. A frame-illiterate HTTP server
+	// stops reading as soon as its request parser chokes on the frame
+	// bytes, so a large frame wedges in the socket buffer: the write
+	// never finishes and never produces the non-frame response that
+	// would latch ErrUnsupported. Bounding the probe write converts
+	// that wedge into a fast fallback verdict.
+	probeWriteTimeout = time.Second
 	// serverIdleTimeout is how long the server keeps an idle frame
 	// connection before dropping it (matches the HTTP transport's
 	// 30-second idle conn timeout).

@@ -285,6 +285,81 @@ func TestFallbackAgainstRealNetHTTPServer(t *testing.T) {
 	}
 }
 
+// A frame LARGER than the HTTP server's read buffer never makes it out:
+// the frame-illiterate server stops reading once its request parser
+// chokes, so the write itself wedges and no response bytes ever come
+// back to trip the non-frame check. The probe-bounded first write must
+// convert that wedge into a fast ErrUnsupported instead of sitting on
+// the full exchange deadline.
+func TestFallbackWhenLargeFrameWedgesWrite(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	l, err := n.Listen("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := NewClient(n, "http://legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.probeTimeout = 50 * time.Millisecond
+
+	// Far past any server-side read buffer, and 0x0A-free so the server
+	// never even finds the end of its "request line".
+	body := bytes.Repeat([]byte{0xC7}, 64<<10)
+	start := time.Now()
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, body); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("detection took %v; the probe bound did not fire", d)
+	}
+	if st := c.Stats(); st.Fallbacks != 1 || st.Exchanges != 0 {
+		t.Fatalf("stats = %+v, want 1 fallback, 0 exchanges", st)
+	}
+	if !c.inCooldown() {
+		t.Fatal("write-wedge verdict did not latch the fallback cooldown")
+	}
+}
+
+// A verified peer (one completed frame exchange) must NOT inherit the
+// probe bound: large frames to a slow-but-frame-speaking peer get the
+// full exchange deadline.
+func TestVerifiedPeerSkipsProbeBound(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	startFramePeer(t, n, "peer", echoHandler(t))
+
+	c, err := NewClient(n, "http://peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, _, err := c.RoundTrip(context.Background(), message.QueriesPath, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.verified.Load() {
+		t.Fatal("successful frame exchange did not verify the peer")
+	}
+	// A payload well past the probe-era frame sizes still round-trips.
+	big := bytes.Repeat([]byte{0xC7}, 64<<10)
+	st, resp, err := c.RoundTrip(context.Background(), message.QueriesPath, big)
+	if err != nil || st != http.StatusOK {
+		t.Fatalf("large verified exchange: status %d, err %v", st, err)
+	}
+	if !bytes.HasPrefix(resp, []byte("re:")) {
+		t.Fatalf("resp = %.16q..., want echo", resp)
+	}
+}
+
 // After the cooldown expires the client probes again — a restarted,
 // now-frame-speaking peer is picked up without intervention.
 func TestUnsupportedCooldownExpires(t *testing.T) {

@@ -1,0 +1,202 @@
+package proxy_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pprox/internal/message"
+	"pprox/internal/transport"
+)
+
+// TestDrainFlushesFinalEpochWhole exercises the soft-drain path: requests
+// buffered in the shuffler when the drain begins leave via the shuffler's
+// own timer flush — one whole batch — and AwaitDrained completes only
+// after they have.
+func TestDrainFlushesFinalEpochWhole(t *testing.T) {
+	st := newStack(t, stackOptions{
+		shuffleSize:    4,
+		shuffleTimeout: 250 * time.Millisecond,
+	})
+	ctx := ctxT(t)
+
+	// Three concurrent posts (S=4) park in the UA shuffler.
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = st.client.Post(ctx, fmt.Sprintf("drain-user-%d", i), "item", "")
+		}(i)
+	}
+	// Wait until they are actually buffered.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.ua.Shuffler().Pending() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never reached the shuffler (pending=%d)",
+				st.ua.Shuffler().Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st.ua.BeginDrain()
+	rep := st.ua.DrainReport()
+	if !rep.Draining || rep.PendingAtDrain != 3 {
+		t.Fatalf("report at drain start = %+v, want draining with 3 pending", rep)
+	}
+
+	flushesBefore, _ := st.ua.Shuffler().Stats()
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := st.ua.AwaitDrained(dctx); err != nil {
+		t.Fatalf("AwaitDrained: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("post %d failed during drain: %v", i, err)
+		}
+	}
+	flushesAfter, sheds := st.ua.Shuffler().Stats()
+	if flushesAfter != flushesBefore+1 {
+		t.Fatalf("final epoch left in %d flushes, want exactly 1", flushesAfter-flushesBefore)
+	}
+	if sheds != 0 {
+		t.Fatalf("drain shed %d messages", sheds)
+	}
+
+	rep = st.ua.DrainReport()
+	if !rep.Clean || rep.Pending != 0 || rep.InFlight != 0 {
+		t.Fatalf("post-drain report = %+v, want clean and empty", rep)
+	}
+	// The report stays valid (and clean) across teardown.
+	st.ua.Close()
+	if rep = st.ua.DrainReport(); !rep.Clean {
+		t.Fatalf("clean drain turned dirty after Close: %+v", rep)
+	}
+}
+
+// TestDrainSoftPhaseBreaksKeepAlive: while draining (not yet refusing),
+// app responses carry Connection: close so pooled client connections
+// evict themselves, and requests still succeed.
+func TestDrainSoftPhaseBreaksKeepAlive(t *testing.T) {
+	st := newStack(t, stackOptions{})
+	ctx := ctxT(t)
+
+	if err := st.client.Post(ctx, "alice", "solaris", ""); err != nil {
+		t.Fatal(err)
+	}
+	st.ua.BeginDrain()
+
+	httpClient := transport.HTTPClient(st.net, 5*time.Second)
+	// Health stays up during drain (the instance is alive, just leaving).
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://ua"+message.HealthPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health during drain = %d, want 200", resp.StatusCode)
+	}
+
+	// App traffic is served but told to hang up.
+	if err := st.client.Post(ctx, "bob", "stalker", ""); err != nil {
+		t.Fatalf("post during soft drain failed: %v", err)
+	}
+	resp, err = httpClient.Post("http://ua"+message.EventsPath, "application/json",
+		strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !resp.Close && !strings.EqualFold(resp.Header.Get("Connection"), "close") {
+		t.Fatalf("soft-drain response did not break keep-alive (Close=%v, header=%q)",
+			resp.Close, resp.Header.Get("Connection"))
+	}
+}
+
+// TestRefuseNewRejectsAppTraffic: the hard phase 503s new app requests
+// (hopwire and straggler connections) while health stays green.
+func TestRefuseNewRejectsAppTraffic(t *testing.T) {
+	st := newStack(t, stackOptions{})
+	ctx := ctxT(t)
+
+	st.ua.RefuseNew()
+	if !st.ua.Draining() {
+		t.Fatal("RefuseNew did not imply BeginDrain")
+	}
+	httpClient := transport.HTTPClient(st.net, 5*time.Second)
+	resp, err := httpClient.Post("http://ua"+message.EventsPath, "application/json",
+		strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("refused request status = %d, want 503", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://ua"+message.HealthPath, nil)
+	resp, err = httpClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health while refusing = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestAwaitDrainedRequiresBeginDrain(t *testing.T) {
+	st := newStack(t, stackOptions{})
+	if err := st.ua.AwaitDrained(context.Background()); err == nil {
+		t.Fatal("AwaitDrained without BeginDrain succeeded")
+	}
+}
+
+// TestCloseWithBufferedMessagesIsDirtyDrain: tearing a draining instance
+// down while messages are still buffered is exactly the split-epoch
+// release the protocol exists to prevent — the report must say so.
+func TestCloseWithBufferedMessagesIsDirtyDrain(t *testing.T) {
+	st := newStack(t, stackOptions{
+		shuffleSize:    4,
+		shuffleTimeout: time.Hour, // timer never fires
+	})
+	ctx, cancelPosts := context.WithCancel(ctxT(t))
+	defer cancelPosts()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// These die with ErrShufflerClosed or succeed via the final
+			// forced batch; either way the drain was dirty.
+			_ = st.client.Post(ctx, fmt.Sprintf("stranded-%d", i), "item", "")
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.ua.Shuffler().Pending() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never buffered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st.ua.BeginDrain()
+	st.ua.Close()
+	cancelPosts()
+	wg.Wait()
+	if rep := st.ua.DrainReport(); rep.Clean {
+		t.Fatalf("drain with stranded messages reported clean: %+v", rep)
+	}
+}

@@ -428,6 +428,11 @@ func (l *Layer) Health() metrics.Health {
 		checks["provisioned"] = "pending"
 		ok = false
 	}
+	if l.draining.Load() {
+		// Draining is reported but not a failure: the instance is
+		// deliberately finishing its last epochs before retiring.
+		checks["draining"] = "yes"
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

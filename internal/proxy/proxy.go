@@ -163,6 +163,17 @@ type Layer struct {
 	// epochFn and logger are installed by SetEpochObserver / SetLogger.
 	epochFn atomic.Pointer[func(int)]
 	logger  atomic.Pointer[slog.Logger]
+
+	// Drain lifecycle (drain.go): draining marks the soft phase (serve
+	// but break keep-alive), refusing the hard phase (503 new requests),
+	// inflight counts app requests between accept and response, and the
+	// *Base/stranded fields implement the DrainReport.Clean invariant.
+	draining       atomic.Bool
+	refusing       atomic.Bool
+	inflight       atomic.Int64
+	drainShedsBase atomic.Uint64
+	drainPendingAt atomic.Int64
+	drainStranded  atomic.Bool
 }
 
 // New creates a layer instance from its configuration.
@@ -264,6 +275,12 @@ const defaultClientTimeout = 30 * time.Second
 // pool's Close runs every accepted epoch to completion, so no admitted
 // request is left without a response.
 func (l *Layer) Close() {
+	if l.draining.Load() && l.shuffler.Pending() > 0 {
+		// A drained instance must leave through an empty shuffler: its
+		// final epoch flushed whole before teardown. Closing with
+		// messages still buffered would release them as a sub-S batch.
+		l.drainStranded.Store(true)
+	}
 	l.shuffler.Close()
 	l.jobs.Close()
 	l.hop.Close()
@@ -334,6 +351,22 @@ func (l *Layer) RecCache() *reccache.Cache { return l.cfg.RecCache }
 
 // ServeHTTP implements the layer's REST endpoint.
 func (l *Layer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	isApp := r.Method == http.MethodPost &&
+		(r.URL.Path == message.EventsPath || r.URL.Path == message.QueriesPath ||
+			(r.URL.Path == message.BatchPath && l.cfg.Role == RoleIA && !l.cfg.PassThrough))
+	if isApp {
+		if l.refusing.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if l.draining.Load() {
+			// Soft drain: keep serving, but evict this connection from
+			// keep-alive pools so no new request rides it back here.
+			w.Header().Set("Connection", "close")
+		}
+		l.inflight.Add(1)
+		defer l.inflight.Add(-1)
+	}
 	switch {
 	case r.Method == http.MethodPost && (r.URL.Path == message.EventsPath || r.URL.Path == message.QueriesPath):
 		l.handle(w, r)

@@ -281,6 +281,9 @@ func (s *Shuffler) ReleaseBatch(n int) ([]int, error) {
 
 // Stats returns the number of completed flushes and shed messages.
 func (s *Shuffler) Stats() (flushes, sheds uint64) {
+	if s == nil {
+		return 0, 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.flushes, s.sheds
@@ -288,6 +291,9 @@ func (s *Shuffler) Stats() (flushes, sheds uint64) {
 
 // Pending returns the number of currently buffered messages.
 func (s *Shuffler) Pending() int {
+	if s == nil {
+		return 0
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.pending)

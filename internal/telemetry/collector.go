@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pprox/internal/fleet"
 	"pprox/internal/message"
 	"pprox/internal/metrics"
 )
@@ -40,6 +41,11 @@ type CollectorConfig struct {
 	// Now substitutes the clock (tests); nil means time.Now.
 	Now    func() time.Time
 	Logger *slog.Logger
+	// Overview, when set, samples the co-hosted fleet registry for the
+	// /fleet rollup (pprox-ops serve mode hosts both). When nil, the
+	// rollup falls back to the freshest ingested snapshot that carries a
+	// fleet view.
+	Overview func() *fleet.Overview
 }
 
 // Collector ingests node snapshots and aggregates the fleet view. It is
@@ -190,6 +196,11 @@ type Rollups struct {
 	// flags a mixed-version fleet.
 	BuildSHAs []string `json:"build_shas,omitempty"`
 	BuildSkew bool     `json:"build_skew"`
+	// Fleet is the elastic-fleet view: registry membership (with drain
+	// states) and recent scaling decisions. Sourced from a co-hosted
+	// registry when the collector has one, otherwise from the freshest
+	// snapshot carrying one. Nil when no fleet runs.
+	Fleet *fleet.Overview `json:"fleet,omitempty"`
 }
 
 // StageQuantile is a merged per-stage latency summary.
@@ -228,6 +239,7 @@ func (c *Collector) Fleet() FleetReport {
 	shas := make(map[string]bool)
 	var uaGoodput, allGoodput float64
 	haveUA := false
+	var fleetView *fleet.Overview
 
 	names := make([]string, 0, len(c.nodes))
 	for name := range c.nodes {
@@ -277,11 +289,18 @@ func (c *Collector) Fleet() FleetReport {
 			(report.Rollups.WorstEpochBatch == 0 || w < report.Rollups.WorstEpochBatch) {
 			report.Rollups.WorstEpochBatch = w
 		}
+		if latest.Fleet != nil {
+			fleetView = latest.Fleet
+		}
 	}
 
 	report.Rollups.GoodputRPS = allGoodput
 	if haveUA {
 		report.Rollups.GoodputRPS = uaGoodput
+	}
+	report.Rollups.Fleet = fleetView
+	if c.cfg.Overview != nil {
+		report.Rollups.Fleet = c.cfg.Overview()
 	}
 	for sha := range shas {
 		report.Rollups.BuildSHAs = append(report.Rollups.BuildSHAs, sha)

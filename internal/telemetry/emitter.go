@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pprox/internal/fleet"
 	"pprox/internal/metrics"
 )
 
@@ -45,6 +46,10 @@ type EmitterConfig struct {
 	// AuditState and PerfState, when set, are sampled at each flush.
 	AuditState func() string
 	PerfState  func() string
+
+	// Fleet, when set, samples the elastic-fleet overview at each flush.
+	// Only the node hosting the fleet registry sets it.
+	Fleet func() *fleet.Overview
 
 	// Pusher delivers snapshots; the emitter owns it and closes it.
 	Pusher Pusher
@@ -244,6 +249,9 @@ func (e *Emitter) assemble() ([]byte, error) {
 	}
 	if e.cfg.PerfState != nil {
 		snap.PerfState = e.cfg.PerfState()
+	}
+	if e.cfg.Fleet != nil {
+		snap.Fleet = e.cfg.Fleet()
 	}
 	return json.Marshal(&snap)
 }

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+
+	"pprox/internal/fleet"
+	"pprox/internal/metrics"
+)
+
+// TestFleetOverviewFlowsEmitterToCollector: an emitter with a Fleet
+// closure stamps the overview into its snapshots, and the collector
+// surfaces the freshest one in the /fleet rollup.
+func TestFleetOverviewFlowsEmitterToCollector(t *testing.T) {
+	reg := fleet.NewRegistry(fleet.Config{})
+	reg.Register("ua", "ua-0")
+	reg.Register("ua", "ua-1")
+	reg.EpochBoundary()
+	reg.BeginDrain("ua", "ua-1")
+
+	p := &capturePusher{}
+	em, err := NewEmitter(EmitterConfig{
+		Node:     "fleet-0",
+		Role:     "fleet",
+		Registry: metrics.NewRegistry(),
+		Pusher:   p,
+		Fleet: func() *fleet.Overview {
+			return fleet.BuildOverview(reg, nil, 2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer em.Close()
+	if err := em.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.last(t)
+	if snap.Fleet == nil || len(snap.Fleet.Endpoints) != 2 {
+		t.Fatalf("snapshot fleet view = %+v, want 2 endpoints", snap.Fleet)
+	}
+
+	col := NewCollector(CollectorConfig{})
+	if err := col.Ingest(snap); err != nil {
+		t.Fatal(err)
+	}
+	rep := col.Fleet()
+	fv := rep.Rollups.Fleet
+	if fv == nil || fv.CurrentPairs != 2 {
+		t.Fatalf("rollup fleet view = %+v, want 2 current pairs", fv)
+	}
+	states := map[string]string{}
+	for _, ep := range fv.Endpoints {
+		states[ep.Addr] = ep.State
+	}
+	if states["ua-0"] != "active" || states["ua-1"] != "draining" {
+		t.Fatalf("endpoint states = %v", states)
+	}
+}
+
+// TestCollectorOverviewConfigWins: a co-hosted registry (pprox-ops serve
+// mode) takes precedence over snapshot-carried views.
+func TestCollectorOverviewConfigWins(t *testing.T) {
+	local := &fleet.Overview{CurrentPairs: 7, DesiredPairs: 7}
+	col := NewCollector(CollectorConfig{
+		Overview: func() *fleet.Overview { return local },
+	})
+	snapView := &fleet.Overview{CurrentPairs: 1, DesiredPairs: 1}
+	if err := col.Ingest(Snapshot{Node: "fleet-0", Seq: 1, Fleet: snapView}); err != nil {
+		t.Fatal(err)
+	}
+	if fv := col.Fleet().Rollups.Fleet; fv == nil || fv.CurrentPairs != 7 {
+		t.Fatalf("rollup fleet = %+v, want the co-hosted registry's view", fv)
+	}
+}
+
+// TestCollectorNoFleetIsNil: deployments without a fleet keep the rollup
+// field absent.
+func TestCollectorNoFleetIsNil(t *testing.T) {
+	col := NewCollector(CollectorConfig{})
+	if err := col.Ingest(Snapshot{Node: "ua-0", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if fv := col.Fleet().Rollups.Fleet; fv != nil {
+		t.Fatalf("rollup fleet = %+v, want nil", fv)
+	}
+}

@@ -11,7 +11,10 @@
 // already observes.
 package telemetry
 
-import "pprox/internal/metrics"
+import (
+	"pprox/internal/fleet"
+	"pprox/internal/metrics"
+)
 
 // FleetPath serves the collector's aggregated fleet report as JSON.
 const FleetPath = "/fleet"
@@ -70,6 +73,13 @@ type Snapshot struct {
 	// Transport describes the push channel itself, so the fleet view
 	// shows telemetry-plane health (frame reuse, HTTP fallbacks).
 	Transport TransportStats `json:"transport"`
+
+	// Fleet carries the elastic-fleet view — registry membership and
+	// recent scaling decisions — emitted only by the node hosting the
+	// fleet registry (the deployment's control plane). Membership and
+	// decisions are endpoint-granular, never request-granular, so the
+	// privacy stance above is unchanged.
+	Fleet *fleet.Overview `json:"fleet,omitempty"`
 }
 
 // TransportStats counts push-channel activity for one emitter.
