@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-json bench-compare audit-smoke cache-smoke batch-smoke ops-smoke scale-smoke clean
+.PHONY: all build vet test race verify bench bench-json bench-compare audit-smoke cache-smoke batch-smoke lrs-smoke ops-smoke scale-smoke clean
 
 all: verify
 
@@ -43,6 +43,7 @@ bench:
 bench-json:
 	$(GO) run ./cmd/pprox-bench -quick -out bench batch
 	$(GO) run ./cmd/pprox-bench -quick -out bench cache
+	$(GO) run ./cmd/pprox-bench -quick -out bench lrs10x
 
 # Gate the fresh snapshots against the committed baselines. Exit 3 on a
 # regression; timing checks are skipped automatically when either run's
@@ -53,6 +54,7 @@ bench-json:
 bench-compare: bench-json
 	$(GO) run ./cmd/pprox-bench compare bench/baselines/BENCH_batch.json bench/BENCH_batch.json
 	$(GO) run ./cmd/pprox-bench compare bench/baselines/BENCH_cache.json bench/BENCH_cache.json
+	$(GO) run ./cmd/pprox-bench compare bench/baselines/BENCH_lrs10x.json bench/BENCH_lrs10x.json
 
 # Privacy-SLO smoke test: boot an in-process cluster, inject one
 # under-filled shuffle epoch, and fail unless the auditor reports the
@@ -75,6 +77,18 @@ cache-smoke:
 # variants. Output is kept in batch-smoke.txt for CI artifact upload.
 batch-smoke:
 	$(GO) run ./cmd/pprox-bench -quick batch | tee batch-smoke.txt
+
+# LRS-scale smoke test: run the pprox-bench lrs10x scenario — the
+# sharded, WAL-backed LRS with incremental CCO maintenance at 10× the
+# paper's MovieLens cardinalities. The scenario exits non-zero unless the
+# per-event incremental apply is ≥10× cheaper than a full TrainNow, the
+# online model recommends exactly what the batch twin does, a WAL shard
+# torn mid-append replays to the twin's state, and the full private path
+# carries the workload with a clean privacy audit. Also emits
+# bench/BENCH_lrs10x.json; output is kept in lrs-smoke.txt for CI
+# artifact upload.
+lrs-smoke:
+	$(GO) run ./cmd/pprox-bench -quick -out bench lrs10x | tee lrs-smoke.txt
 
 # Fleet telemetry smoke test: deploy an in-process hopwire cluster with a
 # pprox-ops collector, drive traffic, and fail unless every node reports

@@ -23,6 +23,7 @@ type compareOpts struct {
 	maxAllocsGrowth  float64 // fractional allocs/op growth allowed
 	maxCrossingsGrow float64 // absolute UA crossings/request growth allowed
 	maxLRSGetsGrow   float64 // absolute LRS gets/request growth allowed
+	minIncSpeedup    float64 // incremental apply vs full-train advantage floor
 	maxNoise         float64 // max trial spread before timing checks skip
 }
 
@@ -34,6 +35,7 @@ func defaultCompareOpts() compareOpts {
 		maxAllocsGrowth:  0.25,
 		maxCrossingsGrow: 0.02,
 		maxLRSGetsGrow:   0.05,
+		minIncSpeedup:    10,
 		maxNoise:         0.35,
 	}
 }
@@ -55,6 +57,8 @@ func runCompare(args []string) int {
 		"fail if UA enclave crossings per request grow by more than this absolute amount")
 	fs.Float64Var(&opts.maxLRSGetsGrow, "max-lrs-gets-growth", opts.maxLRSGetsGrow,
 		"fail if LRS gets per request grow by more than this absolute amount")
+	fs.Float64Var(&opts.minIncSpeedup, "min-incremental-speedup", opts.minIncSpeedup,
+		"fail if the per-event incremental apply is not at least this many times cheaper than a full train")
 	fs.Float64Var(&opts.maxNoise, "max-noise", opts.maxNoise,
 		"skip timing checks when either run's trial spread (max-min)/median exceeds this")
 	fs.Usage = func() {
@@ -147,6 +151,25 @@ func compareReports(old, nu BenchReport, opts compareOpts, w *os.File) []string 
 		} else {
 			pass("LRS gets/request %.4f (old %.4f)", *nu.LRSGetsPerRequest, *old.LRSGetsPerRequest)
 		}
+	}
+
+	// The freshness-economics ratio is a same-process, same-log quotient,
+	// so it survives host changes; it must stay above the floor and must
+	// not silently vanish from the snapshot.
+	if nu.IncrementalSpeedup != nil {
+		if *nu.IncrementalSpeedup < opts.minIncSpeedup {
+			fail("incremental speedup ×%.1f below floor ×%.1f",
+				*nu.IncrementalSpeedup, opts.minIncSpeedup)
+		} else {
+			prev := "none"
+			if old.IncrementalSpeedup != nil {
+				prev = fmt.Sprintf("×%.0f", *old.IncrementalSpeedup)
+			}
+			pass("incremental speedup ×%.0f (floor ×%.0f, old %s)",
+				*nu.IncrementalSpeedup, opts.minIncSpeedup, prev)
+		}
+	} else if old.IncrementalSpeedup != nil {
+		fail("incremental speedup missing from new snapshot (old had ×%.0f)", *old.IncrementalSpeedup)
 	}
 
 	// Alloc counts per op are deterministic per commit; time per op is

@@ -89,6 +89,25 @@ func TestCompareFlagsLRSGetsGrowth(t *testing.T) {
 	wantRegression(t, regressionTexts(t, old, nu), "LRS gets/request")
 }
 
+func TestCompareGatesIncrementalSpeedup(t *testing.T) {
+	old, nu := healthyReport(), healthyReport()
+	o, n := 300.0, 6.0
+	old.IncrementalSpeedup, nu.IncrementalSpeedup = &o, &n
+	wantRegression(t, regressionTexts(t, old, nu), "incremental speedup")
+
+	// At or above the floor it passes even when lower than the baseline:
+	// the floor is the contract, the baseline is context.
+	ok := 12.0
+	nu.IncrementalSpeedup = &ok
+	if regs := regressionTexts(t, old, nu); len(regs) != 0 {
+		t.Fatalf("above-floor speedup flagged: %q", regs)
+	}
+
+	// Dropping the measurement entirely is itself a regression.
+	nu.IncrementalSpeedup = nil
+	wantRegression(t, regressionTexts(t, old, nu), "missing")
+}
+
 func TestBenchReportRoundTripAndSchemaCheck(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_batch.json")

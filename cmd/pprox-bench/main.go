@@ -10,6 +10,7 @@
 //	pprox-bench fig10           # full integrated system
 //	pprox-bench shuffle         # §6.2 adversary linking probability
 //	pprox-bench cache           # in-enclave recommendation cache, Zipf gets
+//	pprox-bench lrs10x          # sharded WAL LRS, incremental CCO, 10× MovieLens cardinality
 //	pprox-bench measured        # real-plane latency spot-check (in-process stack)
 //	pprox-bench all             # everything above
 //
@@ -90,7 +91,7 @@ func usage() {
        pprox-bench compare [flags] old.json new.json
 
 experiments:
-  table2 table3 fig6 fig7 fig8 fig9 fig10 shuffle cache batch elastic measured measured-macro all
+  table2 table3 fig6 fig7 fig8 fig9 fig10 shuffle cache batch lrs10x elastic measured measured-macro all
 `)
 	flag.PrintDefaults()
 }
@@ -117,6 +118,8 @@ func run(what string, opts sim.RunOptions) error {
 		return runCacheScenario(opts)
 	case "batch":
 		return runBatchScenario(opts)
+	case "lrs10x":
+		return runLRS10xScenario(opts)
 	case "elastic":
 		printElastic(opts)
 	case "measured":
@@ -138,6 +141,9 @@ func run(what string, opts sim.RunOptions) error {
 			return err
 		}
 		if err := runBatchScenario(opts); err != nil {
+			return err
+		}
+		if err := runLRS10xScenario(opts); err != nil {
 			return err
 		}
 		printElastic(opts)

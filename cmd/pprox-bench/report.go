@@ -158,6 +158,11 @@ type BenchReport struct {
 	// offload measures (host-independent).
 	LRSGetsPerRequest *float64 `json:"lrs_gets_per_request,omitempty"`
 	CacheHitRate      *float64 `json:"cache_hit_rate,omitempty"`
+	// IncrementalSpeedup is the lrs10x scenario's freshness-economics
+	// ratio: one full TrainNow divided by the mean per-event incremental
+	// apply, both measured in the same process on the same log. A ratio,
+	// so host speed largely divides out.
+	IncrementalSpeedup *float64 `json:"incremental_speedup,omitempty"`
 	// AllocsPerOp are in-binary micro-benchmarks of the hot
 	// cryptographic operations (testing.Benchmark, host-independent
 	// alloc counts).

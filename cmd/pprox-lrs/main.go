@@ -31,6 +31,9 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	trainEvery := flag.Duration("train-every", 30*time.Second, "periodic training interval (0 = manual via POST /train)")
 	snapshot := flag.String("snapshot", "", "event-log snapshot file: loaded at start-up if present, written at shutdown")
+	shards := flag.Int("shards", 0, "event-log shards on a consistent-hash ring keyed by the user pseudonym (0 = single shard)")
+	walDir := flag.String("wal-dir", "", "WAL-back every event-log shard under this directory: accepted posts survive a crash (off when empty)")
+	incremental := flag.Bool("incremental", false, "fold each accepted event into the CCO model online; periodic training becomes compaction")
 	opsAddr := flag.String("ops-addr", "", "pprox-ops collector address, e.g. localhost:9090: stream periodic telemetry snapshots (off when empty)")
 	node := flag.String("node", "lrs", "node name reported to -ops-addr")
 	telemetryEvery := flag.Duration("telemetry-interval", 250*time.Millisecond, "telemetry snapshot cadence toward -ops-addr")
@@ -42,7 +45,11 @@ func main() {
 
 	logger := obslog.New(os.Stderr, "pprox-lrs", obslog.ParseLevel(*logLevel))
 	tele := telemetryOpts{opsAddr: *opsAddr, node: *node, interval: *telemetryEvery}
-	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed, tele, logger); err != nil {
+	engCfg := engine.DefaultConfig()
+	engCfg.Shards = *shards
+	engCfg.WALDir = *walDir
+	engCfg.Incremental = *incremental
+	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed, engCfg, tele, logger); err != nil {
 		logger.Error("fatal", "error", err.Error())
 		os.Exit(1)
 	}
@@ -80,11 +87,12 @@ func (t telemetryOpts) newEmitter(reg *metrics.Registry, role string, logger *sl
 	return em, nil
 }
 
-func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec string, faultSeed uint64, tele telemetryOpts, logger *slog.Logger) error {
-	eng, err := loadOrNewEngine(snapshot, logger)
+func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec string, faultSeed uint64, engCfg engine.Config, tele telemetryOpts, logger *slog.Logger) error {
+	eng, err := loadOrNewEngine(engCfg, snapshot, logger)
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	eng.SetLogger(logger)
 	reg := metrics.NewRegistry()
 	metrics.RegisterBuildInfo(reg)
@@ -136,14 +144,23 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 		}
 		ticker := time.NewTicker(trainEvery)
 		defer ticker.Stop()
+		// On a WAL-backed log the periodic job compacts as it trains:
+		// the fresh model's event baseline becomes the shard snapshots
+		// and the WALs truncate, bounding restart replay time.
+		train := eng.TrainNow
+		verb := "model trained"
+		if eng.Durable() {
+			train = eng.Compact
+			verb = "model trained, log compacted"
+		}
 		for {
 			select {
 			case <-ticker.C:
-				if err := eng.TrainNow(); err != nil {
+				if err := train(); err != nil {
 					logger.Warn("training failed", "error", err.Error())
 					continue
 				}
-				logger.Info("model trained", "model", eng.ModelInfo(), "events", eng.EventCount())
+				logger.Info(verb, "model", eng.ModelInfo(), "events", eng.EventCount())
 			case <-stopTrainer:
 				return
 			}
@@ -176,21 +193,23 @@ func run(listen string, trainEvery time.Duration, snapshot, debugAddr, faultSpec
 	return shutdown()
 }
 
-// loadOrNewEngine restores from the snapshot file when it exists and
-// retrains, mirroring a Harness restart against its persisted MongoDB.
-func loadOrNewEngine(snapshot string, logger *slog.Logger) (*engine.Engine, error) {
+// loadOrNewEngine opens the engine (replaying any per-shard WALs under
+// -wal-dir) and, when a snapshot file exists and the WALs brought nothing
+// back, restores it and retrains — mirroring a Harness restart against
+// its persisted MongoDB.
+func loadOrNewEngine(cfg engine.Config, snapshot string, logger *slog.Logger) (*engine.Engine, error) {
 	if snapshot == "" {
-		return engine.New(engine.DefaultConfig()), nil
+		return engine.Open(cfg)
 	}
 	f, err := os.Open(snapshot)
 	if os.IsNotExist(err) {
-		return engine.New(engine.DefaultConfig()), nil
+		return engine.Open(cfg)
 	}
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	eng, err := engine.NewFromSnapshot(engine.DefaultConfig(), f)
+	eng, err := engine.NewFromSnapshot(cfg, f)
 	if err != nil {
 		return nil, fmt.Errorf("load snapshot %s: %w", snapshot, err)
 	}
@@ -201,21 +220,7 @@ func loadOrNewEngine(snapshot string, logger *slog.Logger) (*engine.Engine, erro
 	return eng, nil
 }
 
-// saveSnapshot writes atomically: temp file then rename.
+// saveSnapshot writes atomically: temp file, fsync, then rename.
 func saveSnapshot(eng *engine.Engine, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := eng.SaveSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return eng.SaveSnapshotFile(path)
 }

@@ -45,6 +45,12 @@ func newTappedStack(t *testing.T, shuffleSize int) *tappedStack {
 // newTappedStackWithCache optionally equips the IA layer with the
 // in-enclave recommendation cache, for the cache-specific attacks.
 func newTappedStackWithCache(t *testing.T, shuffleSize int, cache *reccache.Cache) *tappedStack {
+	return newTappedStackEngine(t, shuffleSize, cache, engine.DefaultConfig())
+}
+
+// newTappedStackEngine additionally takes the LRS engine configuration,
+// so the shard/WAL attacks can run against a durable sharded store.
+func newTappedStackEngine(t *testing.T, shuffleSize int, cache *reccache.Cache, engCfg engine.Config) *tappedStack {
 	t.Helper()
 	st := &tappedStack{rec: adversary.NewRecorder(), net: transport.NewNetwork()}
 	t.Cleanup(func() { st.net.Close() })
@@ -70,7 +76,8 @@ func newTappedStackWithCache(t *testing.T, shuffleSize int, cache *reccache.Cach
 		t.Fatal(err)
 	}
 
-	st.engine = engine.New(engine.DefaultConfig())
+	st.engine = engine.New(engCfg)
+	t.Cleanup(func() { st.engine.Close() })
 	// LRS tap: the adversary reads API calls to the LRS in the clear
 	// (§2.3 ➋) — label each with the pseudonymous user it carries.
 	lrsTap := adversary.Tap(st.rec, "ia→lrs", func(body []byte) string {

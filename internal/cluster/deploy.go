@@ -84,6 +84,15 @@ type Spec struct {
 	LRSFrontends int
 	// EngineConfig overrides the engine defaults when set.
 	EngineConfig *engine.Config
+	// LRSShards splits the engine's event log over a consistent-hash
+	// ring keyed by the user pseudonym (0 = single shard).
+	LRSShards int
+	// LRSWALDir, when set, WAL-backs every event-log shard under this
+	// directory so accepted posts survive an LRS crash.
+	LRSWALDir string
+	// LRSIncremental folds each accepted primary event into the CCO
+	// counts online; batch training becomes the compaction fallback.
+	LRSIncremental bool
 	// LRSMiddleware, when set, wraps the LRS handler — e.g. with an
 	// adversary network tap for the security experiments.
 	LRSMiddleware func(http.Handler) http.Handler
@@ -568,7 +577,20 @@ func (d *Deployment) deployLRS(spec Spec) error {
 		if spec.EngineConfig != nil {
 			cfg = *spec.EngineConfig
 		}
-		d.Engine = engine.New(cfg)
+		if spec.LRSShards > 0 {
+			cfg.Shards = spec.LRSShards
+		}
+		if spec.LRSWALDir != "" {
+			cfg.WALDir = spec.LRSWALDir
+		}
+		if spec.LRSIncremental {
+			cfg.Incremental = true
+		}
+		eng, err := engine.Open(cfg)
+		if err != nil {
+			return fmt.Errorf("open engine: %w", err)
+		}
+		d.Engine = eng
 		if spec.Logger != nil {
 			d.Engine.SetLogger(spec.Logger.With("node", "lrs"))
 		}

@@ -1,11 +1,17 @@
 // Package engine assembles the legacy recommendation system (LRS): a
 // Universal-Recommender-style engine equivalent to the Harness deployment
 // the PProx paper integrates with (§7). Feedback events are persisted in
-// the document store (the MongoDB substitute) as "inputs pending
+// the sharded document store (the MongoDB substitute) as "inputs pending
 // processing"; a batch training job (the Spark substitute) builds the CCO
 // model; the model is served from the inverted index (the Elasticsearch
 // substitute); and a REST front end exposes the post/get API that PProx
 // proxies.
+//
+// The event log is split over a consistent-hash ring keyed by the *user
+// pseudonym* — the engine shards blind ciphertexts, never identities —
+// and each shard can be WAL-backed for durability. In incremental mode
+// every accepted primary event is folded into the CCO counts online
+// (cco.Incremental), demoting the batch job to a compaction fallback.
 //
 // The engine is agnostic to whether identifiers are cleartext or PProx
 // pseudonyms — exactly the property that makes PProx transparent to an
@@ -42,11 +48,23 @@ type Config struct {
 	// primary-indicator clauses (UR default: secondary events inform
 	// but do not dominate).
 	SecondaryBoost float64
-	// Trainer bounds the CCO batch job.
+	// Trainer bounds the CCO batch job and the incremental model alike.
 	Trainer cco.Config
+	// Shards splits the event log over a consistent-hash ring keyed by
+	// the user pseudonym; values below 1 mean a single shard.
+	Shards int
+	// WALDir, when set, backs every shard with an append-only WAL plus
+	// snapshot under this directory: an accepted post survives a crash.
+	// Empty keeps the log in memory, as before.
+	WALDir string
+	// Incremental folds each accepted primary event into the CCO counts
+	// online, so retrieval stays fresh between batch trains and TrainNow
+	// becomes the compaction fallback.
+	Incremental bool
 }
 
-// DefaultConfig mirrors a stock Universal Recommender setup.
+// DefaultConfig mirrors a stock Universal Recommender setup: a single
+// in-memory shard, batch training only.
 func DefaultConfig() Config {
 	return Config{
 		DefaultN:        message.MaxRecommendations,
@@ -57,21 +75,33 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine is the LRS: event ingestion, batch training, and query serving.
+// Engine is the LRS: event ingestion, training (batch or incremental),
+// and query serving.
 type Engine struct {
-	cfg    Config
-	db     *store.Store
-	events *store.Collection
+	cfg Config
+	log *store.ShardedLog
 
 	index atomic.Pointer[search.Index]
 	model atomic.Pointer[cco.MultiModel]
+	inc   atomic.Pointer[cco.Incremental] // nil unless cfg.Incremental
 
 	trainMu sync.Mutex // serializes batch training jobs
+	applyMu sync.Mutex // orders log appends with incremental applies
 
 	posts   atomic.Uint64
 	queries atomic.Uint64
 	trains  atomic.Uint64
 	dups    atomic.Uint64
+
+	applied    atomic.Uint64 // events folded into the incremental model
+	applyNanos atomic.Int64  // cumulative time spent in incremental applies
+	trainNanos atomic.Int64  // duration of the last batch train
+	walErrs    atomic.Uint64 // posts rejected because the WAL append failed
+
+	repseudo         atomic.Pointer[RepseudoJob]
+	repseudoRuns     atomic.Uint64
+	repseudoFailures atomic.Uint64
+	repseudoMigrated atomic.Uint64
 
 	idem idemRegistry
 
@@ -85,7 +115,7 @@ type Engine struct {
 // Nil disables logging.
 func (e *Engine) SetLogger(l *slog.Logger) { e.logger.Store(l) }
 
-func (e *Engine) log() *slog.Logger { return e.logger.Load() }
+func (e *Engine) slogger() *slog.Logger { return e.logger.Load() }
 
 // idemRegistry remembers recently seen idempotency keys so a retried
 // insertion (the proxy resent an event whose reply was lost) is dropped
@@ -123,24 +153,11 @@ func (ir *idemRegistry) claim(key string) bool {
 	return true
 }
 
-// New creates an engine with an empty model.
-func New(cfg Config) *Engine {
-	return newWithStore(cfg, store.New())
-}
-
-// NewFromSnapshot restores an engine from a store snapshot written by
-// SaveSnapshot — the restart-with-persisted-inputs path a MongoDB-backed
-// Harness deployment has. The model is not persisted; run TrainNow after
-// loading, exactly as Harness rebuilds its model from stored inputs.
-func NewFromSnapshot(cfg Config, r io.Reader) (*Engine, error) {
-	db, err := store.LoadSnapshot(r)
-	if err != nil {
-		return nil, err
-	}
-	return newWithStore(cfg, db), nil
-}
-
-func newWithStore(cfg Config, db *store.Store) *Engine {
+// Open creates an engine. With cfg.WALDir set the shards are opened from
+// disk (snapshot load + WAL replay) and, when events were recovered, the
+// model is rebuilt immediately so the engine serves from what it durably
+// accepted before the crash.
+func Open(cfg Config) (*Engine, error) {
 	if cfg.DefaultN <= 0 || cfg.DefaultN > message.MaxRecommendations {
 		cfg.DefaultN = message.MaxRecommendations
 	}
@@ -150,12 +167,18 @@ func newWithStore(cfg Config, db *store.Store) *Engine {
 	if cfg.MaxBlacklist < 0 {
 		cfg.MaxBlacklist = 0
 	}
-	events := db.Collection("events")
-	events.EnsureIndex("user")
 	if cfg.SecondaryBoost <= 0 {
 		cfg.SecondaryBoost = DefaultConfig().SecondaryBoost
 	}
-	e := &Engine{cfg: cfg, db: db, events: events}
+	lg, err := store.OpenShardedLog(store.ShardedConfig{
+		Shards:      cfg.Shards,
+		Dir:         cfg.WALDir,
+		IndexFields: []string{"user"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, log: lg}
 	e.index.Store(search.NewIndex())
 	e.model.Store(&cco.MultiModel{
 		Primary: &cco.Model{
@@ -164,8 +187,59 @@ func newWithStore(cfg Config, db *store.Store) *Engine {
 		},
 		Cross: map[string]map[string][]cco.Correlation{},
 	})
+	if cfg.Incremental {
+		e.inc.Store(cco.NewIncremental(cfg.Trainer))
+	}
+	if lg.Count() > 0 {
+		if err := e.TrainNow(); err != nil {
+			lg.Close()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// New creates an engine with an empty model. It panics if the config
+// cannot be opened — only possible with a WALDir, where callers should
+// use Open and handle the error.
+func New(cfg Config) *Engine {
+	e, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
 	return e
 }
+
+// NewFromSnapshot restores an engine from a snapshot written by
+// SaveSnapshot (either the flat v1 layout or the sharded v2 one; events
+// are re-routed through the ring, so the shard count may differ from the
+// writer's) — the restart-with-persisted-inputs path a MongoDB-backed
+// Harness deployment has. The model is not persisted; run TrainNow after
+// loading, exactly as Harness rebuilds its model from stored inputs.
+func NewFromSnapshot(cfg Config, r io.Reader) (*Engine, error) {
+	e, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.log.Restore(r); err != nil {
+		e.log.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Close releases the engine's storage (open WAL files) without
+// compacting; use Compact first for a clean shutdown.
+func (e *Engine) Close() error { return e.log.Close() }
+
+// NumShards returns the event-log shard count.
+func (e *Engine) NumShards() int { return e.log.NumShards() }
+
+// Durable reports whether the event log is WAL-backed.
+func (e *Engine) Durable() bool { return e.log.Durable() }
+
+// Incremental reports whether per-event model maintenance is on.
+func (e *Engine) Incremental() bool { return e.inc.Load() != nil }
 
 // InsertEvent records primary-indicator feedback: user accessed item,
 // with an optional payload (e.g. a rating) that collaborative filtering
@@ -183,23 +257,48 @@ func (e *Engine) InsertTypedEvent(user, item, payload, eventType string) {
 // InsertTypedEventIdem records feedback carrying an idempotency key. A
 // repeated key within the dedup window reports false and stores nothing —
 // the retried delivery of an event the store already has. The empty key
-// always stores (legacy clients and proxies without the feature).
+// always stores (legacy clients and proxies without the feature). On a
+// durable log, false is also returned when the WAL append fails: an event
+// the engine cannot make durable is not accepted.
 func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem string) bool {
 	e.posts.Add(1)
 	if idem != "" && !e.idem.claim(idem) {
 		e.dups.Add(1)
-		if l := e.log(); l != nil {
+		if l := e.slogger(); l != nil {
 			l.Debug("duplicate event dropped", "idem", idem)
 		}
 		return false
 	}
-	e.events.Insert(map[string]string{
+	fields := map[string]string{
 		"user":    user,
 		"item":    item,
 		"payload": payload,
 		"type":    eventType,
-	})
-	if l := e.log(); l != nil {
+	}
+
+	// applyMu makes {append to log, fold into incremental model} one
+	// ordered step: the store's per-user event order is exactly the order
+	// the incremental counts saw, which is what keeps them convergent
+	// with a batch retrain over the log.
+	e.applyMu.Lock()
+	var insErr error
+	if job := e.repseudo.Load(); job != nil {
+		insErr = job.insertOrJournal(fields)
+	} else {
+		_, insErr = e.log.Insert(fields)
+	}
+	if insErr != nil {
+		e.applyMu.Unlock()
+		e.walErrs.Add(1)
+		if l := e.slogger(); l != nil {
+			l.Error("event rejected: append failed", "err", insErr)
+		}
+		return false
+	}
+	e.applyIncrementalLocked(user, item, eventType)
+	e.applyMu.Unlock()
+
+	if l := e.slogger(); l != nil {
 		l.Debug("event ingested",
 			"user", obslog.Pseudonym(user), "item", obslog.Pseudonym(item),
 			"type", eventType)
@@ -207,24 +306,98 @@ func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem strin
 	return true
 }
 
+// applyIncrementalLocked folds one event into the incremental model and
+// patches the changed indicator rows into the live index. Secondary-typed
+// events only reach cross-occurrence at the next batch train (the online
+// model maintains the primary indicator, which drives retrieval).
+// Callers hold e.applyMu.
+func (e *Engine) applyIncrementalLocked(user, item, typ string) {
+	inc := e.inc.Load()
+	if inc == nil || typ != "" {
+		return
+	}
+	start := time.Now()
+	updates := inc.Apply(cco.Event{User: user, Item: item})
+	if len(updates) > 0 {
+		idx := e.index.Load()
+		for _, up := range updates {
+			applyRowUpdate(idx, up)
+		}
+	}
+	e.applied.Add(1)
+	e.applyNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// applyRowUpdate patches one item's primary-indicator field in the live
+// index, preserving whatever cross-indicator fields the last batch train
+// put on the document.
+func applyRowUpdate(idx *search.Index, up cco.RowUpdate) {
+	doc, ok := idx.Get(up.Item)
+	if !ok {
+		if len(up.Indicators) == 0 {
+			return
+		}
+		doc = search.Doc{ID: up.Item, Fields: map[string][]string{"id": {up.Item}}}
+	}
+	if len(up.Indicators) == 0 {
+		delete(doc.Fields, "indicators")
+		if len(doc.Fields) <= 1 { // nothing left but the "id" self-field
+			idx.Delete(up.Item)
+			return
+		}
+		idx.Put(doc)
+		return
+	}
+	terms := make([]string, len(up.Indicators))
+	for i, c := range up.Indicators {
+		terms[i] = c.Item
+	}
+	doc.Fields["indicators"] = terms
+	idx.Put(doc)
+}
+
 // DupEvents reports how many insertions were dropped as idempotent
 // duplicates.
 func (e *Engine) DupEvents() uint64 { return e.dups.Load() }
 
-// EventCount returns the number of stored feedback events.
-func (e *Engine) EventCount() int { return e.events.Count() }
+// WALErrors reports how many posts were rejected by WAL append failures.
+func (e *Engine) WALErrors() uint64 { return e.walErrs.Load() }
 
-// TrainNow runs the batch training job: it snapshots the event log, builds
-// a fresh CCO model, and atomically swaps in a new index — the same
-// periodic-rebuild lifecycle as Harness running Apache Spark (§7). Queries
-// keep being served from the previous model during training.
+// EventsApplied reports how many events the incremental model has folded
+// in.
+func (e *Engine) EventsApplied() uint64 { return e.applied.Load() }
+
+// ApplySeconds reports the cumulative time spent in incremental applies.
+func (e *Engine) ApplySeconds() float64 {
+	return time.Duration(e.applyNanos.Load()).Seconds()
+}
+
+// TrainSeconds reports the duration of the last batch training run.
+func (e *Engine) TrainSeconds() float64 {
+	return time.Duration(e.trainNanos.Load()).Seconds()
+}
+
+// EventCount returns the number of stored feedback events.
+func (e *Engine) EventCount() int { return e.log.Count() }
+
+// TrainNow runs the batch training job: it snapshots the event log in
+// deterministic order, builds a fresh CCO model, and atomically swaps in
+// a new index — the same periodic-rebuild lifecycle as Harness running
+// Apache Spark (§7). In incremental mode it doubles as the compaction
+// fallback: the online counts are reseeded from the same ordered stream,
+// so batch and incremental state coincide exactly at every train.
+// Queries keep being served from the previous model during training.
 func (e *Engine) TrainNow() error {
 	e.trainMu.Lock()
 	defer e.trainMu.Unlock()
+	// Block appends for the scan+reseed so the reseeded counts cover
+	// precisely the scanned events — posts resume against the new state.
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
 	start := time.Now()
 
-	events := make([]cco.TypedEvent, 0, e.events.Count())
-	e.events.Scan(func(d store.Document) bool {
+	events := make([]cco.TypedEvent, 0, e.log.Count())
+	e.log.ScanOrdered(func(d store.Document) bool {
 		events = append(events, cco.TypedEvent{
 			User: d.Fields["user"],
 			Item: d.Fields["item"],
@@ -234,10 +407,34 @@ func (e *Engine) TrainNow() error {
 	})
 
 	model := cco.TrainMulti(events, e.cfg.Trainer)
+	idx := buildIndex(model)
 
-	// One document per item carrying its primary indicators and one
-	// cross-indicator field per secondary type — the Universal
-	// Recommender's Elasticsearch document layout.
+	if e.inc.Load() != nil {
+		inc := cco.NewIncremental(e.cfg.Trainer)
+		for _, ev := range events {
+			if ev.Type == "" {
+				inc.Apply(cco.Event{User: ev.User, Item: ev.Item})
+			}
+		}
+		e.inc.Store(inc)
+	}
+
+	e.model.Store(model)
+	e.index.Store(idx)
+	e.trains.Add(1)
+	e.trainNanos.Store(time.Since(start).Nanoseconds())
+	if l := e.slogger(); l != nil {
+		l.Info("model trained",
+			"events", len(events), "items", idx.Len(),
+			"duration_ms", time.Since(start).Milliseconds())
+	}
+	return nil
+}
+
+// buildIndex lays the model out the way the Universal Recommender lays
+// out Elasticsearch documents: one document per item carrying its primary
+// indicators and one cross-indicator field per secondary type.
+func buildIndex(model *cco.MultiModel) *search.Index {
 	idx := search.NewIndex()
 	docs := make(map[string]search.Doc)
 	docFor := func(item string) search.Doc {
@@ -268,16 +465,34 @@ func (e *Engine) TrainNow() error {
 	for _, d := range docs {
 		idx.Put(d)
 	}
+	return idx
+}
 
-	e.model.Store(model)
-	e.index.Store(idx)
-	e.trains.Add(1)
-	if l := e.log(); l != nil {
-		l.Info("model trained",
-			"events", len(events), "items", len(docs),
-			"duration_ms", time.Since(start).Milliseconds())
+// Refresh re-scores every row of the incremental model and swaps in a
+// fully rebuilt index and primary model, without re-reading the event
+// log (cross-indicators keep their last batch state). It closes the gap
+// online applies leave open: rows whose pair counts never changed carry
+// scores from an older population. A no-op in batch mode.
+func (e *Engine) Refresh() {
+	inc := e.inc.Load()
+	if inc == nil {
+		return
 	}
-	return nil
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	model := &cco.MultiModel{Primary: inc.Model(), Cross: e.model.Load().Cross}
+	e.model.Store(model)
+	e.index.Store(buildIndex(model))
+}
+
+// Compact folds the log into fresh batch state (TrainNow, which also
+// reseeds the incremental counts) and then makes the current shard
+// contents the durable baseline: snapshot written, WALs truncated.
+func (e *Engine) Compact() error {
+	if err := e.TrainNow(); err != nil {
+		return err
+	}
+	return e.log.Compact()
 }
 
 // crossField names the index field holding cross-indicators of a type.
@@ -325,7 +540,13 @@ func (e *Engine) Recommend(user string, n int) []string {
 	}
 
 	if len(recs) < n {
-		recs = fillWithPopular(recs, primary, model.Primary, n)
+		// Cold-start popularity: live counts in incremental mode, the
+		// last batch model otherwise.
+		popFn := model.Primary.PopularItems
+		if inc := e.inc.Load(); inc != nil {
+			popFn = inc.PopularItems
+		}
+		recs = fillWithPopular(recs, primary, popFn, n)
 	}
 	return recs
 }
@@ -340,7 +561,7 @@ func tail(s []string, k int) []string {
 
 // fillWithPopular completes a short result list with popular items the
 // user has not seen and that are not already recommended.
-func fillWithPopular(recs, history []string, model *cco.Model, n int) []string {
+func fillWithPopular(recs, history []string, popFn func(int) []string, n int) []string {
 	taken := make(map[string]bool, len(recs)+len(history))
 	for _, r := range recs {
 		taken[r] = true
@@ -348,7 +569,7 @@ func fillWithPopular(recs, history []string, model *cco.Model, n int) []string {
 	for _, h := range history {
 		taken[h] = true
 	}
-	for _, p := range model.PopularItems(n + len(taken)) {
+	for _, p := range popFn(n + len(taken)) {
 		if len(recs) >= n {
 			break
 		}
@@ -361,9 +582,10 @@ func fillWithPopular(recs, history []string, model *cco.Model, n int) []string {
 }
 
 // userHistory returns the user's distinct primary-indicator items and a
-// per-secondary-type history, each in insertion order.
+// per-secondary-type history, each in insertion order. The lookup lands
+// on the single shard owning the user pseudonym.
 func (e *Engine) userHistory(user string) (primary []string, byType map[string][]string) {
-	docs := e.events.FindBy("user", user)
+	docs := e.log.FindBy("user", user)
 	seen := make(map[[2]string]bool, len(docs))
 	for _, d := range docs {
 		item := d.Fields["item"]
@@ -384,46 +606,15 @@ func (e *Engine) userHistory(user string) (primary []string, byType map[string][
 	return primary, byType
 }
 
-// ForEachEvent visits every stored feedback event. It exists for
-// operational observability and for the evaluation's verification that the
-// database contains only pseudonymous identifiers (§6.1, cases 1c/2c model
-// an adversary reading this very data).
+// ForEachEvent visits every stored feedback event in deterministic shard
+// order. It exists for operational observability and for the evaluation's
+// verification that the database contains only pseudonymous identifiers
+// (§6.1, cases 1c/2c model an adversary reading this very data).
 func (e *Engine) ForEachEvent(fn func(store.Document)) {
-	e.events.Scan(func(d store.Document) bool {
+	e.log.ScanOrdered(func(d store.Document) bool {
 		fn(d)
 		return true
 	})
-}
-
-// RewriteEvents atomically replaces every stored event with the rewritten
-// field set returned by rw, then leaves the model untouched (callers
-// retrain afterwards). It exists for operator-driven migrations such as
-// the key-rotation breach response (§2.3 footnote 1: "downloading the LRS
-// state for local re-encryption before re-uploading it"). If rw fails for
-// any document, nothing is changed.
-func (e *Engine) RewriteEvents(rw func(fields map[string]string) (map[string]string, error)) error {
-	e.trainMu.Lock()
-	defer e.trainMu.Unlock()
-
-	var rewritten []map[string]string
-	var rwErr error
-	e.events.Scan(func(d store.Document) bool {
-		out, err := rw(d.Fields)
-		if err != nil {
-			rwErr = fmt.Errorf("rewrite event %s: %w", d.ID, err)
-			return false
-		}
-		rewritten = append(rewritten, out)
-		return true
-	})
-	if rwErr != nil {
-		return rwErr
-	}
-	e.events.Clear()
-	for _, fields := range rewritten {
-		e.events.Insert(fields)
-	}
-	return nil
 }
 
 // Stats reports request counters: posts, queries, and completed training
@@ -433,16 +624,31 @@ func (e *Engine) Stats() (posts, queries, trains uint64) {
 }
 
 // SaveSnapshot persists the engine's durable state (the event log; the
-// model is derived and rebuilt by TrainNow).
+// model is derived and rebuilt by TrainNow). The snapshot is the sharded
+// v2 layout; NewFromSnapshot also accepts pre-sharding v1 files.
 func (e *Engine) SaveSnapshot(w io.Writer) error {
-	e.trainMu.Lock()
-	defer e.trainMu.Unlock()
-	return e.db.WriteSnapshot(w)
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	return e.log.WriteSnapshot(w)
+}
+
+// SaveSnapshotFile persists the snapshot to path atomically (temp +
+// fsync + rename): a crash mid-save leaves the previous snapshot intact.
+func (e *Engine) SaveSnapshotFile(path string) error {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	return e.log.WriteSnapshotFile(path)
 }
 
 // ModelInfo summarizes the served model for operational visibility.
 func (e *Engine) ModelInfo() string {
 	m := e.model.Load()
-	return fmt.Sprintf("users=%d items=%d indicators=%d cross-types=%d",
+	info := fmt.Sprintf("users=%d items=%d indicators=%d cross-types=%d",
 		m.Primary.Users, len(m.Primary.Popularity), len(m.Primary.Indicators), len(m.Cross))
+	if inc := e.inc.Load(); inc != nil {
+		users, items, rows := inc.Counts()
+		info += fmt.Sprintf(" incremental[users=%d items=%d rows=%d applied=%d]",
+			users, items, rows, e.applied.Load())
+	}
+	return info
 }

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pprox/internal/lrs/store"
+)
+
+// repseudo.go implements rotation-scale re-pseudonymization as a
+// background, shard-at-a-time job. The key-rotation breach response
+// (§2.3 footnote 1 of the PProx paper: "downloading the LRS state for
+// local re-encryption before re-uploading it") previously rewrote the
+// whole event log under one lock; at 10× MovieLens cardinality that
+// stop-the-world pause is exactly what an elastic deployment cannot
+// afford. The job instead stages one shard at a time while the engine
+// keeps serving, diverting inserts racing with a staged shard into a
+// journal that is replayed — transformed — at the atomic apply step.
+//
+// Fail-closed: if the mapping fails for any stored document, nothing is
+// replaced, journaled inserts are flushed back raw, and the error
+// surfaces through Wait. The auditor's breach state is cleared only
+// after Wait returns success (see rotation.Countermeasure), so a failed
+// or partial rotation keeps the deployment marked breached.
+
+// ErrRepseudoActive reports that a re-pseudonymization job is already
+// running; the engine runs at most one at a time.
+var ErrRepseudoActive = errors.New("engine: re-pseudonymization already running")
+
+// RepseudoJob is one background re-pseudonymization pass over the event
+// log.
+type RepseudoJob struct {
+	e     *Engine
+	field string
+	mapFn func(string) (string, error)
+
+	mu       sync.Mutex
+	staged   []bool              // shard i's contents are being rewritten
+	journal  []map[string]string // inserts diverted while their shard was staged
+	finished bool                // apply done: inserts go straight to the log again
+
+	migrated   atomic.Uint64
+	shardsDone atomic.Uint64
+
+	err  error // set before done closes
+	done chan struct{}
+}
+
+// Repseudonymize starts a background job rewriting the given pseudonym
+// field ("user" or "item") of every stored event through mapFn. Serving
+// continues throughout; posts racing with a staged shard are journaled
+// and folded in at the apply step. On success the job finishes with a
+// full retrain, so the served model speaks the new pseudonym space.
+// A second concurrent job is refused with ErrRepseudoActive.
+func (e *Engine) Repseudonymize(field string, mapFn func(string) (string, error)) (*RepseudoJob, error) {
+	if field != "user" && field != "item" {
+		return nil, fmt.Errorf("engine: cannot re-pseudonymize field %q", field)
+	}
+	job := &RepseudoJob{
+		e:      e,
+		field:  field,
+		mapFn:  mapFn,
+		staged: make([]bool, e.log.NumShards()),
+		done:   make(chan struct{}),
+	}
+	if !e.repseudo.CompareAndSwap(nil, job) {
+		return nil, ErrRepseudoActive
+	}
+	e.repseudoRuns.Add(1)
+	go job.run()
+	return job, nil
+}
+
+// RepseudoActive reports whether a re-pseudonymization job is running.
+func (e *Engine) RepseudoActive() bool { return e.repseudo.Load() != nil }
+
+// RepseudoStats reports lifetime job counters: runs started, failures,
+// and events migrated.
+func (e *Engine) RepseudoStats() (runs, failures, migrated uint64) {
+	return e.repseudoRuns.Load(), e.repseudoFailures.Load(), e.repseudoMigrated.Load()
+}
+
+// RepseudoProgress reports the running job's shard progress as
+// (done, total); (0, 0) when no job is active.
+func (e *Engine) RepseudoProgress() (done, total int) {
+	job := e.repseudo.Load()
+	if job == nil {
+		return 0, 0
+	}
+	return int(job.shardsDone.Load()), len(job.staged)
+}
+
+// Wait blocks until the job (including its final retrain) completes and
+// returns its error.
+func (j *RepseudoJob) Wait() error {
+	<-j.done
+	return j.err
+}
+
+// Done reports completion without blocking.
+func (j *RepseudoJob) Done() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Migrated returns how many stored events the job has rewritten so far.
+func (j *RepseudoJob) Migrated() uint64 { return j.migrated.Load() }
+
+// insertOrJournal is the insert path while the job is live, called with
+// e.applyMu held. An insert routed to a shard whose contents are staged
+// for replacement would be silently lost by the swap — those are
+// journaled (with their original pseudonyms) and replayed transformed at
+// the apply step. Everything else goes straight to the log. The staged
+// check and the divert happen under one lock acquisition, so a shard
+// cannot become staged between them.
+func (j *RepseudoJob) insertOrJournal(fields map[string]string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.finished {
+		if target := j.e.log.Owner(fields[store.RouteField]); j.staged[target] {
+			cp := make(map[string]string, len(fields))
+			for k, v := range fields {
+				cp[k] = v
+			}
+			j.journal = append(j.journal, cp)
+			return nil
+		}
+	}
+	_, err := j.e.log.Insert(fields)
+	return err
+}
+
+// transform rewrites one event's pseudonym field and returns the new
+// fields plus the shard the rewritten event routes to. Rotating the user
+// layer moves the event to the shard owning the *new* user pseudonym;
+// rotating the item layer leaves routing unchanged.
+func (j *RepseudoJob) transform(fields map[string]string) (map[string]string, int, error) {
+	out := make(map[string]string, len(fields))
+	for k, v := range fields {
+		out[k] = v
+	}
+	fresh, err := j.mapFn(fields[j.field])
+	if err != nil {
+		return nil, 0, fmt.Errorf("re-pseudonymize %s %q…: %w", j.field, head(fields[j.field]), err)
+	}
+	out[j.field] = fresh
+	return out, j.e.log.Owner(out[store.RouteField]), nil
+}
+
+// head truncates a pseudonym for error messages — enough to locate the
+// record, not enough to be a useful ciphertext.
+func head(s string) string {
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}
+
+func (j *RepseudoJob) run() {
+	err := j.migrate()
+	if err != nil {
+		j.e.repseudoFailures.Add(1)
+		// Abort: nothing was replaced (migrate fails closed before the
+		// apply step, and a failed apply surfaces the storage error), so
+		// flush the diverted inserts back raw — they still carry the
+		// pseudonyms the rest of the log speaks.
+		j.mu.Lock()
+		journal := j.journal
+		j.journal = nil
+		j.finished = true
+		j.mu.Unlock()
+		for _, fields := range journal {
+			if _, insErr := j.e.log.Insert(fields); insErr != nil && err == nil {
+				err = insErr
+			}
+		}
+	} else {
+		err = j.e.TrainNow()
+	}
+	j.err = err
+	j.e.repseudo.Store(nil)
+	close(j.done)
+}
+
+// migrate is the two-phase body: stage every shard (scan + transform into
+// per-target buckets), then atomically apply (replace every shard and
+// replay the journal transformed).
+func (j *RepseudoJob) migrate() error {
+	e := j.e
+	n := e.log.NumShards()
+	buckets := make([][]map[string]string, n)
+
+	// Phase A — stage shard by shard. A shard is marked staged *before*
+	// its scan starts: from that moment inserts routed to it are
+	// journaled, so scan + journal together cover every accepted event.
+	for i := 0; i < n; i++ {
+		j.mu.Lock()
+		j.staged[i] = true
+		j.mu.Unlock()
+
+		var scanErr error
+		e.log.ScanShard(i, func(d store.Document) bool {
+			out, target, err := j.transform(d.Fields)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			buckets[target] = append(buckets[target], out)
+			j.migrated.Add(1)
+			e.repseudoMigrated.Add(1)
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		j.shardsDone.Add(1)
+	}
+
+	// Phase B — apply. Under the job lock no insert can interleave:
+	// every shard's contents are swapped for its bucket, then the
+	// journal is replayed through the transform. Appending journaled
+	// events after the bucketed ones preserves per-user order — they
+	// arrived after the staging scan read their shard.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if err := e.log.ReplaceShard(i, buckets[i]); err != nil {
+			return err
+		}
+	}
+	for _, fields := range j.journal {
+		out, _, err := j.transform(fields)
+		if err != nil {
+			return err
+		}
+		if _, err := e.log.Insert(out); err != nil {
+			return err
+		}
+		j.migrated.Add(1)
+		e.repseudoMigrated.Add(1)
+	}
+	j.journal = nil
+	j.finished = true
+	return nil
+}

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"pprox/internal/lrs/store"
+)
+
+func repseudoEngine(t *testing.T, shards int) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Trainer = tinyTrainer()
+	cfg.Shards = shards
+	return New(cfg)
+}
+
+func rekeyUser(p string) (string, error) {
+	if !strings.HasPrefix(p, "old:") {
+		return "", fmt.Errorf("unexpected pseudonym %q", p)
+	}
+	return "new:" + strings.TrimPrefix(p, "old:"), nil
+}
+
+func TestRepseudonymizeRewritesEveryEvent(t *testing.T) {
+	e := repseudoEngine(t, 4)
+	for i := 0; i < 60; i++ {
+		e.InsertEvent(fmt.Sprintf("old:u%d", i%6), fmt.Sprintf("item-%d", i%9), "")
+	}
+	if err := e.TrainNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := e.Repseudonymize("user", rekeyUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if job.Migrated() != 60 {
+		t.Fatalf("migrated = %d", job.Migrated())
+	}
+	e.ForEachEvent(func(d store.Document) {
+		if !strings.HasPrefix(d.Fields["user"], "new:") {
+			t.Fatalf("unrotated event: %v", d.Fields)
+		}
+	})
+	// The job's final retrain speaks the new pseudonym space: a rotated
+	// user still gets community recommendations.
+	if recs := e.Recommend("new:u0", 5); len(recs) == 0 {
+		t.Fatal("no recommendations after rotation retrain")
+	}
+	runs, failures, migrated := e.RepseudoStats()
+	if runs != 1 || failures != 0 || migrated != 60 {
+		t.Fatalf("stats = (%d, %d, %d)", runs, failures, migrated)
+	}
+	if e.RepseudoActive() {
+		t.Fatal("job still marked active")
+	}
+}
+
+func TestRepseudonymizeItemFieldKeepsRouting(t *testing.T) {
+	e := repseudoEngine(t, 3)
+	for i := 0; i < 30; i++ {
+		e.InsertEvent(fmt.Sprintf("u%d", i%5), fmt.Sprintf("old:i%d", i%7), "")
+	}
+	job, err := e.Repseudonymize("item", func(p string) (string, error) {
+		return "new:" + strings.TrimPrefix(p, "old:"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 5; u++ {
+		user := fmt.Sprintf("u%d", u)
+		docs := e.log.FindBy("user", user)
+		if len(docs) == 0 {
+			t.Fatalf("user %s lost their history", user)
+		}
+		for _, d := range docs {
+			if !strings.HasPrefix(d.Fields["item"], "new:") {
+				t.Fatalf("unrotated item: %v", d.Fields)
+			}
+			if e.log.Owner(user) != e.log.Owner(d.Fields["user"]) {
+				t.Fatal("item rotation moved a user")
+			}
+		}
+	}
+}
+
+// TestRepseudonymizeServesAndJournalsConcurrentInserts: posts arriving
+// while shards are staged are not lost and come out rotated. The mapping
+// function blocks on its first call until the concurrent posts have been
+// accepted, guaranteeing they race with the staging phase.
+func TestRepseudonymizeServesAndJournalsConcurrentInserts(t *testing.T) {
+	e := repseudoEngine(t, 4)
+	for i := 0; i < 40; i++ {
+		e.InsertEvent(fmt.Sprintf("old:u%d", i%8), fmt.Sprintf("item-%d", i%6), "")
+	}
+
+	release := make(chan struct{})
+	var once sync.Once
+	job, err := e.Repseudonymize("user", func(p string) (string, error) {
+		once.Do(func() { <-release })
+		return rekeyUser(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// While the job is staging shard 0, keep serving: posts and queries.
+	for i := 0; i < 20; i++ {
+		if !e.InsertTypedEventIdem(fmt.Sprintf("old:u%d", i%8), fmt.Sprintf("live-%d", i), "", "", "") {
+			t.Fatal("post rejected during re-pseudonymization")
+		}
+		e.Recommend(fmt.Sprintf("old:u%d", i%8), 5)
+	}
+	if done, total := e.RepseudoProgress(); total != 4 || done == 4 {
+		t.Fatalf("progress (%d, %d) while mapFn is gated", done, total)
+	}
+	// A second job is refused while one runs.
+	if _, err := e.Repseudonymize("user", rekeyUser); !errors.Is(err, ErrRepseudoActive) {
+		t.Fatalf("concurrent job: %v", err)
+	}
+	close(release)
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	if e.EventCount() != 60 {
+		t.Fatalf("events after rotation = %d, want 60", e.EventCount())
+	}
+	live := 0
+	e.ForEachEvent(func(d store.Document) {
+		if !strings.HasPrefix(d.Fields["user"], "new:") {
+			t.Fatalf("unrotated event survived: %v", d.Fields)
+		}
+		if strings.HasPrefix(d.Fields["item"], "live-") {
+			live++
+		}
+	})
+	if live != 20 {
+		t.Fatalf("concurrent posts surviving = %d, want 20", live)
+	}
+	if job.Migrated() != 60 {
+		t.Fatalf("migrated = %d", job.Migrated())
+	}
+}
+
+// TestRepseudonymizeFailsClosed: one unmappable record aborts the whole
+// job; nothing is rewritten and diverted inserts are flushed back.
+func TestRepseudonymizeFailsClosed(t *testing.T) {
+	e := repseudoEngine(t, 3)
+	for i := 0; i < 20; i++ {
+		e.InsertEvent(fmt.Sprintf("old:u%d", i%4), fmt.Sprintf("item-%d", i%5), "")
+	}
+	e.InsertEvent("corrupt-pseudonym", "item-x", "")
+
+	job, err := e.Repseudonymize("user", rekeyUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(); err == nil {
+		t.Fatal("job succeeded over an unmappable pseudonym")
+	}
+	if e.EventCount() != 21 {
+		t.Fatalf("events = %d", e.EventCount())
+	}
+	rotated := 0
+	e.ForEachEvent(func(d store.Document) {
+		if strings.HasPrefix(d.Fields["user"], "new:") {
+			rotated++
+		}
+	})
+	if rotated != 0 {
+		t.Fatalf("%d events rewritten by a failed job", rotated)
+	}
+	_, failures, _ := e.RepseudoStats()
+	if failures != 1 {
+		t.Fatalf("failures = %d", failures)
+	}
+	if e.RepseudoActive() {
+		t.Fatal("failed job still active")
+	}
+	// The engine accepts a fresh job after the failure.
+	e.ForEachEvent(func(d store.Document) {})
+}
+
+func TestRepseudonymizeRejectsUnknownField(t *testing.T) {
+	e := repseudoEngine(t, 2)
+	if _, err := e.Repseudonymize("payload", rekeyUser); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

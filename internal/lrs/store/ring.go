@@ -1,0 +1,80 @@
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring.go places pseudonyms on shards by consistent hashing. The LRS
+// only ever routes on det_enc pseudonyms (the proxies strip raw
+// identifiers before anything reaches this layer), so shard placement is
+// a function of ciphertext: an adversary tapping the assignment learns a
+// hash of an already-unlinkable value, and a key rotation — which
+// replaces every pseudonym — re-draws the whole placement independently
+// of the old one. Virtual nodes keep the load spread even for small
+// shard counts.
+
+// ringReplicas is the number of virtual nodes per shard.
+const ringReplicas = 64
+
+// Ring is a consistent-hash ring over a fixed shard set. It is immutable
+// after construction and safe for concurrent use.
+type Ring struct {
+	shards int
+	hashes []uint64 // sorted virtual-node positions
+	owners []int    // owners[i] owns hashes[i]
+}
+
+// NewRing builds a ring over n shards (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	r := &Ring{
+		shards: n,
+		hashes: make([]uint64, 0, n*ringReplicas),
+		owners: make([]int, 0, n*ringReplicas),
+	}
+	type vnode struct {
+		hash  uint64
+		owner int
+	}
+	vnodes := make([]vnode, 0, n*ringReplicas)
+	for shard := 0; shard < n; shard++ {
+		for rep := 0; rep < ringReplicas; rep++ {
+			h := hash64("shard-" + strconv.Itoa(shard) + "#" + strconv.Itoa(rep))
+			vnodes = append(vnodes, vnode{hash: h, owner: shard})
+		}
+	}
+	sort.Slice(vnodes, func(i, j int) bool { return vnodes[i].hash < vnodes[j].hash })
+	for _, v := range vnodes {
+		r.hashes = append(r.hashes, v.hash)
+		r.owners = append(r.owners, v.owner)
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning the key: the first virtual node at or
+// after the key's position, wrapping around.
+func (r *Ring) Owner(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i]
+}
+
+// hash64 is FNV-1a over the key bytes.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -68,6 +70,46 @@ func (c *Collection) snapshot() collectionSnapshot {
 	}
 	sort.Slice(snap.Docs, func(i, j int) bool { return snap.Docs[i].ID < snap.Docs[j].ID })
 	return snap
+}
+
+// WriteSnapshotFile persists the snapshot to path atomically: the bytes
+// go to a temp file in the same directory, are fsynced, and the temp
+// file is renamed over path. A crash at any point leaves either the old
+// complete snapshot or the new one — never a torn file on the restore
+// path.
+func (s *Store) WriteSnapshotFile(path string) error {
+	return writeFileAtomic(path, s.WriteSnapshot)
+}
+
+// writeFileAtomic streams write into a same-directory temp file, syncs
+// it, and renames it over path. On any failure the temp file is removed
+// and path is left untouched.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("store: sync snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(fmt.Errorf("store: close snapshot: %w", err))
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	return nil
 }
 
 // LoadSnapshot reads a snapshot into a fresh store; it fails without side

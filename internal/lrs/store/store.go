@@ -13,6 +13,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 )
@@ -218,6 +219,41 @@ func (c *Collection) Scan(fn func(Document) bool) {
 			return
 		}
 	}
+}
+
+// ScanOrdered visits every document in insertion order (ascending
+// primary key) until fn returns false. The snapshot of the collection is
+// taken under the read lock, then fn runs unlocked, so fn may query the
+// collection. The deterministic order is what shard replay and the
+// training job need: CCO downsampling depends on per-user event order.
+func (c *Collection) ScanOrdered(fn func(Document) bool) {
+	c.mu.RLock()
+	docs := make([]Document, 0, len(c.docs))
+	for _, d := range c.docs {
+		docs = append(docs, d.clone())
+	}
+	c.mu.RUnlock()
+	sort.Slice(docs, func(i, j int) bool { return docSeq(docs[i].ID) < docSeq(docs[j].ID) })
+	for _, d := range docs {
+		if !fn(d) {
+			return
+		}
+	}
+}
+
+// docSeq extracts the numeric insertion sequence from a primary key of
+// the form "<collection>/<n>"; malformed keys sort first.
+func docSeq(id string) uint64 {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '/' {
+			n, err := strconv.ParseUint(id[i+1:], 10, 64)
+			if err != nil {
+				return 0
+			}
+			return n
+		}
+	}
+	return 0
 }
 
 // Clear removes every document but keeps index definitions, as when the

@@ -63,6 +63,13 @@ type Result struct {
 // RotateKeys generates fresh keys for the given layer and re-encrypts the
 // engine's stored pseudonyms from old to fresh. The old keys — which the
 // adversary may hold — become useless against the migrated database.
+//
+// The migration runs as the engine's background shard-at-a-time
+// re-pseudonymization job (engine.Repseudonymize): the LRS keeps serving
+// while shards are staged, and the job finishes with a retrain so the
+// served model speaks the fresh pseudonym space. RotateKeys blocks until
+// every shard has settled — callers that clear breach state (the
+// auditor) therefore only do so once the whole database is re-keyed.
 func RotateKeys(layer Layer, old *proxy.LayerKeys, eng *engine.Engine) (*Result, error) {
 	fresh, err := proxy.NewLayerKeys()
 	if err != nil {
@@ -79,29 +86,16 @@ func RotateKeys(layer Layer, old *proxy.LayerKeys, eng *engine.Engine) (*Result,
 		return nil, fmt.Errorf("%w: %d", ErrUnknownLayer, int(layer))
 	}
 
-	migrated := 0
-	err = eng.RewriteEvents(func(fields map[string]string) (map[string]string, error) {
-		out := make(map[string]string, len(fields))
-		for k, v := range fields {
-			out[k] = v
-		}
-		reencrypted, err := reencryptPseudonym(old.Permanent, fresh.Permanent, fields[field])
-		if err != nil {
-			return nil, err
-		}
-		out[field] = reencrypted
-		migrated++
-		return out, nil
+	job, err := eng.Repseudonymize(field, func(pseudonym string) (string, error) {
+		return reencryptPseudonym(old.Permanent, fresh.Permanent, pseudonym)
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rotation: %w", err)
 	}
-	// The model was built on old pseudonyms; rebuild it on the migrated
-	// database before serving further queries.
-	if err := eng.TrainNow(); err != nil {
-		return nil, fmt.Errorf("rotation: retrain: %w", err)
+	if err := job.Wait(); err != nil {
+		return nil, fmt.Errorf("rotation: %w", err)
 	}
-	return &Result{Layer: layer, Fresh: fresh, Migrated: migrated}, nil
+	return &Result{Layer: layer, Fresh: fresh, Migrated: int(job.Migrated())}, nil
 }
 
 // reencryptPseudonym maps det_enc(x, oldKey) to det_enc(x, freshKey)

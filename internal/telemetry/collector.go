@@ -201,6 +201,27 @@ type Rollups struct {
 	// registry when the collector has one, otherwise from the freshest
 	// snapshot carrying one. Nil when no fleet runs.
 	Fleet *fleet.Overview `json:"fleet,omitempty"`
+	// LRS aggregates the recommendation backends' training and
+	// re-pseudonymization state across fresh nodes. Nil when no LRS
+	// node reports.
+	LRS *LRSRollup `json:"lrs,omitempty"`
+}
+
+// LRSRollup is the fleet-wide LRS training/rotation aggregate.
+type LRSRollup struct {
+	// Shards sums event-log shards across fresh LRS nodes.
+	Shards int `json:"shards"`
+	// TrainSeconds is the worst (longest) last full-train duration.
+	TrainSeconds float64 `json:"train_seconds"`
+	// EventsApplied sums events folded into models by the online
+	// incremental path.
+	EventsApplied uint64 `json:"events_applied"`
+	// RepseudoRunning counts nodes with a re-pseudonymization job in
+	// flight; breach auditors should treat the fleet as unsettled while
+	// it is non-zero.
+	RepseudoRunning int `json:"repseudo_running"`
+	// RepseudoMigrated sums pseudonyms rewritten by completed jobs.
+	RepseudoMigrated uint64 `json:"repseudo_migrated"`
 }
 
 // StageQuantile is a merged per-stage latency summary.
@@ -276,6 +297,7 @@ func (c *Collector) Fleet() FleetReport {
 		}
 		report.Fresh++
 		freshSeries = append(freshSeries, latest.Series)
+		accumulateLRS(&report.Rollups, latest.Series)
 		shas[latest.Build.GitSHA] = true
 		if st.AuditState != "" || st.PerfState != "" {
 			report.Rollups.States[st.Node] = NodeStates{Audit: st.AuditState, Perf: st.PerfState}
@@ -347,6 +369,39 @@ func nodeGoodput(ns *nodeState) float64 {
 		}
 	}
 	return math.Round(served/span*10) / 10
+}
+
+// accumulateLRS folds one fresh node's series into the LRS rollup,
+// creating it on the first LRS metric seen.
+func accumulateLRS(r *Rollups, series map[string]float64) {
+	for s, v := range series {
+		name, _ := metrics.ParseSeries(s)
+		switch name {
+		case "pprox_lrs_shards":
+			ensureLRS(r).Shards += int(v)
+		case "pprox_lrs_train_seconds":
+			if lrs := ensureLRS(r); v > lrs.TrainSeconds {
+				lrs.TrainSeconds = v
+			}
+		case "pprox_lrs_events_applied_total":
+			ensureLRS(r).EventsApplied += uint64(v)
+		case "pprox_lrs_repseudo_running":
+			if v > 0 {
+				ensureLRS(r).RepseudoRunning++
+			} else {
+				ensureLRS(r)
+			}
+		case "pprox_lrs_repseudo_migrated_total":
+			ensureLRS(r).RepseudoMigrated += uint64(v)
+		}
+	}
+}
+
+func ensureLRS(r *Rollups) *LRSRollup {
+	if r.LRS == nil {
+		r.LRS = &LRSRollup{}
+	}
+	return r.LRS
 }
 
 // worstBatch is the smallest positive anonymity-set size in a node's

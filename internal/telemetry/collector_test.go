@@ -159,6 +159,65 @@ func TestGoodputAndWorstBatch(t *testing.T) {
 	}
 }
 
+// TestLRSRollup: LRS training/rotation series from fresh backends sum
+// into the fleet view; non-LRS fleets carry no rollup at all.
+func TestLRSRollup(t *testing.T) {
+	clk := newFakeClock()
+	c := NewCollector(CollectorConfig{Now: clk.now})
+	for seq := uint64(1); seq <= 2; seq++ {
+		a := snap("lrs-0", "lrs", seq, 0)
+		a.Series["pprox_lrs_shards"] = 4
+		a.Series["pprox_lrs_train_seconds"] = 0.8
+		a.Series["pprox_lrs_events_applied_total"] = 1000
+		a.Series["pprox_lrs_repseudo_running"] = 1
+		a.Series["pprox_lrs_repseudo_migrated_total"] = 0
+		if err := c.Ingest(a); err != nil {
+			t.Fatal(err)
+		}
+		b := snap("lrs-1", "lrs", seq, 0)
+		b.Series["pprox_lrs_shards"] = 2
+		b.Series["pprox_lrs_train_seconds"] = 2.5
+		b.Series["pprox_lrs_events_applied_total"] = 500
+		b.Series["pprox_lrs_repseudo_running"] = 0
+		b.Series["pprox_lrs_repseudo_migrated_total"] = 300
+		if err := c.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Ingest(snap("ua-0", "ua", seq, 8)); err != nil {
+			t.Fatal(err)
+		}
+		clk.advance(250 * time.Millisecond)
+	}
+	lrs := c.Fleet().Rollups.LRS
+	if lrs == nil {
+		t.Fatal("no LRS rollup despite two reporting backends")
+	}
+	if lrs.Shards != 6 {
+		t.Errorf("shards = %d, want 6", lrs.Shards)
+	}
+	if lrs.TrainSeconds != 2.5 {
+		t.Errorf("train seconds = %g, want worst-case 2.5", lrs.TrainSeconds)
+	}
+	if lrs.EventsApplied != 1500 {
+		t.Errorf("events applied = %d, want 1500", lrs.EventsApplied)
+	}
+	if lrs.RepseudoRunning != 1 {
+		t.Errorf("repseudo running = %d, want 1", lrs.RepseudoRunning)
+	}
+	if lrs.RepseudoMigrated != 300 {
+		t.Errorf("repseudo migrated = %d, want 300", lrs.RepseudoMigrated)
+	}
+
+	// A UA-only fleet reports no LRS rollup.
+	c2 := NewCollector(CollectorConfig{Now: clk.now})
+	if err := c2.Ingest(snap("ua-0", "ua", 1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Fleet().Rollups.LRS != nil {
+		t.Error("LRS rollup invented for a fleet with no LRS node")
+	}
+}
+
 // TestRetentionBound: history per node never exceeds Retention.
 func TestRetentionBound(t *testing.T) {
 	clk := newFakeClock()
