@@ -32,7 +32,8 @@ func main() {
 	trainEvery := flag.Duration("train-every", 30*time.Second, "periodic training interval (0 = manual via POST /train)")
 	snapshot := flag.String("snapshot", "", "event-log snapshot file: loaded at start-up if present, written at shutdown")
 	shards := flag.Int("shards", 0, "event-log shards on a consistent-hash ring keyed by the user pseudonym (0 = single shard)")
-	walDir := flag.String("wal-dir", "", "WAL-back every event-log shard under this directory: accepted posts survive a crash (off when empty)")
+	walDir := flag.String("wal-dir", "", "WAL-back every event-log shard under this directory: accepted posts survive a process crash (off when empty; see -wal-sync for power-loss durability)")
+	walSync := flag.Bool("wal-sync", false, "fsync every WAL append before acknowledging the post: durability extends to OS crashes and power loss (needs -wal-dir)")
 	incremental := flag.Bool("incremental", false, "fold each accepted event into the CCO model online; periodic training becomes compaction")
 	opsAddr := flag.String("ops-addr", "", "pprox-ops collector address, e.g. localhost:9090: stream periodic telemetry snapshots (off when empty)")
 	node := flag.String("node", "lrs", "node name reported to -ops-addr")
@@ -48,6 +49,7 @@ func main() {
 	engCfg := engine.DefaultConfig()
 	engCfg.Shards = *shards
 	engCfg.WALDir = *walDir
+	engCfg.WALSync = *walSync
 	engCfg.Incremental = *incremental
 	if err := run(*listen, *trainEvery, *snapshot, *debugAddr, *faultSpec, *faultSeed, engCfg, tele, logger); err != nil {
 		logger.Error("fatal", "error", err.Error())

@@ -88,8 +88,11 @@ type Spec struct {
 	// ring keyed by the user pseudonym (0 = single shard).
 	LRSShards int
 	// LRSWALDir, when set, WAL-backs every event-log shard under this
-	// directory so accepted posts survive an LRS crash.
+	// directory so accepted posts survive an LRS process crash.
 	LRSWALDir string
+	// LRSWALSync fsyncs every WAL append before acknowledging the post,
+	// extending durability to OS crashes and power loss.
+	LRSWALSync bool
 	// LRSIncremental folds each accepted primary event into the CCO
 	// counts online; batch training becomes the compaction fallback.
 	LRSIncremental bool
@@ -582,6 +585,9 @@ func (d *Deployment) deployLRS(spec Spec) error {
 		}
 		if spec.LRSWALDir != "" {
 			cfg.WALDir = spec.LRSWALDir
+		}
+		if spec.LRSWALSync {
+			cfg.WALSync = true
 		}
 		if spec.LRSIncremental {
 			cfg.Incremental = true

@@ -54,9 +54,14 @@ type Config struct {
 	// the user pseudonym; values below 1 mean a single shard.
 	Shards int
 	// WALDir, when set, backs every shard with an append-only WAL plus
-	// snapshot under this directory: an accepted post survives a crash.
-	// Empty keeps the log in memory, as before.
+	// snapshot under this directory: an accepted post survives a process
+	// crash (see WALSync for power-loss durability). Empty keeps the log
+	// in memory, as before.
 	WALDir string
+	// WALSync fsyncs every WAL append before the post is acknowledged,
+	// extending durability to OS crashes and power loss at the cost of a
+	// disk flush per event. Ignored without WALDir.
+	WALSync bool
 	// Incremental folds each accepted primary event into the CCO counts
 	// online, so retrieval stays fresh between batch trains and TrainNow
 	// becomes the compaction fallback.
@@ -133,8 +138,10 @@ type idemRegistry struct {
 // idemWindow is how many recent keys the registry remembers.
 const idemWindow = 1 << 16
 
-// claim records a key, reporting false when it was already seen.
-func (ir *idemRegistry) claim(key string) bool {
+// claim records a key, reporting false when it was already seen. On
+// success it returns the ring slot holding the key, so a caller whose
+// insert then fails can release exactly the claim it made.
+func (ir *idemRegistry) claim(key string) (slot int, ok bool) {
 	ir.mu.Lock()
 	defer ir.mu.Unlock()
 	if ir.seen == nil {
@@ -142,15 +149,31 @@ func (ir *idemRegistry) claim(key string) bool {
 		ir.ring = make([]string, idemWindow)
 	}
 	if _, dup := ir.seen[key]; dup {
-		return false
+		return 0, false
 	}
-	if old := ir.ring[ir.next]; old != "" {
+	slot = ir.next
+	if old := ir.ring[slot]; old != "" {
 		delete(ir.seen, old)
 	}
-	ir.ring[ir.next] = key
+	ir.ring[slot] = key
 	ir.next = (ir.next + 1) % len(ir.ring)
 	ir.seen[key] = struct{}{}
-	return true
+	return slot, true
+}
+
+// release undoes a claim whose event was never stored (the WAL append
+// failed), so the client's retry with the same key is accepted instead
+// of dropped as a duplicate of an event that does not exist. The
+// (key, slot) pair identifies the exact claim: if the slot was recycled
+// or the key re-claimed in the meantime, release is a no-op.
+func (ir *idemRegistry) release(key string, slot int) {
+	ir.mu.Lock()
+	defer ir.mu.Unlock()
+	if slot < 0 || slot >= len(ir.ring) || ir.ring[slot] != key {
+		return
+	}
+	ir.ring[slot] = ""
+	delete(ir.seen, key)
 }
 
 // Open creates an engine. With cfg.WALDir set the shards are opened from
@@ -173,6 +196,7 @@ func Open(cfg Config) (*Engine, error) {
 	lg, err := store.OpenShardedLog(store.ShardedConfig{
 		Shards:      cfg.Shards,
 		Dir:         cfg.WALDir,
+		Sync:        cfg.WALSync,
 		IndexFields: []string{"user"},
 	})
 	if err != nil {
@@ -254,20 +278,28 @@ func (e *Engine) InsertTypedEvent(user, item, payload, eventType string) {
 	e.InsertTypedEventIdem(user, item, payload, eventType, "")
 }
 
-// InsertTypedEventIdem records feedback carrying an idempotency key. A
-// repeated key within the dedup window reports false and stores nothing —
-// the retried delivery of an event the store already has. The empty key
+// InsertTypedEventIdem records feedback carrying an idempotency key and
+// reports (stored, err). A repeated key within the dedup window returns
+// (false, nil) and stores nothing — the retried delivery of an event the
+// store already has, which callers treat as success. The empty key
 // always stores (legacy clients and proxies without the feature). On a
-// durable log, false is also returned when the WAL append fails: an event
-// the engine cannot make durable is not accepted.
-func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem string) bool {
+// durable log a failed WAL append returns (false, err): an event the
+// engine cannot make durable is not accepted, the idempotency key is
+// released so a retry is not mistaken for a duplicate, and callers must
+// surface the failure as retryable.
+func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem string) (bool, error) {
 	e.posts.Add(1)
-	if idem != "" && !e.idem.claim(idem) {
-		e.dups.Add(1)
-		if l := e.slogger(); l != nil {
-			l.Debug("duplicate event dropped", "idem", idem)
+	idemSlot := -1
+	if idem != "" {
+		slot, ok := e.idem.claim(idem)
+		if !ok {
+			e.dups.Add(1)
+			if l := e.slogger(); l != nil {
+				l.Debug("duplicate event dropped", "idem", idem)
+			}
+			return false, nil
 		}
-		return false
+		idemSlot = slot
 	}
 	fields := map[string]string{
 		"user":    user,
@@ -289,11 +321,14 @@ func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem strin
 	}
 	if insErr != nil {
 		e.applyMu.Unlock()
+		if idem != "" {
+			e.idem.release(idem, idemSlot)
+		}
 		e.walErrs.Add(1)
 		if l := e.slogger(); l != nil {
 			l.Error("event rejected: append failed", "err", insErr)
 		}
-		return false
+		return false, insErr
 	}
 	e.applyIncrementalLocked(user, item, eventType)
 	e.applyMu.Unlock()
@@ -303,7 +338,7 @@ func (e *Engine) InsertTypedEventIdem(user, item, payload, eventType, idem strin
 			"user", obslog.Pseudonym(user), "item", obslog.Pseudonym(item),
 			"type", eventType)
 	}
-	return true
+	return true, nil
 }
 
 // applyIncrementalLocked folds one event into the incremental model and

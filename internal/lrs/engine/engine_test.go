@@ -227,3 +227,52 @@ func TestEngineSnapshotRejectsGarbage(t *testing.T) {
 		t.Error("garbage snapshot accepted")
 	}
 }
+
+// TestFailedInsertReleasesIdemKey: an event rejected by a WAL append
+// failure must release its idempotency key, so the client's retry is
+// retried for real instead of being dropped as a duplicate of an event
+// that was never stored.
+func TestFailedInsertReleasesIdemKey(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WALDir = t.TempDir()
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil { // every append now fails
+		t.Fatal(err)
+	}
+	if stored, err := e.InsertTypedEventIdem("u", "i", "", "", "k"); stored || err == nil {
+		t.Fatalf("insert on dead log: stored=%v err=%v", stored, err)
+	}
+	// The retry must surface the storage error again — (false, nil)
+	// here would mean the key leaked and the event can never be stored.
+	if stored, err := e.InsertTypedEventIdem("u", "i", "", "", "k"); stored || err == nil {
+		t.Fatalf("retry after failure: stored=%v err=%v (idempotency key leaked)", stored, err)
+	}
+	if e.DupEvents() != 0 {
+		t.Fatalf("dups = %d, want 0", e.DupEvents())
+	}
+	if e.WALErrors() != 2 {
+		t.Fatalf("wal errors = %d, want 2", e.WALErrors())
+	}
+}
+
+// TestIdemRegistryReleaseAndStalePairing: release undoes exactly the
+// claim it is paired with; a stale (key, slot) pairing is a no-op and
+// cannot evict a newer live claim of the same key.
+func TestIdemRegistryReleaseAndStalePairing(t *testing.T) {
+	var ir idemRegistry
+	s1, ok := ir.claim("k")
+	if !ok {
+		t.Fatal("fresh claim refused")
+	}
+	ir.release("k", s1)
+	if _, ok := ir.claim("k"); !ok {
+		t.Fatal("key not reclaimable after release")
+	}
+	ir.release("k", s1) // stale: slot s1 no longer holds "k"
+	if _, ok := ir.claim("k"); ok {
+		t.Fatal("stale release evicted the live claim")
+	}
+}

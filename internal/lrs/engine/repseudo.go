@@ -169,7 +169,10 @@ func (j *RepseudoJob) run() {
 		// Abort: nothing was replaced (migrate fails closed before the
 		// apply step, and a failed apply surfaces the storage error), so
 		// flush the diverted inserts back raw — they still carry the
-		// pseudonyms the rest of the log speaks.
+		// pseudonyms the rest of the log speaks. applyMu keeps a train or
+		// snapshot from scanning the log mid-flush (lock order matches the
+		// insert path: applyMu, then j.mu).
+		j.e.applyMu.Lock()
 		j.mu.Lock()
 		journal := j.journal
 		j.journal = nil
@@ -180,6 +183,7 @@ func (j *RepseudoJob) run() {
 				err = insErr
 			}
 		}
+		j.e.applyMu.Unlock()
 	} else {
 		err = j.e.TrainNow()
 	}
@@ -222,11 +226,18 @@ func (j *RepseudoJob) migrate() error {
 		j.shardsDone.Add(1)
 	}
 
-	// Phase B — apply. Under the job lock no insert can interleave:
-	// every shard's contents are swapped for its bucket, then the
-	// journal is replayed through the transform. Appending journaled
-	// events after the bucketed ones preserves per-user order — they
-	// arrived after the staging scan read their shard.
+	// Phase B — apply. e.applyMu excludes everything that reads the log
+	// whole — TrainNow's scan, Refresh, SaveSnapshot — for the duration
+	// of the swap: a half-replaced log mixes old and new pseudonym
+	// spaces, and a snapshot captured in that window would be permanently
+	// mixed. The job lock (acquired after applyMu, matching the insert
+	// path's order) keeps inserts from interleaving: every shard's
+	// contents are swapped for its bucket, then the journal is replayed
+	// through the transform. Appending journaled events after the
+	// bucketed ones preserves per-user order — they arrived after the
+	// staging scan read their shard.
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for i := 0; i < n; i++ {

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pprox/internal/lrs/store"
 )
@@ -116,8 +118,8 @@ func TestRepseudonymizeServesAndJournalsConcurrentInserts(t *testing.T) {
 
 	// While the job is staging shard 0, keep serving: posts and queries.
 	for i := 0; i < 20; i++ {
-		if !e.InsertTypedEventIdem(fmt.Sprintf("old:u%d", i%8), fmt.Sprintf("live-%d", i), "", "", "") {
-			t.Fatal("post rejected during re-pseudonymization")
+		if stored, err := e.InsertTypedEventIdem(fmt.Sprintf("old:u%d", i%8), fmt.Sprintf("live-%d", i), "", "", ""); !stored || err != nil {
+			t.Fatalf("post rejected during re-pseudonymization: stored=%v err=%v", stored, err)
 		}
 		e.Recommend(fmt.Sprintf("old:u%d", i%8), 5)
 	}
@@ -197,4 +199,41 @@ func TestRepseudonymizeRejectsUnknownField(t *testing.T) {
 	if _, err := e.Repseudonymize("payload", rekeyUser); err == nil {
 		t.Fatal("unknown field accepted")
 	}
+}
+
+// TestRepseudonymizeSnapshotNeverMixesSpaces: a snapshot taken at any
+// point during a rotation must capture the log in exactly one pseudonym
+// space. The apply step (Phase B) replaces shards one by one; without
+// applyMu held across it, a racing SaveSnapshot could capture a
+// permanently mixed, unrecoverable log.
+func TestRepseudonymizeSnapshotNeverMixesSpaces(t *testing.T) {
+	e := repseudoEngine(t, 8)
+	for i := 0; i < 200; i++ {
+		e.InsertEvent(fmt.Sprintf("old:u%d", i%20), fmt.Sprintf("item-%d", i%9), "")
+	}
+	job, err := e.Repseudonymize("user", func(p string) (string, error) {
+		time.Sleep(50 * time.Microsecond) // widen the race window
+		return rekeyUser(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !job.Done() {
+		var buf bytes.Buffer
+		if err := e.SaveSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s := buf.String()
+		if strings.Contains(s, "old:u") && strings.Contains(s, "new:u") {
+			t.Fatal("snapshot captured a half-rotated log")
+		}
+	}
+	if err := job.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	e.ForEachEvent(func(d store.Document) {
+		if !strings.HasPrefix(d.Fields["user"], "new:") {
+			t.Fatalf("unrotated event after job: %v", d.Fields)
+		}
+	})
 }

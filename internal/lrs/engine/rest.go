@@ -105,8 +105,13 @@ func (h *Handler) postEvent(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// A duplicate idempotency key still answers "ok": the event IS
-	// stored, just by the earlier delivery this one retried.
-	h.engine.InsertTypedEventIdem(req.User, req.Item, req.Payload, req.Event, req.Idem)
+	// stored, just by the earlier delivery this one retried. A storage
+	// failure (the WAL append was rejected) must NOT answer "ok" — the
+	// event was dropped, so the client gets 503 and retries.
+	if _, err := h.engine.InsertTypedEventIdem(req.User, req.Item, req.Payload, req.Event, req.Idem); err != nil {
+		http.Error(w, "event not stored: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	writeJSON(w, message.OK{Status: "ok"})
 }
 

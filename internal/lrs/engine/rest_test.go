@@ -183,3 +183,55 @@ func TestMultiHandlerQueryRouting(t *testing.T) {
 		t.Errorf("routed query items = %v", resp.Items)
 	}
 }
+
+// TestRESTEventStorageFailureAnswers503: when the engine cannot make an
+// event durable (the WAL append fails), the client must NOT be told
+// "ok" — it gets a retryable 503 and the event is counted rejected.
+func TestRESTEventStorageFailureAnswers503(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WALDir = t.TempDir()
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(e)
+
+	if rec := do(t, h, http.MethodPost, message.EventsPath, `{"user":"u","item":"i"}`); rec.Code != http.StatusOK {
+		t.Fatalf("healthy post: status %d: %s", rec.Code, rec.Body)
+	}
+	// Kill the WAL out from under the engine: appends now fail and the
+	// engine rejects the event.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, h, http.MethodPost, message.EventsPath, `{"user":"u","item":"j"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("rejected post: status %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if e.EventCount() != 1 {
+		t.Fatalf("events = %d after rejected post, want 1", e.EventCount())
+	}
+	if e.WALErrors() != 1 {
+		t.Fatalf("wal errors = %d, want 1", e.WALErrors())
+	}
+}
+
+// TestRESTDuplicateIdemAnswersOK: a retried delivery (same idempotency
+// key) is dropped but still answers 200 — the event IS stored, by the
+// earlier delivery.
+func TestRESTDuplicateIdemAnswersOK(t *testing.T) {
+	e := New(DefaultConfig())
+	h := NewHandler(e)
+	for i := 0; i < 2; i++ {
+		rec := do(t, h, http.MethodPost, message.EventsPath, `{"user":"u","item":"i","idem":"k1"}`)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("delivery %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	if e.EventCount() != 1 {
+		t.Fatalf("events = %d, want 1 (duplicate double-counted)", e.EventCount())
+	}
+	if e.DupEvents() != 1 {
+		t.Fatalf("dups = %d, want 1", e.DupEvents())
+	}
+}

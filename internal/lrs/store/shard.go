@@ -26,7 +26,8 @@ const eventsCollection = "events"
 type Shard interface {
 	// Insert appends one event. For durable shards the WAL append
 	// happens before the in-memory apply, so an insert that returned
-	// without error survives a crash.
+	// without error survives a process crash — and an OS crash or power
+	// loss too when per-append fsync is on (WALShard.SetSync).
 	Insert(fields map[string]string) error
 	// FindBy returns documents whose field equals value, in insertion
 	// order when the field is indexed.
@@ -114,6 +115,7 @@ type WALShard struct {
 	wal        *wal
 	seq        uint64 // last sequence number handed out
 	appliedSeq uint64 // sequence covered by the on-disk snapshot
+	fsync      bool   // fsync after every append (power-loss durability)
 }
 
 // shardSnapPath and shardWALPath name one shard's files.
@@ -174,12 +176,33 @@ func OpenWALShard(dir string, id int, indexFields ...string) (*WALShard, error) 
 	return &WALShard{dir: dir, id: id, store: st, col: col, wal: w, seq: seq, appliedSeq: appliedSeq}, nil
 }
 
+// SetSync toggles per-append fsync. Off (the default) the WAL write
+// reaches the OS page cache before the insert is acknowledged: the event
+// survives a process crash, but an OS crash or power loss may lose the
+// tail written since the last flush. On, every append is fsynced before
+// the insert returns, extending the guarantee to power loss at the cost
+// of one disk flush per event.
+func (w *WALShard) SetSync(on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fsync = on
+}
+
 func (w *WALShard) Insert(fields map[string]string) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	rec := walRecord{Seq: w.seq + 1, Fields: fields}
 	if err := w.wal.append(rec); err != nil {
 		return err
+	}
+	if w.fsync {
+		if err := w.wal.sync(); err != nil {
+			// The record may or may not have reached the platter. The
+			// insert is rejected (not applied in memory, not acked), but
+			// a restart that finds the record intact will replay it —
+			// at-least-once on a failing disk, never a silent loss.
+			return fmt.Errorf("store: fsync wal append: %w", err)
+		}
 	}
 	w.seq++
 	w.col.Insert(fields)

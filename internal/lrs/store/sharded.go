@@ -23,8 +23,13 @@ type ShardedConfig struct {
 	// Shards is the shard count; values below 1 mean a single shard.
 	Shards int
 	// Dir, when set, backs every shard with a WAL + snapshot pair under
-	// this directory; empty keeps shards in memory.
+	// this directory; empty keeps shards in memory. By default the WAL
+	// guarantees accepted inserts against process crashes; see Sync.
 	Dir string
+	// Sync fsyncs every WAL append before the insert is acknowledged,
+	// extending durability from process crashes to OS crashes and power
+	// loss, at the cost of one disk flush per event. Ignored without Dir.
+	Sync bool
 	// IndexFields are secondary indexes created on every shard.
 	IndexFields []string
 }
@@ -54,6 +59,7 @@ func OpenShardedLog(cfg ShardedConfig) (*ShardedLog, error) {
 			l.Close()
 			return nil, err
 		}
+		s.SetSync(cfg.Sync)
 		l.shards[i] = s
 	}
 	return l, nil

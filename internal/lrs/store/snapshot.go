@@ -129,6 +129,11 @@ func LoadSnapshot(r io.Reader) (*Store, error) {
 		for _, field := range cs.Indexes {
 			c.EnsureIndex(field)
 		}
+		// Snapshots sort docs lexicographically by ID ("events/10" <
+		// "events/2") for byte determinism; secondary indexes must be
+		// rebuilt in insertion order (numeric sequence) or FindBy would
+		// return a restored user's history out of order.
+		sort.Slice(cs.Docs, func(i, j int) bool { return docSeq(cs.Docs[i].ID) < docSeq(cs.Docs[j].ID) })
 		c.mu.Lock()
 		for _, d := range cs.Docs {
 			doc := Document{ID: d.ID, Fields: make(map[string]string, len(d.Fields))}

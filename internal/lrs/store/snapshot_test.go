@@ -90,3 +90,38 @@ func TestSnapshotEmptyStore(t *testing.T) {
 		t.Errorf("restored empty store has %d collections", got)
 	}
 }
+
+// TestLoadSnapshotIndexesPreserveInsertionOrder: snapshot docs are sorted
+// lexicographically by ID for byte determinism ("events/10" < "events/2"),
+// but the restored secondary indexes must still return documents in
+// insertion order — Shard.FindBy's contract, which the engine's
+// recent-history and blacklist logic depends on across a restart.
+func TestLoadSnapshotIndexesPreserveInsertionOrder(t *testing.T) {
+	s := New()
+	c := s.Collection("events")
+	c.EnsureIndex("user")
+	// More than 9 docs so lexicographic and numeric ID order diverge.
+	const n = 25
+	for i := 0; i < n; i++ {
+		c.Insert(map[string]string{"user": "u", "item": "i" + strconv.Itoa(i)})
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	docs := restored.Collection("events").FindBy("user", "u")
+	if len(docs) != n {
+		t.Fatalf("restored lookup = %d docs, want %d", len(docs), n)
+	}
+	for i, d := range docs {
+		if want := "i" + strconv.Itoa(i); d.Fields["item"] != want {
+			t.Fatalf("doc %d after restore = %q, want %q (index order not insertion order)", i, d.Fields["item"], want)
+		}
+	}
+}

@@ -11,12 +11,16 @@ import (
 
 // wal.go is the append-only write-ahead log one shard carries next to
 // its snapshot. Every insert is framed, checksummed, and sequence-
-// numbered before it touches the in-memory collection, so a crash loses
-// at most the record being written when the power went: on restart the
+// numbered before it touches the in-memory collection: on restart the
 // shard loads its snapshot (the compaction point) and replays every WAL
 // record with a sequence number past the snapshot's applied_seq. A torn
 // tail — a partially written final record — fails its CRC or length
 // check and is truncated away rather than poisoning the replay.
+//
+// Durability scope: append writes through the OS page cache, so by
+// default an accepted insert survives a *process* crash; an OS crash or
+// power loss can lose the un-flushed tail. WALShard.SetSync upgrades to
+// per-append fsync, extending the guarantee to power loss.
 //
 // Frame layout, little-endian:
 //
